@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures: one paper-scale campaign per session.
+
+Every bench regenerates one of the paper's tables or figures from the same
+collected data set.  The campaign uses the full 126-router deployment; the
+collection windows are shortened (``duration_scale``) to keep the suite
+runnable in minutes — all rate statistics are window-invariant and count
+statistics are normalized to the paper's 197-day window by the analysis.
+
+Each bench prints its paper-vs-measured table and also writes it under
+``benchmarks/output/`` so the artifacts survive the pytest run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import StudyConfig, run_study
+
+#: Window scale for the bench campaign (0.15 ≈ 30-day heartbeat window).
+DURATION_SCALE = 0.15
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The full 126-home campaign all benches analyze."""
+    return run_study(StudyConfig(
+        seed=2013,
+        router_scale=1.0,
+        duration_scale=DURATION_SCALE,
+    ))
+
+
+@pytest.fixture(scope="session")
+def data(study):
+    """Collected data bundle of the bench campaign."""
+    return study.data
+
+
+@pytest.fixture()
+def emit(request):
+    """Print a rendered table and persist it to benchmarks/output/."""
+
+    def _emit(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _emit

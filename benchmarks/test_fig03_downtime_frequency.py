@@ -1,0 +1,41 @@
+"""Figure 3: CDF of average downtimes per day, developed vs developing.
+
+Paper shape: developed homes see ≥10-minute downtime far less than daily
+(median inter-downtime over a month); developing homes see it about daily.
+"""
+
+from repro.core import availability as av
+from repro.core.report import render_cdf, render_comparison
+
+
+def test_fig03_downtime_frequency(data, emit, benchmark):
+    dev, dvg = benchmark(
+        lambda: (av.downtime_rate_cdf(data, developed=True),
+                 av.downtime_rate_cdf(data, developed=False)))
+
+    days_dev = av.median_days_between_downtimes(data, True)
+    days_dvg = av.median_days_between_downtimes(data, False)
+    emit("fig03_downtime_frequency", "\n\n".join([
+        render_comparison("Fig. 3 — downtime frequency", [
+            ("median downtimes/day (developed)", "~0.03 (>1 month apart)",
+             round(dev.median, 3)),
+            ("median downtimes/day (developing)", "~1 (<1 day apart)",
+             round(dvg.median, 3)),
+            ("median days between downtimes (developed)", "> 30", days_dev),
+            ("median days between downtimes (developing)", "< 1", days_dvg),
+            ("homes (developed/developing)", "90/36",
+             f"{dev.n}/{dvg.n}"),
+        ]),
+        render_cdf(dev, x_label="downtimes/day",
+                   title="Developed CDF"),
+        render_cdf(dvg, x_label="downtimes/day",
+                   title="Developing CDF"),
+    ]))
+
+    # Shape: the developing median is at least 10x the developed median,
+    # and straddles the paper's one-per-day mark.
+    assert dvg.median > 10 * max(dev.median, 1e-6)
+    assert dvg.median > 0.3
+    assert dev.median < 0.12
+    assert days_dev > 8
+    assert days_dvg < 3

@@ -1,0 +1,39 @@
+"""Figure 4: CDF of downtime durations for both development classes.
+
+Paper shape: both medians sit near tens of minutes; the developing curve is
+shifted right (downtime lasts longer) with a multi-day tail.
+"""
+
+from repro.core import availability as av
+from repro.core.report import render_cdf, render_comparison
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def test_fig04_downtime_duration(data, emit, benchmark):
+    dev, dvg = benchmark(
+        lambda: (av.downtime_duration_cdf(data, developed=True),
+                 av.downtime_duration_cdf(data, developed=False)))
+
+    emit("fig04_downtime_duration", "\n\n".join([
+        render_comparison("Fig. 4 — downtime duration", [
+            ("median duration, developed (min)", "~30",
+             round(dev.median / 60, 1)),
+            ("median duration, developing (min)", "~30 (longer tail)",
+             round(dvg.median / 60, 1)),
+            ("P(duration > 1 day), developed", "small",
+             round(dev.fraction_at_least(DAY), 3)),
+            ("P(duration > 1 day), developing", "larger",
+             round(dvg.fraction_at_least(DAY), 3)),
+        ]),
+        render_cdf(dev, x_label="seconds", title="Developed durations"),
+        render_cdf(dvg, x_label="seconds", title="Developing durations"),
+    ]))
+
+    # Shape: developed median within the tens-of-minutes band; developing
+    # strictly longer; developing tail heavier; some multi-day outages exist.
+    assert 10 * 60 <= dev.median <= 2 * HOUR
+    assert dvg.median > dev.median
+    assert dvg.fraction_at_least(DAY) >= dev.fraction_at_least(DAY)
+    assert dvg.values.max() > DAY

@@ -1,0 +1,40 @@
+"""Figure 5: median number of downtimes per home vs per-capita GDP.
+
+Paper shape: the two poorest countries (PK, IN) are far above everyone
+else; developed countries cluster near zero.  Counts are normalized to the
+paper's ~197-day window.
+"""
+
+from repro.core import availability as av
+from repro.core.report import render_table
+
+
+def test_fig05_gdp_scatter(data, emit, benchmark):
+    points = benchmark(av.downtimes_by_country, data)
+
+    emit("fig05_gdp_scatter", render_table(
+        ["country", "GDP (PPP)", "routers", "median downtimes (197d)",
+         "median duration (min)"],
+        [(p.country_code, int(p.gdp_ppp_per_capita), p.routers,
+          round(p.median_downtimes, 1), round(p.median_duration / 60, 1))
+         for p in points],
+        title="Fig. 5 — downtimes vs per-capita GDP "
+              "(countries with ≥3 routers)"))
+
+    by_code = {p.country_code: p for p in points}
+    assert set(by_code) >= {"PK", "IN", "ZA", "GB", "US", "NL"}
+
+    # Shape 1: the two worst countries are the two poorest (IN, PK).
+    worst_two = sorted(points, key=lambda p: -p.median_downtimes)[:2]
+    assert {p.country_code for p in worst_two} == {"IN", "PK"}
+
+    # Shape 2: Pakistan sees on the order of daily-to-twice-daily downtime.
+    assert by_code["PK"].median_downtimes > 150  # ≥ ~0.75/day over 197d
+
+    # Shape 3: every developed country sits far below the poorest two.
+    developed_max = max(p.median_downtimes for p in points if p.developed)
+    assert developed_max < 0.3 * by_code["IN"].median_downtimes
+
+    # Shape 4: points are ordered by GDP for plotting.
+    gdps = [p.gdp_ppp_per_capita for p in points]
+    assert gdps == sorted(gdps)

@@ -1,0 +1,85 @@
+"""Figure 6: the three modes of router availability.
+
+(a) an always-on developed-country home, (b) an appliance-mode home that is
+only up in the evenings/weekends, and (c) a continuously powered home whose
+ISP link failed sporadically.  The bench locates one exemplar of each mode
+in the collected data and renders its timeline.
+"""
+
+import numpy as np
+
+from repro.core import availability as av
+from repro.core.report import render_table
+
+DAY = 86400.0
+
+
+def _render_timeline(data, rid, days=10):
+    """A day-by-day strip: fraction of each day the router was up."""
+    log = data.heartbeats[rid]
+    start = float(log.timestamps[0])
+    up = av.up_intervals(log)
+    rows = []
+    blocks = " ▁▂▃▄▅▆▇█"
+    for day in range(days):
+        window = (start + day * DAY, start + (day + 1) * DAY)
+        fraction = up.clip(*window).total_duration() / DAY
+        rows.append((day, round(fraction, 2),
+                     blocks[int(fraction * (len(blocks) - 1))] * 10))
+    return render_table(["day", "up fraction", "strip"], rows,
+                        title=f"{rid} availability")
+
+
+def _find_examples(study, data):
+    always_on = appliance = network = None
+    for home in study.deployment.households:
+        rid = home.router_id
+        log = data.heartbeats.get(rid)
+        if log is None or len(log) < 100:
+            continue
+        fraction = av.availability_fraction(log)
+        if fraction is None:
+            continue
+        if (always_on is None and home.country.developed
+                and home.power.mode == "always-on" and fraction > 0.97):
+            always_on = rid
+        if (appliance is None and home.power.mode == "appliance"
+                and fraction < 0.5):
+            appliance = rid
+        if (network is None and home.power.mode == "always-on"
+                and fraction < 0.99
+                and av.downtime_attribution(data, rid)["network"] >= 1):
+            network = rid
+    return always_on, appliance, network
+
+
+def test_fig06_timelines(study, data, emit, benchmark):
+    always_on, appliance, network = benchmark(_find_examples, study, data)
+
+    assert always_on is not None, "no Fig. 6a exemplar found"
+    assert appliance is not None, "no Fig. 6b exemplar found"
+
+    sections = [
+        "Fig. 6a — always-on home (typical developed-country router)",
+        _render_timeline(data, always_on),
+        "",
+        "Fig. 6b — appliance-mode home (router on only during use)",
+        _render_timeline(data, appliance),
+    ]
+
+    # 6a: continuously up.
+    assert av.availability_fraction(data.heartbeats[always_on]) > 0.97
+    # 6b: daily cycling, mostly off.
+    rate = av.downtime_rate_per_day(data.heartbeats[appliance])
+    assert rate is not None and rate >= 0.7
+    assert appliance in av.appliance_mode_routers(data)
+
+    # 6c: a powered-on router whose *link* failed — the downtime must be
+    # attributable to the network when an uptime report spans the gap.
+    if network is not None:
+        sections += ["",
+                     "Fig. 6c — powered home with sporadic ISP outages",
+                     _render_timeline(data, network)]
+        attribution = av.downtime_attribution(data, network)
+        assert attribution["network"] >= 1
+    emit("fig06_timelines", "\n".join(sections))

@@ -1,0 +1,30 @@
+"""Figure 7: CDF of the number of unique devices per home.
+
+Paper shape: more than half of homes have at least five devices; the mean
+is about seven; a minority (~20%) have two or fewer.
+"""
+
+import numpy as np
+
+from repro.core import infrastructure as infra
+from repro.core.report import render_cdf, render_comparison
+
+
+def test_fig07_devices_cdf(data, emit, benchmark):
+    cdf = benchmark(infra.devices_per_home_cdf, data)
+
+    mean = float(np.mean(cdf.values))
+    emit("fig07_devices_cdf", "\n\n".join([
+        render_comparison("Fig. 7 — devices per home", [
+            ("homes in Devices data set", "113", cdf.n),
+            ("mean devices per home", "~7", round(mean, 2)),
+            ("P(devices >= 5)", "> 0.5", round(cdf.fraction_at_least(5), 2)),
+            ("P(devices <= 2)", "~0.2", round(cdf.fraction_at_most(2), 2)),
+        ]),
+        render_cdf(cdf, x_label="devices"),
+    ]))
+
+    assert 90 <= cdf.n <= 113
+    assert 5.0 < mean < 9.5
+    assert cdf.fraction_at_least(5) > 0.5
+    assert 0.05 < cdf.fraction_at_most(2) < 0.35

@@ -1,0 +1,42 @@
+"""Figure 8: mean simultaneously-connected devices, wired vs wireless.
+
+Paper shape: wireless exceeds wired in both development classes; developed
+homes have roughly one more connected device overall, with the difference
+most pronounced for wired devices.
+"""
+
+from repro.core import infrastructure as infra
+from repro.core.report import render_table
+
+
+def test_fig08_wired_wireless(data, emit, benchmark):
+    dev, dvg = benchmark(
+        lambda: (infra.mean_connected_by_medium(data, developed=True),
+                 infra.mean_connected_by_medium(data, developed=False)))
+
+    emit("fig08_wired_wireless", render_table(
+        ["group", "medium", "mean connected", "std", "homes"],
+        [
+            ("developed", "wired", round(dev["wired"].mean, 2),
+             round(dev["wired"].std, 2), dev["wired"].n),
+            ("developed", "wireless", round(dev["wireless"].mean, 2),
+             round(dev["wireless"].std, 2), dev["wireless"].n),
+            ("developing", "wired", round(dvg["wired"].mean, 2),
+             round(dvg["wired"].std, 2), dvg["wired"].n),
+            ("developing", "wireless", round(dvg["wireless"].mean, 2),
+             round(dvg["wireless"].std, 2), dvg["wireless"].n),
+        ],
+        title="Fig. 8 — connected devices by medium "
+              "(paper: wireless > wired; developed ≈ +1 device)"))
+
+    # Wireless beats wired everywhere.
+    assert dev["wireless"].mean > dev["wired"].mean
+    assert dvg["wireless"].mean > dvg["wired"].mean
+    # Developed homes keep more devices connected, especially wired ones.
+    total_dev = dev["wired"].mean + dev["wireless"].mean
+    total_dvg = dvg["wired"].mean + dvg["wireless"].mean
+    assert total_dev > total_dvg + 0.4
+    assert dev["wired"].mean > dvg["wired"].mean
+    # Average wired usage is below one port in both groups (Section 5.2).
+    assert dev["wired"].mean < 2.0
+    assert dvg["wired"].mean < 1.0

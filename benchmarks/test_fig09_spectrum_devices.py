@@ -1,0 +1,35 @@
+"""Figure 9: mean simultaneously-connected wireless devices per band.
+
+Paper shape: significantly more devices are active on 2.4 GHz than on
+5 GHz at any given time, in both development classes.
+"""
+
+from repro.core import infrastructure as infra
+from repro.core.report import render_table
+
+
+def test_fig09_spectrum_devices(data, emit, benchmark):
+    dev, dvg = benchmark(
+        lambda: (infra.mean_connected_by_spectrum(data, developed=True),
+                 infra.mean_connected_by_spectrum(data, developed=False)))
+
+    emit("fig09_spectrum_devices", render_table(
+        ["group", "band", "mean connected", "std"],
+        [
+            ("developed", "2.4GHz", round(dev["2.4GHz"].mean, 2),
+             round(dev["2.4GHz"].std, 2)),
+            ("developed", "5GHz", round(dev["5GHz"].mean, 2),
+             round(dev["5GHz"].std, 2)),
+            ("developing", "2.4GHz", round(dvg["2.4GHz"].mean, 2),
+             round(dvg["2.4GHz"].std, 2)),
+            ("developing", "5GHz", round(dvg["5GHz"].mean, 2),
+             round(dvg["5GHz"].std, 2)),
+        ],
+        title="Fig. 9 — wireless devices per band "
+              "(paper: 2.4 GHz ≫ 5 GHz)"))
+
+    # 2.4 GHz carries a clear multiple of the 5 GHz load.
+    assert dev["2.4GHz"].mean > 1.5 * dev["5GHz"].mean
+    assert dvg["2.4GHz"].mean > 1.5 * dvg["5GHz"].mean
+    # Developed homes load both bands at least as hard.
+    assert dev["2.4GHz"].mean >= dvg["2.4GHz"].mean

@@ -1,0 +1,36 @@
+"""Figure 10: CDF of unique devices seen per band, per household.
+
+Paper shape: the 2.4 GHz band hosts a clear multiple of the unique devices
+that 5 GHz does (paper medians: five vs two).
+"""
+
+from repro.core import infrastructure as infra
+from repro.core.records import Spectrum
+from repro.core.report import render_cdf, render_comparison
+
+
+def test_fig10_spectrum_unique(data, emit, benchmark):
+    cdf24, cdf5 = benchmark(
+        lambda: (infra.unique_devices_per_spectrum_cdf(data,
+                                                       Spectrum.GHZ_2_4),
+                 infra.unique_devices_per_spectrum_cdf(data,
+                                                       Spectrum.GHZ_5)))
+
+    emit("fig10_spectrum_unique", "\n\n".join([
+        render_comparison("Fig. 10 — unique devices per band", [
+            ("median devices on 2.4 GHz", "5", cdf24.median),
+            ("median devices on 5 GHz", "2", cdf5.median),
+            ("P(no 5 GHz device)", "substantial",
+             round(cdf5.fraction_at_most(0), 2)),
+        ]),
+        render_cdf(cdf24, x_label="devices", title="2.4 GHz"),
+        render_cdf(cdf5, x_label="devices", title="5 GHz"),
+    ]))
+
+    # Shape: 2.4 GHz median at least double the 5 GHz median, and most
+    # homes have several 2.4 GHz devices.
+    assert cdf24.median >= max(2 * cdf5.median, 3)
+    assert cdf5.median <= 2.5
+    assert cdf24.fraction_at_least(3) > 0.5
+    # Some homes still have no 5 GHz client at all (single-band world).
+    assert cdf5.fraction_at_most(0) > 0.1

@@ -1,0 +1,41 @@
+"""Figure 11: CDF of neighboring 2.4 GHz APs, developed vs developing.
+
+Paper shape: developed homes see a median of ~20 competing APs on their
+channel while developing homes see ~2, and both distributions are bimodal
+(very few or a lot).
+"""
+
+from repro.core import infrastructure as infra
+from repro.core.records import Spectrum
+from repro.core.report import render_cdf, render_comparison
+
+
+def test_fig11_neighbor_aps(data, emit, benchmark):
+    dev, dvg = benchmark(
+        lambda: (infra.neighbor_ap_cdf(data, Spectrum.GHZ_2_4,
+                                       developed=True),
+                 infra.neighbor_ap_cdf(data, Spectrum.GHZ_2_4,
+                                       developed=False)))
+    cdf5 = infra.neighbor_ap_cdf(data, Spectrum.GHZ_5)
+
+    emit("fig11_neighbor_aps", "\n\n".join([
+        render_comparison("Fig. 11 — neighboring APs on 2.4 GHz", [
+            ("median APs (developed)", "~20", dev.median),
+            ("median APs (developing)", "~2", dvg.median),
+            ("median APs on 5 GHz (all)", "~1", cdf5.median),
+            ("bimodality, developed", "high",
+             round(infra.neighbor_ap_bimodality(dev), 2)),
+            ("bimodality, developing", "high",
+             round(infra.neighbor_ap_bimodality(dvg, low=1, gap_high=3), 2)),
+        ]),
+        render_cdf(dev, x_label="APs", title="Developed"),
+        render_cdf(dvg, x_label="APs", title="Developing"),
+    ]))
+
+    # Shape: an order of magnitude between the groups; 5 GHz nearly empty.
+    assert dev.median >= 10
+    assert dvg.median <= 5
+    assert dev.median > 4 * max(dvg.median, 0.5)
+    assert cdf5.median <= 2
+    # Bimodality: few homes sit in the middle band.
+    assert infra.neighbor_ap_bimodality(dev) > 0.6

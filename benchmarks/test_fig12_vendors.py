@@ -1,0 +1,37 @@
+"""Figure 12: device manufacturer histogram over the Traffic homes.
+
+Paper shape: Apple is the most common manufacturer by a wide margin,
+followed by the laptop ODMs, Intel, smartphone vendors, and Samsung;
+the BISmark gateways themselves are excluded.
+"""
+
+from repro.core import infrastructure as infra
+from repro.core.report import render_table
+
+#: The paper's qualitative ordering of the biggest buckets.
+PAPER_HEAD = ("Apple", "ODM", "Intel", "SmartPhone", "Samsung")
+
+
+def test_fig12_vendors(data, emit, benchmark):
+    histogram = benchmark(infra.vendor_histogram, data)
+
+    emit("fig12_vendors", render_table(
+        ["manufacturer/type", "devices seen"],
+        list(histogram.items()),
+        title="Fig. 12 — devices by manufacturer "
+              "(paper head: Apple > ODM > Intel > SmartPhone > Samsung)"))
+
+    assert histogram, "no devices passed the 100 KB filter"
+    ranked = list(histogram)
+    # Apple on top, decisively.
+    assert ranked[0] == "Apple"
+    second = max(v for k, v in histogram.items() if k != "Apple")
+    assert histogram["Apple"] >= 1.3 * second
+    # The paper's next buckets are all present and well-represented.
+    for bucket in PAPER_HEAD[1:]:
+        assert histogram.get(bucket, 0) >= 2, bucket
+    # Our own gateways never appear (the paper removed Netgear entries).
+    assert "Unknown" not in histogram
+    # The long tail of special-purpose devices shows up.
+    tail = set(histogram) - set(PAPER_HEAD)
+    assert len(tail) >= 4

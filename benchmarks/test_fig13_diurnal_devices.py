@@ -1,0 +1,46 @@
+"""Figure 13: diurnal wireless-device counts, weekday vs weekend.
+
+Paper shape: weekdays show a clear diurnal swing (evening peak, afternoon
+trough, only a slight night dip); weekends are much flatter.
+"""
+
+import numpy as np
+
+from repro.core import usage
+from repro.core.report import render_comparison, render_profile
+
+
+def test_fig13_diurnal_devices(data, emit, benchmark):
+    weekday, weekend = benchmark(
+        lambda: (usage.diurnal_device_profile(data, weekend=False),
+                 usage.diurnal_device_profile(data, weekend=True)))
+
+    ratio = usage.diurnal_amplitude_ratio(data)
+    night_mean = float(np.nanmean(weekday.means[0:6]))
+    trough = float(np.nanmin(weekday.means[9:17]))
+    peak = float(np.nanmax(weekday.means))
+
+    emit("fig13_diurnal_devices", "\n\n".join([
+        render_comparison("Fig. 13 — diurnal wireless device counts", [
+            ("weekday peak hour (local)", "evening (18-22)",
+             weekday.peak_hour),
+            ("weekday trough hour (local)", "afternoon (9-16)",
+             weekday.trough_hour),
+            ("weekday peak level", "~2.5-3", round(peak, 2)),
+            ("weekday afternoon trough", "~1-1.5", round(trough, 2)),
+            ("night level vs trough", "night dips only slightly",
+             f"{night_mean:.2f} vs {trough:.2f}"),
+            ("weekday/weekend amplitude ratio", "> 1", round(ratio, 2)),
+        ]),
+        render_profile(weekday, title="Weekday profile"),
+        render_profile(weekend, title="Weekend profile"),
+    ]))
+
+    # Evening peak, working-hours trough.
+    assert 17 <= weekday.peak_hour <= 23
+    assert 8 <= weekday.trough_hour <= 17
+    # Phones keep the night level well above the afternoon trough.
+    assert night_mean > trough
+    # Weekdays are the diurnal ones.
+    assert ratio > 1.3
+    assert weekend.amplitude() < weekday.amplitude()

@@ -1,0 +1,62 @@
+"""Figure 14: one home's two-week up/down throughput against capacity.
+
+Paper shape: capacity estimates are nearly flat over the window while
+utilization follows a strong daily cycle well below capacity.
+"""
+
+import numpy as np
+
+from repro.core import usage
+from repro.core.report import render_comparison, render_series
+from repro.simulation.timebase import StudyCalendar
+
+
+def _pick_typical_home(data):
+    """A qualifying, non-saturating home with meaningful traffic."""
+    for rid in data.qualifying_traffic_routers():
+        joined = usage.utilization_timeseries(data, rid)
+        if joined is None:
+            continue
+        active = joined.series.active_mask()
+        if active.mean() < 0.3:
+            continue
+        if np.percentile(joined.uplink_utilization()[active], 95) < 0.9:
+            return joined
+    return None
+
+
+def test_fig14_utilization_timeseries(data, emit, benchmark):
+    joined = benchmark(_pick_typical_home, data)
+    assert joined is not None, "no typical traffic home found"
+
+    calendar = StudyCalendar(data.routers[joined.router_id].tz_offset_hours)
+    series = joined.series
+    hours = np.array([calendar.hour_of_day(t) for t in series.timestamps])
+    hourly_down = [float(series.down_bps[hours == h].mean()) / 1e6
+                   for h in range(24)]
+    capacity_cv = _capacity_cv(data, joined.router_id)
+
+    emit("fig14_utilization_timeseries", "\n\n".join([
+        render_comparison(f"Fig. 14 — utilization vs capacity ({joined.router_id})", [
+            ("downstream capacity (Mbps)", "flat dotted line",
+             round(joined.capacity_down_mbps, 1)),
+            ("capacity estimate coefficient of variation", "small (~3%)",
+             round(capacity_cv, 3)),
+            ("peak hourly-mean down throughput (Mbps)", "below capacity",
+             round(max(hourly_down), 2)),
+            ("evening/afternoon down-throughput ratio", "diurnal (>1)",
+             round(max(hourly_down[18:23]) / (np.mean(hourly_down[9:16]) + 1e-9), 2)),
+        ]),
+        render_series(list(zip(range(24), hourly_down)), "local hour",
+                      "mean down Mbps", title="Hour-of-day downstream usage"),
+    ]))
+
+    # Capacity nearly constant; usage diurnal and below capacity.
+    assert capacity_cv < 0.08
+    assert max(hourly_down) < joined.capacity_down_mbps
+    assert max(hourly_down[17:23]) > np.mean(hourly_down[9:16])
+
+
+def _capacity_cv(data, rid):
+    downs = [m.downstream_mbps for m in data.capacity if m.router_id == rid]
+    return float(np.std(downs) / np.mean(downs)) if downs else float("nan")

@@ -1,0 +1,53 @@
+"""Figure 15: 95th-percentile link utilization vs measured capacity.
+
+Paper shape: most homes use under half their downlink even at the 95th
+percentile of active minutes; uplink utilization is under 0.5 for all but
+about three homes; two homes exceed 1.0 thanks to bufferbloat.
+"""
+
+import numpy as np
+
+from repro.core import usage
+from repro.core.report import render_comparison, render_table
+
+
+def test_fig15_link_saturation(data, emit, benchmark):
+    points = benchmark(usage.link_saturation, data)
+    assert points, "no qualifying traffic homes"
+
+    down = np.array([p.downlink_utilization for p in points])
+    up = np.array([p.uplink_utilization for p in points])
+    over_one = usage.saturating_uplink_homes(points)
+
+    emit("fig15_link_saturation", "\n\n".join([
+        render_comparison("Fig. 15 — 95th-pct utilization vs capacity", [
+            ("homes analyzed", "25", len(points)),
+            ("homes with downlink util < 0.5", "most",
+             f"{(down < 0.5).mean():.0%}"),
+            ("max downlink utilization", "<= 1", round(float(down.max()), 2)),
+            ("homes with uplink util > 0.5", "~3",
+             int((up > 0.5).sum())),
+            ("homes with uplink util > 1 (bufferbloat)", "2",
+             len(over_one)),
+            ("max uplink utilization", "~2.5", round(float(up.max()), 2)),
+        ]),
+        render_table(
+            ["router", "down cap Mbps", "up cap Mbps", "down util",
+             "up util"],
+            [(p.router_id, round(p.capacity_down_mbps, 1),
+              round(p.capacity_up_mbps, 2),
+              round(p.downlink_utilization, 2),
+              round(p.uplink_utilization, 2))
+             for p in sorted(points, key=lambda p: -p.uplink_utilization)],
+            title="Per-home scatter points"),
+    ]))
+
+    assert 20 <= len(points) <= 28
+    # Downlink: physically capped at 1, most homes far below.
+    assert down.max() <= 1.0 + 1e-9
+    assert (down < 0.5).mean() >= 0.6
+    # Uplink: exactly the two planted bufferbloat homes exceed capacity.
+    assert len(over_one) == 2
+    assert up.max() > 1.3
+    # Everyone else stays moderate.
+    assert (up <= 1.0).sum() == len(points) - 2

@@ -1,0 +1,56 @@
+"""Figure 16: the two homes whose uplink utilization exceeds capacity.
+
+Paper shape: one home (the scientific-data uploader) saturates its uplink
+continuously; a second exceeds capacity in diurnal bursts.  Both owe the
+>1.0 readings to bufferbloat in the modem.
+"""
+
+import numpy as np
+
+from repro.core import usage
+from repro.core.report import render_comparison
+
+
+def test_fig16_bufferbloat(study, data, emit, benchmark):
+    planted = {h.config.uplink_saturator: h.router_id
+               for h in study.deployment.households
+               if h.config.uplink_saturator}
+
+    def analyze():
+        results = {}
+        for mode, rid in planted.items():
+            joined = usage.utilization_timeseries(data, rid)
+            util = joined.uplink_utilization()
+            active = joined.series.active_mask()
+            results[mode] = (rid, util, active)
+        return results
+
+    results = benchmark(analyze)
+
+    continuous_rid, cont_util, cont_active = results["continuous"]
+    diurnal_rid, diur_util, diur_active = results["diurnal"]
+
+    cont_over = float((cont_util[cont_active] > 1.0).mean())
+    diur_over = float((diur_util[diur_active] > 1.0).mean())
+
+    emit("fig16_bufferbloat", render_comparison("Fig. 16 — uplink saturators", [
+        (f"{continuous_rid}: fraction of active minutes > capacity",
+         "continuous (Fig. 16a)", f"{cont_over:.0%}"),
+        (f"{continuous_rid}: peak uplink utilization", "~2.5x",
+         round(float(cont_util.max()), 2)),
+        (f"{diurnal_rid}: fraction of active minutes > capacity",
+         "bursty (Fig. 16b)", f"{diur_over:.0%}"),
+        (f"{diurnal_rid}: peak uplink utilization", ">1 in bursts",
+         round(float(diur_util.max()), 2)),
+    ]))
+
+    # Fig. 16a: the uploader is above capacity most of the time.
+    assert cont_over > 0.5
+    assert cont_util.max() > 1.3
+    # Fig. 16b: bursts exceed capacity, but far less often than 16a.
+    assert 0.005 < diur_over < cont_over
+    assert diur_util.max() > 1.0
+    # Bufferbloat is bounded: never more than (1 + overshoot) x capacity.
+    home = study.deployment.household(continuous_rid)
+    ceiling = 1.0 + home.link.config.bufferbloat_overshoot
+    assert cont_util.max() <= ceiling + 0.1

@@ -1,0 +1,38 @@
+"""Figure 17: breakdown of home data usage by device.
+
+Paper shape: a single dominant device moves ~60-65% of each home's bytes
+on average, the runner-up ~20%, with a quickly-decaying tail; every
+qualifying home has at least three devices.
+"""
+
+import numpy as np
+
+from repro.core import usage
+from repro.core.report import render_comparison, render_series
+
+
+def test_fig17_device_share(data, emit, benchmark):
+    per_home = benchmark(usage.device_share_per_home, data)
+    ranked = usage.mean_device_share(data, ranks=6)
+
+    device_counts = [share.size for share in per_home.values()]
+    emit("fig17_device_share", "\n\n".join([
+        render_comparison("Fig. 17 — per-device traffic share", [
+            ("homes analyzed", "25", len(per_home)),
+            ("mean share of top device", "~60-65%",
+             f"{ranked[0]:.0%}"),
+            ("mean share of 2nd device", "~20%", f"{ranked[1]:.0%}"),
+            ("min devices per home", ">= 3", min(device_counts)),
+        ]),
+        render_series(list(zip(range(1, 7), ranked.tolist())),
+                      "device rank", "mean share",
+                      title="Mean share by device rank"),
+    ]))
+
+    assert 0.45 <= ranked[0] <= 0.8
+    assert 0.1 <= ranked[1] <= 0.3
+    assert ranked[0] > 2 * ranked[1]
+    # Shares decay monotonically by rank.
+    assert all(a >= b for a, b in zip(ranked, ranked[1:]))
+    # Homes have multiple active devices (paper: at least three).
+    assert np.median(device_counts) >= 3

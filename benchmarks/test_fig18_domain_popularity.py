@@ -1,0 +1,37 @@
+"""Figure 18: how many homes rank each domain in their top-5/top-10.
+
+Paper shape: Google, YouTube, Facebook, Amazon, Apple, and Twitter are the
+consistently popular head; the tail is long, with many domains popular in
+only one or two homes (per-home favorite streaming/news sites).
+"""
+
+from repro.core import usage
+from repro.core.report import render_table
+
+PAPER_HEAD = {"google.com", "youtube.com", "facebook.com", "amazon.com",
+              "apple.com", "twitter.com", "netflix.com", "hulu.com",
+              "pandora.com"}
+
+
+def test_fig18_domain_popularity(data, emit, benchmark):
+    counts = benchmark(usage.domain_top_counts, data)
+    homes = len(usage.domain_rankings(data))
+
+    emit("fig18_domain_popularity", render_table(
+        ["domain", "top-5 homes", "top-10 homes"],
+        [(name, top5, top10)
+         for name, (top5, top10) in list(counts.items())[:25]],
+        title=f"Fig. 18 — domain popularity across {homes} homes "
+              "(paper head: google/youtube/facebook/amazon/apple/twitter)"))
+
+    assert counts, "no domain rankings"
+    head = list(counts)[:8]
+    # The paper's consistently-popular services dominate the head.
+    assert len(set(head) & PAPER_HEAD) >= 4
+    # The most popular domain is top-10 in a large share of homes.
+    top_name, (top5, top10) = next(iter(counts.items()))
+    assert top10 >= 0.4 * homes
+    assert top5 <= top10
+    # Long tail: many domains appear in at most two homes' lists.
+    tail = [name for name, (t5, t10) in counts.items() if t10 <= 2]
+    assert len(tail) >= len(counts) * 0.4

@@ -1,0 +1,51 @@
+"""Figure 19: per-rank domain shares of traffic volume and connections.
+
+Paper shape: the volume-top domain carries ~38% of (whitelisted) bytes but
+a small minority of connections (<14%); the connection-top domain holds
+~19% of connections; whitelisted traffic covers ~65% of all bytes.
+"""
+
+import numpy as np
+
+from repro.core import usage
+from repro.core.report import render_comparison, render_series
+
+
+def test_fig19_domain_share(data, emit, benchmark):
+    summary = benchmark(usage.domain_share, data)
+
+    vol = summary.volume_share_by_rank
+    conn = summary.connection_share_by_rank
+    conn_of_vol = summary.connections_of_volume_ranked
+
+    emit("fig19_domain_share", "\n\n".join([
+        render_comparison("Fig. 19 — domain shares", [
+            ("volume share of top domain", "~38%", f"{vol[0]:.0%}"),
+            ("volume share of 2nd domain", "~11%", f"{vol[1]:.0%}"),
+            ("connection share of top domain", "~19%", f"{conn[0]:.0%}"),
+            ("connections held by the volume-top domain", "< 14%",
+             f"{conn_of_vol[0]:.0%}"),
+            ("whitelist byte coverage", "~65%",
+             f"{summary.whitelist_byte_coverage:.0%}"),
+        ]),
+        render_series(list(zip(range(1, 11), vol.tolist())),
+                      "rank", "volume share", title="Fig. 19a analogue"),
+        render_series(list(zip(range(1, 11), conn.tolist())),
+                      "rank", "conn share", title="Fig. 19b analogue"),
+        render_series(list(zip(range(1, 11), conn_of_vol.tolist())),
+                      "rank", "conn share", title="Fig. 19c analogue"),
+    ]))
+
+    # Volume concentration in the paper's band.
+    assert 0.25 <= vol[0] <= 0.60
+    assert vol[0] > 2 * vol[1]
+    # The volume-top domain is connection-light (streaming).
+    assert conn_of_vol[0] < 0.14
+    assert conn_of_vol[0] < 0.5 * vol[0]
+    # Connection-top domain: a moderate plurality, not a majority.
+    assert 0.08 <= conn[0] <= 0.35
+    # Whitelist coverage near the paper's two-thirds.
+    assert 0.45 <= summary.whitelist_byte_coverage <= 0.85
+    # Both rank curves decay.
+    assert all(a >= b for a, b in zip(vol, vol[1:]))
+    assert all(a >= b for a, b in zip(conn, conn[1:]))

@@ -1,0 +1,36 @@
+"""Extension: significance tests behind the paper's group comparisons.
+
+The paper reads Figs. 3, 4, and 11 off the CDF plots; this bench attaches
+the Kolmogorov-Smirnov / Mann-Whitney p-values and Cliff's-delta effect
+sizes, confirming the developed/developing divides are not small-sample
+artifacts of this (or the paper's) deployment size.
+"""
+
+from repro.core.inference import development_divide
+from repro.core.report import render_table
+
+
+def test_significance(data, emit, benchmark):
+    comparisons = benchmark(development_divide, data)
+    assert comparisons
+
+    emit("significance", render_table(
+        ["comparison", "n", "medians", "KS p", "MW p", "Cliff's δ",
+         "effect"],
+        [(c.quantity, f"{c.n_a}/{c.n_b}",
+          f"{c.median_a:.3g} vs {c.median_b:.3g}",
+          f"{c.ks_pvalue:.2g}", f"{c.mw_pvalue:.2g}",
+          f"{c.cliffs_delta:+.2f}", c.effect_label)
+         for c in comparisons],
+        title="Significance of the development divides"))
+
+    by_quantity = {c.quantity: c for c in comparisons}
+    downtime = next(c for q, c in by_quantity.items()
+                    if q.startswith("downtimes/day"))
+    # The Fig. 3 divide: decisive at deployment scale, large effect.
+    assert downtime.significant
+    assert downtime.cliffs_delta > 0.5
+    aps = next(c for q, c in by_quantity.items() if "neighbor APs" in q)
+    # The Fig. 11 divide likewise.
+    assert aps.significant
+    assert aps.effect_label in ("medium", "large")

@@ -1,0 +1,29 @@
+"""Table 1: classification of countries and router counts by GDP."""
+
+from repro.core.report import render_table
+from repro.simulation.countries import COUNTRIES, total_routers
+
+
+def test_table1_deployment(study, data, emit, benchmark):
+    def compute():
+        rows = []
+        for country in COUNTRIES:
+            deployed = len(study.deployment.routers_in(country.code))
+            rows.append((country.name, country.code,
+                         "developed" if country.developed else "developing",
+                         country.routers, deployed))
+        return rows
+
+    rows = benchmark(compute)
+    emit("table1_deployment", render_table(
+        ["country", "code", "class", "paper routers", "deployed"],
+        rows, title="Table 1 — deployment by country"))
+
+    deployed_by_class = {"developed": 0, "developing": 0}
+    for _name, _code, klass, paper, deployed in rows:
+        assert deployed == paper  # router_scale=1 reproduces Table 1 exactly
+        deployed_by_class[klass] += deployed
+    assert deployed_by_class["developed"] == total_routers(True) == 90
+    assert deployed_by_class["developing"] == total_routers(False) == 36
+    assert sum(deployed_by_class.values()) == 126
+    assert len(rows) == 19

@@ -1,0 +1,49 @@
+"""Table 2: summary of the six collected data sets."""
+
+from datetime import datetime, timezone
+
+from repro.core.datasets import summarize_datasets
+from repro.core.report import render_table
+
+#: Paper Table 2 router/country counts per data set.
+PAPER = {
+    "Heartbeats": (126, 19),
+    "Capacity": (126, 19),
+    "Uptime": (113, 19),
+    "Devices": (113, 19),
+    "WiFi": (93, 15),
+    "Traffic": (25, 1),
+}
+
+
+def _date(epoch):
+    return datetime.fromtimestamp(epoch, timezone.utc).strftime("%Y-%m-%d")
+
+
+def test_table2_datasets(data, emit, benchmark):
+    rows_by_name = {row.name: row
+                    for row in benchmark(summarize_datasets, data)}
+
+    table = []
+    for name, (paper_routers, paper_countries) in PAPER.items():
+        row = rows_by_name[name]
+        table.append((name, row.kind,
+                      f"{paper_routers}/{paper_countries}",
+                      f"{row.routers}/{row.countries}",
+                      f"{_date(row.window[0])}..{_date(row.window[1])}"))
+    emit("table2_datasets", render_table(
+        ["dataset", "kind", "paper r/c", "measured r/c", "window"],
+        table, title="Table 2 — data sets collected"))
+
+    assert rows_by_name["Heartbeats"].routers == 126
+    assert rows_by_name["Heartbeats"].countries == 19
+    # Every home that came online during the capacity window probed it;
+    # appliance homes can miss a short window entirely.
+    assert rows_by_name["Capacity"].routers >= 110
+    assert rows_by_name["Uptime"].routers <= 113
+    assert 100 <= rows_by_name["Devices"].routers <= 113
+    assert 85 <= rows_by_name["WiFi"].routers <= 93
+    assert rows_by_name["WiFi"].countries <= 15
+    # Traffic: consents minus low-activity homes, US only.
+    assert 20 <= rows_by_name["Traffic"].routers <= 28
+    assert rows_by_name["Traffic"].countries == 1

@@ -1,0 +1,34 @@
+"""Table 3: the Section 4 headline claims, recomputed."""
+
+from repro.core import availability as av
+from repro.core.report import render_comparison
+
+
+def test_table3_highlights(data, emit, benchmark):
+    highlights = benchmark(av.section4_highlights, data)
+    availability = av.median_availability_by_country(data)
+
+    emit("table3_highlights", render_comparison("Table 3 — Section 4 highlights", [
+        ("median days between downtimes (developed)", "> 30",
+         round(highlights.median_days_between_downtimes_developed, 1)),
+        ("median days between downtimes (developing)", "< 1",
+         round(highlights.median_days_between_downtimes_developing, 2)),
+        ("two worst countries by downtimes", "IN, PK",
+         ", ".join(sorted(highlights.worst_two_countries_by_downtimes))),
+        ("appliance-mode homes detected", "present in developing world",
+         highlights.appliance_mode_router_count),
+        ("median US availability", "0.9825",
+         round(availability.get("US", float("nan")), 4)),
+        ("median IN availability", "0.7601",
+         round(availability.get("IN", float("nan")), 4)),
+        ("median ZA availability", "0.8557",
+         round(availability.get("ZA", float("nan")), 4)),
+    ]))
+
+    assert highlights.median_days_between_downtimes_developed > 8
+    assert highlights.median_days_between_downtimes_developing < 3
+    assert set(highlights.worst_two_countries_by_downtimes) == {"IN", "PK"}
+    assert highlights.appliance_mode_router_count >= 5
+    assert availability["US"] > 0.95
+    assert availability["IN"] < availability["US"] - 0.1
+    assert availability["ZA"] < availability["US"]

@@ -1,0 +1,40 @@
+"""Table 4: the Section 5 headline claims, recomputed."""
+
+from repro.core import infrastructure as infra
+from repro.core.report import render_comparison
+
+
+def test_table4_highlights(data, emit, benchmark):
+    highlights = benchmark(infra.section5_highlights, data)
+    ports = infra.ethernet_port_usage(data)
+
+    emit("table4_highlights", render_comparison("Table 4 — Section 5 highlights", [
+        ("always-wired homes (developed)", "43%",
+         f"{highlights.always_wired_fraction_developed:.0%}"),
+        ("always-wired homes (developing)", "12%",
+         f"{highlights.always_wired_fraction_developing:.0%}"),
+        ("median unique devices, 2.4 GHz", "5",
+         highlights.median_devices_2_4ghz),
+        ("median unique devices, 5 GHz", "2",
+         highlights.median_devices_5ghz),
+        ("median neighbor APs (developed)", "~20",
+         highlights.median_neighbor_aps_developed),
+        ("median neighbor APs (developing)", "~2",
+         highlights.median_neighbor_aps_developing),
+        ("mean wired ports in use", "< 1", round(ports.mean_wired_in_use, 2)),
+        ("homes ever using all 4 ports", "9%",
+         f"{ports.fraction_all_four_used:.0%}"),
+        ("homes where 2 ports suffice", "most",
+         f"{ports.fraction_at_most_two_needed:.0%}"),
+    ]))
+
+    assert highlights.always_wired_fraction_developed > \
+        1.5 * highlights.always_wired_fraction_developing
+    assert highlights.median_devices_2_4ghz > \
+        highlights.median_devices_5ghz
+    assert highlights.median_neighbor_aps_developed > \
+        4 * max(highlights.median_neighbor_aps_developing, 0.5)
+    # Section 5.2's port-pressure argument.
+    assert ports.mean_wired_in_use < 1.5
+    assert 0.02 <= ports.fraction_all_four_used <= 0.25
+    assert ports.fraction_at_most_two_needed > 0.5

@@ -1,0 +1,43 @@
+"""Table 5: households with an always-connected (never-disconnecting) device.
+
+Paper numbers: developed 34/79 wired (43%) and 16/79 wireless (20%);
+developing 4/34 wired (12%) and 4/34 wireless (12%).
+"""
+
+from repro.core import infrastructure as infra
+from repro.core.report import render_table
+
+
+def test_table5_always_connected(data, emit, benchmark):
+    rows = benchmark(infra.always_connected_households, data)
+    by_group = {row.group: row for row in rows}
+
+    emit("table5_always_connected", render_table(
+        ["group", "homes", "always wired", "paper", "always wireless",
+         "paper"],
+        [
+            ("developed", by_group["developed"].total_households,
+             f"{by_group['developed'].with_always_wired} "
+             f"({by_group['developed'].wired_fraction:.0%})", "34 (43%)",
+             f"{by_group['developed'].with_always_wireless} "
+             f"({by_group['developed'].wireless_fraction:.0%})", "16 (20%)"),
+            ("developing", by_group["developing"].total_households,
+             f"{by_group['developing'].with_always_wired} "
+             f"({by_group['developing'].wired_fraction:.0%})", "4 (12%)",
+             f"{by_group['developing'].with_always_wireless} "
+             f"({by_group['developing'].wireless_fraction:.0%})", "4 (12%)"),
+        ],
+        title="Table 5 — always-connected devices"))
+
+    dev = by_group["developed"]
+    dvg = by_group["developing"]
+    # Shape: developed wired always-connected is the headline (~40%+), and
+    # it dwarfs the developing fraction (~12%).
+    assert 0.30 <= dev.wired_fraction <= 0.60
+    assert dvg.wired_fraction <= 0.30
+    assert dev.wired_fraction > 1.5 * dvg.wired_fraction
+    # Wireless always-connected stays the minority case everywhere.
+    assert dev.wireless_fraction <= 0.35
+    assert dvg.wireless_fraction <= 0.30
+    # Denominators track the Devices data set membership.
+    assert dev.total_households + dvg.total_households <= 113

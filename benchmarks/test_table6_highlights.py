@@ -1,0 +1,33 @@
+"""Table 6: the Section 6 headline claims, recomputed."""
+
+from repro.core import usage
+from repro.core.report import render_comparison
+
+
+def test_table6_highlights(data, emit, benchmark):
+    highlights = benchmark(usage.section6_highlights, data)
+
+    emit("table6_highlights", render_comparison("Table 6 — Section 6 highlights", [
+        ("weekday/weekend diurnal amplitude ratio", "> 1 (weekday diurnal)",
+         round(highlights.weekday_weekend_amplitude_ratio, 2)),
+        ("homes consistently oversaturating uplink", "2",
+         highlights.homes_with_saturated_uplink),
+        ("mean share of the hungriest device", "~65%",
+         f"{highlights.top_device_mean_share:.0%}"),
+        ("mean volume share of top domain", "~38%",
+         f"{highlights.top_domain_mean_volume_share:.0%}"),
+        ("mean connection share of top domain", "~19%",
+         f"{highlights.top_domain_mean_connection_share:.0%}"),
+        ("whitelist byte coverage", "~65%",
+         f"{highlights.whitelist_byte_coverage:.0%}"),
+    ]))
+
+    assert highlights.weekday_weekend_amplitude_ratio > 1.3
+    assert highlights.homes_with_saturated_uplink == 2
+    assert 0.45 <= highlights.top_device_mean_share <= 0.8
+    assert 0.25 <= highlights.top_domain_mean_volume_share <= 0.6
+    assert 0.08 <= highlights.top_domain_mean_connection_share <= 0.35
+    assert 0.45 <= highlights.whitelist_byte_coverage <= 0.85
+    # The volume-top domain is byte-heavy, not connection-heavy.
+    assert highlights.top_domain_mean_volume_share > \
+        highlights.top_domain_mean_connection_share

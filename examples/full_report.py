@@ -1,0 +1,42 @@
+"""Reproduce the entire paper evaluation in one run.
+
+Usage::
+
+    python examples/full_report.py [--full] [--out FILE]
+
+Runs the complete 126-home deployment and prints the paper-vs-measured
+report for every section.  ``--full`` uses a longer collection window
+(slower, closer to the paper's 197 days); ``--out`` also writes the report
+to a file.
+"""
+
+import argparse
+from pathlib import Path
+
+from repro import StudyConfig, run_study
+from repro.core.paperkit import render_report, reproduce_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="longer collection windows (slower)")
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    duration = 0.5 if args.full else 0.15
+    print(f"Running the 126-home campaign (duration_scale={duration}) ...")
+    result = run_study(StudyConfig(seed=args.seed, duration_scale=duration))
+
+    report = reproduce_all(result.data)
+    text = render_report(report)
+    print()
+    print(text)
+    if args.out:
+        args.out.write_text(text + "\n")
+        print(f"\nreport written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Section 5 walkthrough: the infrastructure inside home networks.
+
+Usage::
+
+    python examples/infrastructure_study.py
+
+Reproduces the Section 5 analysis: device censuses (Figs. 7-10), always-
+connected devices (Table 5), Ethernet port pressure, wireless-spectrum
+crowding (Fig. 11), and the manufacturer histogram (Fig. 12).
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import StudyConfig, run_study
+from repro.core import infrastructure as infra
+from repro.core.records import Spectrum
+from repro.core.report import render_cdf, render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    print("Running the 126-home campaign ...")
+    result = run_study(StudyConfig(seed=args.seed, duration_scale=0.08))
+    data = result.data
+
+    print("\n=== Fig. 7 — how many devices? ===")
+    cdf = infra.devices_per_home_cdf(data)
+    print(f"mean {np.mean(cdf.values):.1f} devices/home, median "
+          f"{cdf.median:.0f}; {cdf.fraction_at_least(5):.0%} of homes "
+          f"have five or more")
+    print(render_cdf(cdf, x_label="devices", points=8))
+
+    print("\n=== Figs. 8-9 — connected at a time ===")
+    rows = []
+    for developed, label in ((True, "developed"), (False, "developing")):
+        medium = infra.mean_connected_by_medium(data, developed)
+        spectrum = infra.mean_connected_by_spectrum(data, developed)
+        rows.append((label, round(medium["wired"].mean, 2),
+                     round(medium["wireless"].mean, 2),
+                     round(spectrum["2.4GHz"].mean, 2),
+                     round(spectrum["5GHz"].mean, 2)))
+    print(render_table(["group", "wired", "wireless", "2.4GHz", "5GHz"],
+                       rows))
+
+    print("\n=== Table 5 — always-connected devices ===")
+    for row in infra.always_connected_households(data):
+        print(f"{row.group}: {row.with_always_wired}/{row.total_households} "
+              f"wired ({row.wired_fraction:.0%}), "
+              f"{row.with_always_wireless}/{row.total_households} wireless "
+              f"({row.wireless_fraction:.0%})")
+
+    print("\n=== Section 5.2 — Ethernet port pressure ===")
+    ports = infra.ethernet_port_usage(data)
+    print(f"mean wired ports in use: {ports.mean_wired_in_use:.2f}; "
+          f"{ports.fraction_all_four_used:.0%} of homes ever used all four; "
+          f"two ports would suffice for "
+          f"{ports.fraction_at_most_two_needed:.0%}")
+
+    print("\n=== Fig. 11 — spectrum crowding ===")
+    for developed, label in ((True, "developed"), (False, "developing")):
+        cdf = infra.neighbor_ap_cdf(data, Spectrum.GHZ_2_4, developed)
+        print(f"{label}: median {cdf.median:.0f} neighboring 2.4 GHz APs "
+              f"(bimodality {infra.neighbor_ap_bimodality(cdf):.2f})")
+    cdf5 = infra.neighbor_ap_cdf(data, Spectrum.GHZ_5)
+    print(f"5 GHz (all homes): median {cdf5.median:.0f} neighboring APs")
+
+    print("\n=== Fig. 12 — device manufacturers (Traffic homes) ===")
+    histogram = infra.vendor_histogram(data)
+    print(render_table(["manufacturer/type", "devices"],
+                       list(histogram.items())[:12]))
+
+
+if __name__ == "__main__":
+    main()

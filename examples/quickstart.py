@@ -1,0 +1,71 @@
+"""Quickstart: run a small BISmark campaign and print the headline numbers.
+
+Usage::
+
+    python examples/quickstart.py [--seed N] [--scale FRACTION]
+
+Builds a scaled-down deployment (every country represented), runs every
+firmware collector, and prints the Table 2 data-set summary plus one
+headline statistic from each of the paper's three sections.
+"""
+
+import argparse
+from datetime import datetime, timezone
+
+from repro import StudyConfig, run_study, summarize_datasets
+from repro.core import availability, infrastructure, usage
+from repro.core.report import render_table
+
+
+def date(epoch: float) -> str:
+    return datetime.fromtimestamp(epoch, timezone.utc).strftime("%Y-%m-%d")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="router-count scale (1.0 = the paper's 126)")
+    parser.add_argument("--duration", type=float, default=0.05,
+                        help="collection-window scale (1.0 = paper dates)")
+    args = parser.parse_args()
+
+    print(f"Simulating the BISmark deployment "
+          f"(seed={args.seed}, scale={args.scale}) ...")
+    result = run_study(StudyConfig(seed=args.seed,
+                                   router_scale=args.scale,
+                                   duration_scale=args.duration,
+                                   traffic_consents=6,
+                                   low_activity_consents=1))
+    data = result.data
+    print(f"{len(result.deployment)} homes instrumented across "
+          f"{len(result.deployment.countries)} countries.\n")
+
+    print(render_table(
+        ["dataset", "kind", "routers", "countries", "window"],
+        [(row.name, row.kind, row.routers, row.countries,
+          f"{date(row.window[0])}..{date(row.window[1])}")
+         for row in summarize_datasets(data)],
+        title="Table 2 — data sets collected"))
+    print()
+
+    dev = availability.downtime_rate_cdf(data, developed=True)
+    dvg = availability.downtime_rate_cdf(data, developed=False)
+    print(f"Availability: median downtimes/day — developed "
+          f"{dev.median:.3f}, developing {dvg.median:.3f}")
+
+    cdf = infrastructure.devices_per_home_cdf(data)
+    if cdf.n:
+        print(f"Infrastructure: median {cdf.median:.0f} devices per home "
+              f"({cdf.fraction_at_least(5):.0%} of homes have >= 5)")
+
+    summary = usage.domain_share(data)
+    if summary.volume_share_by_rank.size:
+        print(f"Usage: top domain carries "
+              f"{summary.volume_share_by_rank[0]:.0%} of whitelisted bytes; "
+              f"whitelist covers "
+              f"{summary.whitelist_byte_coverage:.0%} of all bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Reproduce the paper's public data release.
+
+Usage::
+
+    python examples/release_archive.py [--out DIR]
+
+The authors released every data set that carries no personally identifying
+information — "everything except the Traffic data set".  This example runs
+a campaign, writes both the full archive and the public (PII-stripped)
+archive as CSV/JSON, reloads the public one, and re-runs a piece of the
+analysis on the reloaded data to show the archive is analysis-complete.
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import StudyConfig, run_study
+from repro.collection.export import export_study, load_study
+from repro.core import availability, infrastructure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output directory (default: a temp dir)")
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    out = args.out or Path(tempfile.mkdtemp(prefix="bismark-release-"))
+    print("Running a scaled campaign ...")
+    result = run_study(StudyConfig(seed=args.seed, router_scale=0.4,
+                                   duration_scale=0.05,
+                                   traffic_consents=6,
+                                   low_activity_consents=1))
+
+    full_dir = export_study(result.data, out / "full")
+    public_dir = export_study(result.data, out / "public",
+                              include_pii_datasets=False)
+    print(f"full archive:   {full_dir}")
+    print(f"public archive: {public_dir} (Traffic data withheld)")
+    for path in sorted(public_dir.iterdir()):
+        print(f"  {path.name:20s} {path.stat().st_size:>10,d} bytes")
+
+    print("\nReloading the public archive and re-running analysis ...")
+    reloaded = load_study(public_dir)
+    dev = availability.downtime_rate_cdf(reloaded, developed=True)
+    dvg = availability.downtime_rate_cdf(reloaded, developed=False)
+    print(f"downtime rates from the reloaded archive: developed median "
+          f"{dev.median:.3f}/day, developing median {dvg.median:.3f}/day")
+    cdf = infrastructure.devices_per_home_cdf(reloaded)
+    print(f"devices per home from the reloaded archive: median "
+          f"{cdf.median:.0f} (n={cdf.n})")
+    assert not reloaded.flows, "public archive must not contain flows"
+    print("public archive verified: no Traffic records present")
+
+
+if __name__ == "__main__":
+    main()

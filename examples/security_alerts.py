@@ -1,0 +1,71 @@
+"""Gateway-side security alerts (paper Section 7, built out).
+
+Usage::
+
+    python examples/security_alerts.py [--profile spambot|exfiltration]
+
+Runs a campaign, baselines every device in the consenting homes on the
+first half of the Traffic window, *infects* a few devices with synthetic
+compromise traffic in the second half, and shows that the detector (a)
+raises alerts for the infected devices, (b) attributes each alert to the
+right device — the thing an ISP outside the NAT cannot do — and (c) stays
+quiet for everyone else.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import StudyConfig, run_study
+from repro.core.alerts import SecurityMonitor, split_training_window
+from repro.core.report import render_table
+from repro.simulation.malware import PROFILES, inject_compromise
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=PROFILES, default="spambot")
+    parser.add_argument("--infections", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    print("Running the 126-home campaign ...")
+    result = run_study(StudyConfig(seed=args.seed, duration_scale=0.1))
+    data = result.data
+
+    train, scan = split_training_window(data.flows, fraction=0.5)
+    monitor = SecurityMonitor()
+    baselined = monitor.fit(train)
+    print(f"baselined {baselined} devices from the first half of the "
+          f"Traffic window")
+
+    # Infect a few baselined devices in the scan half.
+    rng = np.random.default_rng(args.seed)
+    scan_start = min(f.timestamp for f in scan)
+    scan_end = max(f.timestamp for f in scan)
+    victims = monitor.baselined_devices[:args.infections]
+    infected_flows = list(scan)
+    for router_id, device_mac in victims:
+        infected_flows += inject_compromise(
+            rng, router_id, device_mac, (scan_start, scan_end),
+            profile=args.profile)
+    print(f"infected {len(victims)} devices with the "
+          f"'{args.profile}' profile")
+
+    alerts = monitor.scan(infected_flows)
+    print(render_table(
+        ["home", "device", "reason", "severity", "detail"],
+        [(a.router_id, a.device_mac[:8] + "…", a.reason,
+          f"{a.severity:.2f}", a.detail[:48]) for a in alerts],
+        title="Security alerts"))
+
+    flagged = {(a.router_id, a.device_mac) for a in alerts}
+    caught = sum(1 for victim in victims if victim in flagged)
+    false_alarms = {key for key in flagged if key not in set(victims)}
+    print(f"\ndetection: {caught}/{len(victims)} infected devices flagged; "
+          f"{len(false_alarms)} clean devices falsely flagged "
+          f"(of {baselined} baselined)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Section 6 walkthrough: usage characteristics of home networks.
+
+Usage::
+
+    python examples/usage_study.py
+
+Reproduces the Section 6 analysis on the consenting Traffic homes:
+diurnal patterns (Fig. 13), link saturation and the two bufferbloat homes
+(Figs. 15-16), per-device dominance (Fig. 17), and domain shares
+(Figs. 18-19).
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import StudyConfig, run_study
+from repro.core import usage
+from repro.core.report import render_profile, render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    print("Running the 126-home campaign ...")
+    result = run_study(StudyConfig(seed=args.seed, duration_scale=0.1))
+    data = result.data
+    homes = data.qualifying_traffic_routers()
+    print(f"{len(homes)} homes clear the >=100 MB Traffic bar")
+
+    print("\n=== Fig. 13 — diurnal device presence ===")
+    weekday = usage.diurnal_device_profile(data, weekend=False)
+    weekend = usage.diurnal_device_profile(data, weekend=True)
+    print(f"weekday peak at {weekday.peak_hour}:00 local, trough at "
+          f"{weekday.trough_hour}:00; amplitude ratio weekday/weekend "
+          f"= {usage.diurnal_amplitude_ratio(data):.2f}")
+    print(render_profile(weekday, title="Weekday"))
+
+    print("\n=== Figs. 15-16 — do users saturate their links? ===")
+    points = usage.link_saturation(data)
+    down = [p.downlink_utilization for p in points]
+    print(f"95th-pct downlink utilization: median {np.median(down):.2f}; "
+          f"{np.mean([u < 0.5 for u in down]):.0%} of homes below 0.5")
+    for rid in usage.saturating_uplink_homes(points):
+        point = next(p for p in points if p.router_id == rid)
+        print(f"  {rid} oversaturates its uplink "
+              f"({point.uplink_utilization:.2f}x measured capacity — "
+              f"bufferbloat)")
+
+    print("\n=== Fig. 17 — which device is the hungriest? ===")
+    shares = usage.mean_device_share(data, ranks=4)
+    print(render_table(["device rank", "mean byte share"],
+                       [(i + 1, f"{s:.0%}") for i, s in enumerate(shares)]))
+
+    print("\n=== Fig. 18 — consistently popular domains ===")
+    counts = usage.domain_top_counts(data)
+    print(render_table(["domain", "top-5 homes", "top-10 homes"],
+                       [(name, c5, c10) for name, (c5, c10)
+                        in list(counts.items())[:10]]))
+
+    print("\n=== Fig. 19 — domain shares ===")
+    summary = usage.domain_share(data)
+    print(f"top domain by volume: {summary.volume_share_by_rank[0]:.0%} of "
+          f"whitelisted bytes but only "
+          f"{summary.connections_of_volume_ranked[0]:.0%} of connections")
+    print(f"top domain by connections: "
+          f"{summary.connection_share_by_rank[0]:.0%} of connections")
+    print(f"whitelisted domains cover "
+          f"{summary.whitelist_byte_coverage:.0%} of all bytes")
+
+    print("\n=== Fig. 20 — per-device domain mixes ===")
+    if homes:
+        rid = homes[0]
+        for mac in usage.devices_in_traffic_home(data, rid)[:2]:
+            profile = usage.device_domain_profile(data, rid, mac, top=4)
+            mix = ", ".join(f"{name} {share:.0%}" for name, share in profile)
+            print(f"{rid}/{mac}: {mix}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets pip do editable installs without the wheel pkg."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — a reproduction of "Peeking Behind the NAT" (IMC 2013).
+
+The package rebuilds the paper's entire system from scratch:
+
+* :mod:`repro.simulation` — the world: 126 households in 19 countries with
+  GDP-calibrated behaviour (the substitute for the real homes);
+* :mod:`repro.firmware` — the BISmark router: six measurement daemons plus
+  the gateway-side anonymization pipeline;
+* :mod:`repro.collection` — the central server, the lossy heartbeat path,
+  and CSV/JSON archive round-trips;
+* :mod:`repro.core` — the paper's contribution: the analysis pipeline that
+  turns the six data sets into every figure and table of Sections 4-6.
+
+Quickstart::
+
+    from repro import StudyConfig, run_study
+    from repro.core import availability
+
+    result = run_study(StudyConfig(router_scale=0.3, duration_scale=0.1))
+    cdf = availability.downtime_rate_cdf(result.data, developed=True)
+    print(cdf.median, "downtimes/day (median developed home)")
+"""
+
+from repro.core.pipeline import StudyConfig, StudyResult, run_study
+from repro.core.datasets import (
+    DatasetSummary,
+    HeartbeatLog,
+    StudyData,
+    ThroughputSeries,
+    summarize_datasets,
+)
+from repro.core.intervals import IntervalSet
+from repro.core.records import (
+    CapacityMeasurement,
+    DeviceCountSample,
+    DeviceRosterEntry,
+    DnsRecord,
+    FlowRecord,
+    Heartbeat,
+    Medium,
+    OBFUSCATED_DOMAIN,
+    RouterInfo,
+    Spectrum,
+    ThroughputSample,
+    UptimeReport,
+    WifiScanSample,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StudyConfig",
+    "StudyResult",
+    "run_study",
+    "DatasetSummary",
+    "HeartbeatLog",
+    "StudyData",
+    "ThroughputSeries",
+    "summarize_datasets",
+    "IntervalSet",
+    "CapacityMeasurement",
+    "DeviceCountSample",
+    "DeviceRosterEntry",
+    "DnsRecord",
+    "FlowRecord",
+    "Heartbeat",
+    "Medium",
+    "OBFUSCATED_DOMAIN",
+    "RouterInfo",
+    "Spectrum",
+    "ThroughputSample",
+    "UptimeReport",
+    "WifiScanSample",
+    "__version__",
+]

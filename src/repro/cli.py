@@ -1,0 +1,196 @@
+"""Command-line interface: run campaigns, release archives, print reports.
+
+Usage::
+
+    python -m repro run     --out DIR [--seed N] [--scale F] [--duration F]
+                            [--public]
+    python -m repro summary (--archive DIR | --seed N ...)
+    python -m repro report  (--archive DIR | --seed N ...)
+    python -m repro caps    (--archive DIR | --seed N ...) [--cap-gb G]
+
+``run`` simulates a campaign and writes the CSV/JSON archive (optionally
+the PII-stripped public variant).  ``summary`` prints Table 2 for a
+campaign or archive; ``report`` prints the Section 4/5/6 headline numbers;
+``caps`` prints the usage-cap dashboard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime, timezone
+from typing import List, Optional
+
+from repro.core.datasets import StudyData, summarize_datasets
+from repro.core.pipeline import StudyConfig, run_study
+from repro.core import availability, infrastructure, usage
+from repro.core.caps import cap_forecast
+from repro.core.report import render_table
+from repro.core.records import Spectrum
+from repro.collection.export import export_study, load_study
+from repro.firmware.caps import UsageCapPolicy
+
+GB = 1e9
+
+
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2013,
+                        help="study seed (default 2013)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="router-count scale (1.0 = 126 homes)")
+    parser.add_argument("--duration", type=float, default=0.1,
+                        help="collection-window scale (1.0 = paper dates)")
+    parser.add_argument("--consents", type=int, default=28,
+                        help="traffic-consenting US homes")
+    parser.add_argument("--international", type=int, default=0,
+                        help="traffic-consenting non-US homes")
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--archive", default=None,
+                        help="load a previously exported archive instead "
+                             "of simulating")
+    _add_campaign_arguments(parser)
+
+
+def _config_from(args: argparse.Namespace) -> StudyConfig:
+    return StudyConfig(
+        seed=args.seed,
+        router_scale=args.scale,
+        duration_scale=args.duration,
+        traffic_consents=args.consents,
+        low_activity_consents=min(3, args.consents),
+        international_consents=args.international,
+    )
+
+
+def _load_data(args: argparse.Namespace) -> StudyData:
+    if args.archive:
+        print(f"loading archive {args.archive} ...", file=sys.stderr)
+        return load_study(args.archive)
+    print("simulating campaign ...", file=sys.stderr)
+    return run_study(_config_from(args)).data
+
+
+def _date(epoch: float) -> str:
+    return datetime.fromtimestamp(epoch, timezone.utc).strftime("%Y-%m-%d")
+
+
+# -- subcommands -----------------------------------------------------------------
+
+def cmd_run(args: argparse.Namespace) -> int:
+    data = run_study(_config_from(args)).data
+    root = export_study(data, args.out,
+                        include_pii_datasets=not args.public)
+    kind = "public (PII-stripped)" if args.public else "full"
+    print(f"wrote {kind} archive to {root}")
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    data = _load_data(args)
+    print(render_table(
+        ["dataset", "kind", "routers", "countries", "window"],
+        [(row.name, row.kind, row.routers, row.countries,
+          f"{_date(row.window[0])}..{_date(row.window[1])}")
+         for row in summarize_datasets(data)],
+        title="Table 2 — data sets collected"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    data = _load_data(args)
+    rows = []
+
+    dev = availability.downtime_rate_cdf(data, developed=True)
+    dvg = availability.downtime_rate_cdf(data, developed=False)
+    if dev.n and dvg.n:
+        rows.append(("downtimes/day (median, developed)",
+                     round(dev.median, 3)))
+        rows.append(("downtimes/day (median, developing)",
+                     round(dvg.median, 3)))
+
+    cdf = infrastructure.devices_per_home_cdf(data)
+    if cdf.n:
+        rows.append(("devices per home (median)", cdf.median))
+        aps = infrastructure.neighbor_ap_cdf(data, Spectrum.GHZ_2_4,
+                                             developed=True)
+        if aps.n:
+            rows.append(("neighbor APs 2.4 GHz (median, developed)",
+                         aps.median))
+
+    if data.flows:
+        shares = usage.mean_device_share(data, ranks=1)
+        domains = usage.domain_share(data)
+        rows.append(("top device share (mean)", f"{shares[0]:.0%}"))
+        if domains.volume_share_by_rank.size:
+            rows.append(("top domain volume share (mean)",
+                         f"{domains.volume_share_by_rank[0]:.0%}"))
+            rows.append(("whitelist byte coverage",
+                         f"{domains.whitelist_byte_coverage:.0%}"))
+
+    print(render_table(["quantity", "value"], rows,
+                       title="Study headline numbers"))
+    return 0
+
+
+def cmd_caps(args: argparse.Namespace) -> int:
+    data = _load_data(args)
+    policy = UsageCapPolicy(monthly_cap_bytes=args.cap_gb * GB)
+    rows = []
+    for rid in data.qualifying_traffic_routers():
+        forecast = cap_forecast(data, rid, policy)
+        if forecast is None:
+            continue
+        rows.append((rid, f"{forecast.used_bytes / GB:.1f} GB",
+                     f"{forecast.used_fraction:.0%}",
+                     f"{forecast.projected_fraction:.0%}",
+                     "YES" if forecast.will_exceed else "no"))
+    if not rows:
+        print("no qualifying traffic homes in this data set")
+        return 1
+    print(render_table(
+        ["home", "used", "of cap", "projected", "will exceed?"],
+        rows, title=f"Cap dashboard — {args.cap_gb:.0f} GB/month"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Peeking Behind the NAT — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate and export a campaign")
+    _add_campaign_arguments(run_parser)
+    run_parser.add_argument("--out", required=True,
+                            help="archive output directory")
+    run_parser.add_argument("--public", action="store_true",
+                            help="withhold the PII Traffic data set")
+    run_parser.set_defaults(func=cmd_run)
+
+    summary_parser = sub.add_parser("summary", help="print Table 2")
+    _add_source_arguments(summary_parser)
+    summary_parser.set_defaults(func=cmd_summary)
+
+    report_parser = sub.add_parser("report",
+                                   help="print headline statistics")
+    _add_source_arguments(report_parser)
+    report_parser.set_defaults(func=cmd_report)
+
+    caps_parser = sub.add_parser("caps", help="print the cap dashboard")
+    _add_source_arguments(caps_parser)
+    caps_parser.add_argument("--cap-gb", type=float, default=50.0)
+    caps_parser.set_defaults(func=cmd_caps)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The central collection infrastructure (the Georgia-Tech side).
+
+Routers upload to one server; heartbeats cross a lossy network path
+(:mod:`repro.collection.path`), the server assembles the six data sets
+(:mod:`repro.collection.server` / :mod:`repro.collection.storage`), and
+:mod:`repro.collection.export` round-trips everything to CSV/JSON the way
+the paper publicly released its non-PII data.
+"""
+
+from repro.collection.path import CollectionPath, PathConfig
+from repro.collection.server import CollectionServer, collect_study
+from repro.collection.storage import RecordStore
+from repro.collection.export import export_study, load_study
+
+__all__ = [
+    "CollectionPath",
+    "PathConfig",
+    "CollectionServer",
+    "collect_study",
+    "RecordStore",
+    "export_study",
+    "load_study",
+]

@@ -1,0 +1,235 @@
+"""CSV/JSON round-trip of a collected study.
+
+The paper publicly released every non-PII data set; this module writes the
+same kind of archive — one CSV per data set plus a JSON manifest — and can
+load it back into a :class:`~repro.core.datasets.StudyData`, byte-for-byte
+equivalent for analysis purposes.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.datasets import HeartbeatLog, StudyData, ThroughputSeries
+from repro.core.records import (
+    CapacityMeasurement,
+    DeviceCountSample,
+    DeviceRosterEntry,
+    Medium,
+    DnsRecord,
+    FlowRecord,
+    RouterInfo,
+    Spectrum,
+    UptimeReport,
+    WifiScanSample,
+)
+from repro.simulation.timebase import StudyWindows
+
+_PathLike = Union[str, Path]
+
+
+def _write_csv(path: Path, header: "list[str]", rows) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_study(data: StudyData, directory: _PathLike,
+                 include_pii_datasets: bool = True) -> Path:
+    """Write *data* as a CSV/JSON archive under *directory*.
+
+    With ``include_pii_datasets=False`` the Traffic data set (flows,
+    throughput, DNS) is withheld — the paper's public release did exactly
+    this ("everything except the Traffic data set").
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    manifest = {
+        "windows": {
+            name: list(getattr(data.windows, name))
+            for name in ("heartbeats", "uptime", "capacity",
+                         "devices", "wifi", "traffic")
+        },
+        "includes_traffic": include_pii_datasets,
+    }
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+    _write_csv(root / "routers.csv",
+               ["router_id", "country_code", "developed",
+                "tz_offset_hours", "gdp_ppp_per_capita"],
+               ((info.router_id, info.country_code, int(info.developed),
+                 info.tz_offset_hours, info.gdp_ppp_per_capita)
+                for info in data.routers.values()))
+
+    _write_csv(root / "heartbeats.csv", ["router_id", "timestamp"],
+               ((log.router_id, f"{t:.3f}")
+                for log in data.heartbeats.values()
+                for t in log.timestamps))
+
+    _write_csv(root / "uptime.csv",
+               ["router_id", "timestamp", "uptime_seconds"],
+               ((r.router_id, f"{r.timestamp:.3f}", f"{r.uptime_seconds:.3f}")
+                for r in data.uptime_reports))
+
+    _write_csv(root / "capacity.csv",
+               ["router_id", "timestamp", "downstream_mbps", "upstream_mbps"],
+               ((m.router_id, f"{m.timestamp:.3f}",
+                 f"{m.downstream_mbps:.6f}", f"{m.upstream_mbps:.6f}")
+                for m in data.capacity))
+
+    _write_csv(root / "devices.csv",
+               ["router_id", "timestamp", "wired",
+                "wireless_2_4", "wireless_5"],
+               ((s.router_id, f"{s.timestamp:.3f}", s.wired,
+                 s.wireless_2_4, s.wireless_5)
+                for s in data.device_counts))
+
+    _write_csv(root / "roster.csv",
+               ["router_id", "device_mac", "medium", "spectrum",
+                "first_seen", "last_seen", "always_connected"],
+               ((e.router_id, e.device_mac, e.medium.value,
+                 e.spectrum.value if e.spectrum is not None else "",
+                 f"{e.first_seen:.3f}", f"{e.last_seen:.3f}",
+                 int(e.always_connected))
+                for e in data.roster))
+
+    _write_csv(root / "wifi.csv",
+               ["router_id", "timestamp", "spectrum",
+                "neighbor_aps", "associated_clients", "channel"],
+               ((s.router_id, f"{s.timestamp:.3f}", s.spectrum.value,
+                 s.neighbor_aps, s.associated_clients, s.channel)
+                for s in data.wifi_scans))
+
+    if include_pii_datasets:
+        _write_csv(root / "flows.csv",
+                   ["router_id", "timestamp", "device_mac", "domain",
+                    "remote_ip", "port", "application",
+                    "bytes_up", "bytes_down", "duration_seconds"],
+                   ((f.router_id, f"{f.timestamp:.3f}", f.device_mac,
+                     f.domain, f.remote_ip, f.port, f.application,
+                     f"{f.bytes_up:.1f}", f"{f.bytes_down:.1f}",
+                     f"{f.duration_seconds:.3f}")
+                    for f in data.flows))
+        _write_csv(root / "throughput.csv",
+                   ["router_id", "start", "interval_seconds",
+                    "up_bps", "down_bps"],
+                   ((s.router_id, f"{s.start:.3f}", s.interval_seconds,
+                     " ".join(f"{v:.1f}" for v in s.up_bps),
+                     " ".join(f"{v:.1f}" for v in s.down_bps))
+                    for s in data.throughput.values()))
+        _write_csv(root / "dns.csv",
+                   ["router_id", "timestamp", "device_mac", "domain",
+                    "record_type", "address"],
+                   ((d.router_id, f"{d.timestamp:.3f}", d.device_mac,
+                     d.domain, d.record_type,
+                     "" if d.address is None else d.address)
+                    for d in data.dns))
+    return root
+
+
+def load_study(directory: _PathLike) -> StudyData:
+    """Load a study archive written by :func:`export_study`."""
+    root = Path(directory)
+    manifest = json.loads((root / "manifest.json").read_text())
+    windows = StudyWindows(**{
+        name: tuple(values) for name, values in manifest["windows"].items()
+    })
+
+    routers: Dict[str, RouterInfo] = {}
+    for row in _read_csv(root / "routers.csv"):
+        routers[row["router_id"]] = RouterInfo(
+            router_id=row["router_id"],
+            country_code=row["country_code"],
+            developed=bool(int(row["developed"])),
+            tz_offset_hours=float(row["tz_offset_hours"]),
+            gdp_ppp_per_capita=float(row["gdp_ppp_per_capita"]),
+        )
+
+    heartbeats: Dict[str, "list[float]"] = {}
+    for row in _read_csv(root / "heartbeats.csv"):
+        heartbeats.setdefault(row["router_id"], []).append(
+            float(row["timestamp"]))
+
+    data = StudyData(
+        routers=routers,
+        windows=windows,
+        heartbeats={
+            rid: HeartbeatLog(rid, np.asarray(times))
+            for rid, times in heartbeats.items()
+        },
+        uptime_reports=[
+            UptimeReport(row["router_id"], float(row["timestamp"]),
+                         float(row["uptime_seconds"]))
+            for row in _read_csv(root / "uptime.csv")
+        ],
+        capacity=[
+            CapacityMeasurement(row["router_id"], float(row["timestamp"]),
+                                float(row["downstream_mbps"]),
+                                float(row["upstream_mbps"]))
+            for row in _read_csv(root / "capacity.csv")
+        ],
+        device_counts=[
+            DeviceCountSample(row["router_id"], float(row["timestamp"]),
+                              int(row["wired"]), int(row["wireless_2_4"]),
+                              int(row["wireless_5"]))
+            for row in _read_csv(root / "devices.csv")
+        ],
+        roster=[
+            DeviceRosterEntry(row["router_id"], row["device_mac"],
+                              Medium(row["medium"]),
+                              Spectrum(row["spectrum"]) if row["spectrum"]
+                              else None,
+                              float(row["first_seen"]),
+                              float(row["last_seen"]),
+                              bool(int(row["always_connected"])))
+            for row in _read_csv(root / "roster.csv")
+        ],
+        wifi_scans=[
+            WifiScanSample(row["router_id"], float(row["timestamp"]),
+                           Spectrum(row["spectrum"]),
+                           int(row["neighbor_aps"]),
+                           int(row["associated_clients"]),
+                           int(row.get("channel", 0) or 0))
+            for row in _read_csv(root / "wifi.csv")
+        ],
+    )
+
+    if manifest.get("includes_traffic") and (root / "flows.csv").exists():
+        data.flows = [
+            FlowRecord(row["router_id"], float(row["timestamp"]),
+                       row["device_mac"], row["domain"],
+                       int(row["remote_ip"]), int(row["port"]),
+                       row["application"], float(row["bytes_up"]),
+                       float(row["bytes_down"]),
+                       float(row["duration_seconds"]))
+            for row in _read_csv(root / "flows.csv")
+        ]
+        data.throughput = {}
+        for row in _read_csv(root / "throughput.csv"):
+            series = ThroughputSeries(
+                router_id=row["router_id"],
+                start=float(row["start"]),
+                up_bps=np.asarray([float(v) for v in row["up_bps"].split()]),
+                down_bps=np.asarray([float(v) for v in row["down_bps"].split()]),
+                interval_seconds=float(row["interval_seconds"]),
+            )
+            data.throughput[series.router_id] = series
+        data.dns = [
+            DnsRecord(row["router_id"], float(row["timestamp"]),
+                      row["device_mac"], row["domain"], row["record_type"],
+                      int(row["address"]) if row["address"] else None)
+            for row in _read_csv(root / "dns.csv")
+        ]
+    return data
+
+
+def _read_csv(path: Path):
+    with path.open(newline="") as handle:
+        yield from csv.DictReader(handle)

@@ -1,0 +1,76 @@
+"""The collection server: runs every router and assembles the study.
+
+:func:`collect_study` is the measurement campaign in one call — it builds
+the firmware stack for each deployed household (respecting consent tiers
+and data-set membership), pushes heartbeats through the lossy collection
+path, and returns the same :class:`~repro.core.datasets.StudyData` bundle
+the authors analyzed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.datasets import HeartbeatLog, StudyData
+from repro.simulation.deployment import Deployment
+from repro.simulation.seeding import SeedHierarchy
+from repro.firmware.anonymize import AnonymizationPolicy
+from repro.firmware.router import BismarkRouter, RouterOutput
+from repro.collection.path import CollectionPath, PathConfig
+from repro.collection.storage import RecordStore
+
+
+class CollectionServer:
+    """Receives router uploads and stores them."""
+
+    def __init__(self, store: RecordStore, path: CollectionPath):
+        self.store = store
+        self.path = path
+
+    def receive(self, output: RouterOutput) -> None:
+        """Ingest one router's upload, applying path loss to heartbeats."""
+        delivered = self.path.deliver(output.heartbeat_sends)
+        self.store.add_heartbeats(HeartbeatLog(output.router_id, delivered))
+        if output.uptime:
+            self.store.add_uptime(output.uptime)
+        if output.capacity:
+            self.store.add_capacity(output.capacity)
+        if output.device_counts:
+            self.store.add_device_counts(output.device_counts)
+        if output.roster:
+            self.store.add_roster(output.roster)
+        if output.wifi_scans:
+            self.store.add_wifi_scans(output.wifi_scans)
+        if output.flows:
+            self.store.add_flows(output.flows)
+        if output.throughput is not None:
+            self.store.add_throughput(output.throughput)
+        if output.dns:
+            self.store.add_dns(output.dns)
+
+
+def collect_study(deployment: Deployment, seed: int = 2013,
+                  path_config: Optional[PathConfig] = None) -> StudyData:
+    """Run the full measurement campaign over *deployment*."""
+    seeds = SeedHierarchy(seed)
+    windows = deployment.windows
+    store = RecordStore(windows)
+    path = CollectionPath(seeds.generator("collection-path"), windows.span,
+                          path_config or PathConfig())
+    server = CollectionServer(store, path)
+
+    whitelist = frozenset(
+        domain.name for domain in deployment.universe if domain.whitelisted)
+    policy = AnonymizationPolicy(whitelist=whitelist)
+
+    for household in deployment.households:
+        store.register_router(household.info)
+        router = BismarkRouter(
+            household, seeds, policy,
+            collect_uptime=household.router_id in deployment.uptime_routers,
+            collect_devices=household.router_id in deployment.devices_routers,
+            collect_wifi=household.router_id in deployment.wifi_routers,
+            collect_traffic=household.router_id in deployment.traffic_routers,
+        )
+        server.receive(router.run(windows))
+    return store.to_study_data()

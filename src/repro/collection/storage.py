@@ -1,0 +1,118 @@
+"""The server-side record store: accumulates router uploads into StudyData."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.datasets import HeartbeatLog, StudyData, ThroughputSeries
+from repro.core.records import (
+    CapacityMeasurement,
+    DeviceCountSample,
+    DeviceRosterEntry,
+    DnsRecord,
+    FlowRecord,
+    RouterInfo,
+    UptimeReport,
+    WifiScanSample,
+)
+from repro.simulation.timebase import StudyWindows
+
+
+class RecordStore:
+    """Mutable accumulator for one study's records.
+
+    The collection server feeds this as router uploads arrive;
+    :meth:`to_study_data` freezes the result for analysis.
+    """
+
+    def __init__(self, windows: StudyWindows):
+        self.windows = windows
+        self._routers: Dict[str, RouterInfo] = {}
+        self._heartbeats: Dict[str, HeartbeatLog] = {}
+        self._uptime: List[UptimeReport] = []
+        self._capacity: List[CapacityMeasurement] = []
+        self._device_counts: List[DeviceCountSample] = []
+        self._roster: List[DeviceRosterEntry] = []
+        self._wifi: List[WifiScanSample] = []
+        self._flows: List[FlowRecord] = []
+        self._throughput: Dict[str, ThroughputSeries] = {}
+        self._dns: List[DnsRecord] = []
+
+    def register_router(self, info: RouterInfo) -> None:
+        """Record deployment metadata; re-registration must be consistent."""
+        existing = self._routers.get(info.router_id)
+        if existing is not None and existing != info:
+            raise ValueError(
+                f"conflicting registration for router {info.router_id!r}")
+        self._routers[info.router_id] = info
+
+    def _require_registered(self, router_id: str) -> None:
+        if router_id not in self._routers:
+            raise KeyError(f"router {router_id!r} not registered")
+
+    def add_heartbeats(self, log: HeartbeatLog) -> None:
+        """Store delivered heartbeats for one router (replaces prior log)."""
+        self._require_registered(log.router_id)
+        self._heartbeats[log.router_id] = log
+
+    def add_uptime(self, reports: List[UptimeReport]) -> None:
+        for report in reports:
+            self._require_registered(report.router_id)
+        self._uptime.extend(reports)
+
+    def add_capacity(self, measurements: List[CapacityMeasurement]) -> None:
+        for measurement in measurements:
+            self._require_registered(measurement.router_id)
+        self._capacity.extend(measurements)
+
+    def add_device_counts(self, samples: List[DeviceCountSample]) -> None:
+        for sample in samples:
+            self._require_registered(sample.router_id)
+        self._device_counts.extend(samples)
+
+    def add_roster(self, entries: List[DeviceRosterEntry]) -> None:
+        for entry in entries:
+            self._require_registered(entry.router_id)
+        self._roster.extend(entries)
+
+    def add_wifi_scans(self, samples: List[WifiScanSample]) -> None:
+        for sample in samples:
+            self._require_registered(sample.router_id)
+        self._wifi.extend(samples)
+
+    def add_flows(self, flows: List[FlowRecord]) -> None:
+        for flow in flows:
+            self._require_registered(flow.router_id)
+        self._flows.extend(flows)
+
+    def add_throughput(self, series: ThroughputSeries) -> None:
+        self._require_registered(series.router_id)
+        self._throughput[series.router_id] = series
+
+    def add_dns(self, records: List[DnsRecord]) -> None:
+        for record in records:
+            self._require_registered(record.router_id)
+        self._dns.extend(records)
+
+    def to_study_data(self) -> StudyData:
+        """Freeze the accumulated records into an analysis-ready bundle."""
+        return StudyData(
+            routers=dict(self._routers),
+            windows=self.windows,
+            heartbeats=dict(self._heartbeats),
+            uptime_reports=sorted(self._uptime,
+                                  key=lambda r: (r.router_id, r.timestamp)),
+            capacity=sorted(self._capacity,
+                            key=lambda m: (m.router_id, m.timestamp)),
+            device_counts=sorted(self._device_counts,
+                                 key=lambda s: (s.router_id, s.timestamp)),
+            roster=sorted(self._roster,
+                          key=lambda e: (e.router_id, e.device_mac)),
+            wifi_scans=sorted(self._wifi,
+                              key=lambda s: (s.router_id, s.timestamp)),
+            flows=sorted(self._flows,
+                         key=lambda f: (f.router_id, f.timestamp)),
+            throughput=dict(self._throughput),
+            dns=sorted(self._dns,
+                       key=lambda d: (d.router_id, d.timestamp)),
+        )

@@ -1,0 +1,286 @@
+"""Section 4: availability of home broadband access.
+
+The methodology follows the paper exactly:
+
+* a router's *up intervals* are reconstructed from its heartbeat log —
+  consecutive heartbeats less than ten minutes apart belong to the same up
+  interval;
+* *downtime* is any gap between consecutive heartbeats of ten minutes or
+  longer (shorter gaps are attributed to heartbeat loss);
+* downtime *frequency* is events per observed day (Fig. 3), *duration* is
+  the gap length (Fig. 4), and both are grouped by development class and
+  joined against per-capita GDP (Fig. 5);
+* the Uptime data set disambiguates, where it can, whether a downtime was a
+  powered-off router or a network outage (Section 4.2 / Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.datasets import HeartbeatLog, StudyData
+from repro.core.intervals import IntervalSet
+from repro.core.stats import EmpiricalCdf
+from repro.simulation.timebase import DAY, MINUTE
+
+#: The paper's downtime threshold: gaps of ten minutes or longer.
+DOWNTIME_THRESHOLD = 10 * MINUTE
+
+
+# -- per-router primitives -----------------------------------------------------
+
+def up_intervals(log: HeartbeatLog,
+                 max_gap: float = DOWNTIME_THRESHOLD) -> IntervalSet:
+    """Reconstruct one router's up intervals from its heartbeat log."""
+    return IntervalSet.from_timestamps(log.timestamps, max_gap=max_gap)
+
+
+def downtime_events(log: HeartbeatLog,
+                    threshold: float = DOWNTIME_THRESHOLD) -> IntervalSet:
+    """Gaps of at least *threshold* between consecutive heartbeats.
+
+    Only *internal* gaps count: time before the first heartbeat or after
+    the last says nothing (the router may simply not have been deployed).
+    """
+    ts = log.timestamps
+    if ts.size < 2:
+        return IntervalSet()
+    gaps = np.diff(ts)
+    idx = np.flatnonzero(gaps >= threshold)
+    return IntervalSet((float(ts[i]), float(ts[i + 1])) for i in idx)
+
+
+def observed_days(log: HeartbeatLog) -> float:
+    """Days between a router's first and last heartbeat."""
+    ts = log.timestamps
+    if ts.size < 2:
+        return 0.0
+    return float((ts[-1] - ts[0]) / DAY)
+
+
+def downtime_rate_per_day(log: HeartbeatLog,
+                          threshold: float = DOWNTIME_THRESHOLD) -> Optional[float]:
+    """Average ≥threshold downtimes per observed day (None if unobserved)."""
+    days = observed_days(log)
+    if days <= 0:
+        return None
+    return len(downtime_events(log, threshold)) / days
+
+
+def availability_fraction(log: HeartbeatLog) -> Optional[float]:
+    """Fraction of the observed span the router was up (heartbeat-based)."""
+    ts = log.timestamps
+    if ts.size < 2:
+        return None
+    span = float(ts[-1] - ts[0])
+    if span <= 0:
+        return None
+    return up_intervals(log).total_duration() / span
+
+
+def availability_timeline(log: HeartbeatLog,
+                          window: Tuple[float, float]) -> IntervalSet:
+    """The Fig. 6 timeline: up intervals clipped to a display window."""
+    return up_intervals(log).clip(*window)
+
+
+# -- deployment-level statistics -------------------------------------------------
+
+def _logs_for(data: StudyData, developed: bool,
+              min_observed_days: float) -> List[HeartbeatLog]:
+    wanted = set(data.developed_ids() if developed else data.developing_ids())
+    return [log for rid, log in data.heartbeats.items()
+            if rid in wanted and observed_days(log) >= min_observed_days]
+
+
+def downtime_rate_cdf(data: StudyData, developed: bool,
+                      min_observed_days: float = 1.0) -> EmpiricalCdf:
+    """Fig. 3: CDF over homes of average ≥10-min downtimes per day."""
+    rates = []
+    for log in _logs_for(data, developed, min_observed_days):
+        rate = downtime_rate_per_day(log)
+        if rate is not None:
+            rates.append(rate)
+    return EmpiricalCdf.from_samples(rates)
+
+
+def downtime_duration_cdf(data: StudyData, developed: bool,
+                          min_observed_days: float = 1.0) -> EmpiricalCdf:
+    """Fig. 4: CDF of individual downtime durations (seconds), pooled."""
+    durations: List[float] = []
+    for log in _logs_for(data, developed, min_observed_days):
+        durations.extend(downtime_events(log).durations().tolist())
+    return EmpiricalCdf.from_samples(durations)
+
+
+def median_days_between_downtimes(data: StudyData,
+                                  developed: bool) -> Optional[float]:
+    """The Table 3 headline: median over homes of days per downtime."""
+    cdf = downtime_rate_cdf(data, developed)
+    if cdf.n == 0:
+        return None
+    rate = cdf.median
+    return float("inf") if rate == 0 else 1.0 / rate
+
+
+@dataclass(frozen=True)
+class CountryDowntime:
+    """One point of the Fig. 5 scatter."""
+
+    country_code: str
+    gdp_ppp_per_capita: float
+    developed: bool
+    routers: int
+    #: Median per-home downtime count, normalized to *normalize_days* days.
+    median_downtimes: float
+    #: Median downtime duration (seconds) across the country's events.
+    median_duration: float
+
+
+def downtimes_by_country(data: StudyData, min_routers: int = 3,
+                         normalize_days: float = 197.0) -> List[CountryDowntime]:
+    """Fig. 5: per-country median downtime counts vs per-capita GDP.
+
+    The paper plots raw counts over its 6.5-month window (~197 days); we
+    normalize each home's rate to *normalize_days* so shortened simulation
+    windows produce comparable numbers.
+    """
+    by_country: Dict[str, List[HeartbeatLog]] = {}
+    for rid, log in data.heartbeats.items():
+        info = data.routers.get(rid)
+        if info is not None:
+            by_country.setdefault(info.country_code, []).append(log)
+
+    points: List[CountryDowntime] = []
+    for code, logs in sorted(by_country.items()):
+        logs = [log for log in logs if observed_days(log) >= 1.0]
+        if len(logs) < min_routers:
+            continue
+        counts = []
+        durations: List[float] = []
+        for log in logs:
+            rate = downtime_rate_per_day(log)
+            if rate is None:
+                continue
+            counts.append(rate * normalize_days)
+            durations.extend(downtime_events(log).durations().tolist())
+        if not counts:
+            continue
+        sample = data.routers[logs[0].router_id]
+        points.append(CountryDowntime(
+            country_code=code,
+            gdp_ppp_per_capita=sample.gdp_ppp_per_capita,
+            developed=sample.developed,
+            routers=len(logs),
+            median_downtimes=float(np.median(counts)),
+            median_duration=float(np.median(durations)) if durations else 0.0,
+        ))
+    points.sort(key=lambda p: p.gdp_ppp_per_capita)
+    return points
+
+
+def median_availability_by_country(data: StudyData) -> Dict[str, float]:
+    """Median heartbeat-based availability per country (Section 4.2).
+
+    This is the "the median US user has his router on 98.25% of the time"
+    statistic (the paper reads it as power-on time; heartbeats conflate
+    link outages, which is one of its acknowledged limitations).
+    """
+    by_country: Dict[str, List[float]] = {}
+    for rid, log in data.heartbeats.items():
+        fraction = availability_fraction(log)
+        info = data.routers.get(rid)
+        if fraction is None or info is None:
+            continue
+        by_country.setdefault(info.country_code, []).append(fraction)
+    return {code: float(np.median(values))
+            for code, values in sorted(by_country.items())}
+
+
+# -- downtime attribution (power vs network) -------------------------------------
+
+def classify_downtime(data: StudyData, router_id: str,
+                      downtime: Tuple[float, float]) -> str:
+    """Attribute one downtime: ``"power"``, ``"network"``, or ``"unknown"``.
+
+    Uses the Uptime data set (Section 3.2.2): if a report after the gap
+    shows the router booted *inside or after* the gap, the router was
+    powered off; if a report after the gap shows uptime spanning the whole
+    gap, the router stayed powered — a network outage.  No covering report
+    means the 12-hour cadence was too coarse: unknown.
+    """
+    gap_start, gap_end = downtime
+    for report in data.uptime_reports:
+        if report.router_id != router_id or report.timestamp < gap_end:
+            continue
+        boot = report.boot_time
+        if boot >= gap_start:
+            return "power"
+        return "network"
+    return "unknown"
+
+
+def downtime_attribution(data: StudyData,
+                         router_id: str) -> Dict[str, int]:
+    """Count one router's downtimes by attribution class."""
+    log = data.heartbeats.get(router_id)
+    if log is None:
+        return {"power": 0, "network": 0, "unknown": 0}
+    counts = {"power": 0, "network": 0, "unknown": 0}
+    for event in downtime_events(log):
+        counts[classify_downtime(data, router_id, event)] += 1
+    return counts
+
+
+def appliance_mode_routers(data: StudyData,
+                           max_availability: float = 0.6,
+                           min_daily_cycles: float = 0.7) -> List[str]:
+    """Routers that behave like Fig. 6b appliances.
+
+    An appliance-mode home has low overall availability *and* cycles at
+    least ~daily — distinguishing it from a mostly-up home with rare long
+    outages.
+    """
+    routers: List[str] = []
+    for rid, log in sorted(data.heartbeats.items()):
+        fraction = availability_fraction(log)
+        rate = downtime_rate_per_day(log)
+        if fraction is None or rate is None:
+            continue
+        if fraction <= max_availability and rate >= min_daily_cycles:
+            routers.append(rid)
+    return routers
+
+
+# -- Table 3 ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Section4Highlights:
+    """The three Table 3 claims, as measured."""
+
+    median_days_between_downtimes_developed: float
+    median_days_between_downtimes_developing: float
+    worst_two_countries_by_downtimes: Tuple[str, str]
+    appliance_mode_router_count: int
+
+
+def section4_highlights(data: StudyData) -> Section4Highlights:
+    """Compute Table 3 from the Heartbeats + Uptime data sets."""
+    by_country = downtimes_by_country(data, min_routers=1)
+    worst = sorted(by_country, key=lambda p: -p.median_downtimes)[:2]
+    worst_codes = tuple(p.country_code for p in worst)
+    if len(worst_codes) < 2:
+        worst_codes = worst_codes + ("??",) * (2 - len(worst_codes))
+    developed = median_days_between_downtimes(data, developed=True)
+    developing = median_days_between_downtimes(data, developed=False)
+    return Section4Highlights(
+        median_days_between_downtimes_developed=(
+            developed if developed is not None else float("nan")),
+        median_days_between_downtimes_developing=(
+            developing if developing is not None else float("nan")),
+        worst_two_countries_by_downtimes=worst_codes,  # type: ignore[arg-type]
+        appliance_mode_router_count=len(appliance_mode_routers(data)),
+    )

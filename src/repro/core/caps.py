@@ -1,0 +1,143 @@
+"""Analysis side of the usage-cap tool: the per-home "web interface" data.
+
+The paper gave consenting users "access to a Web interface that allowed
+them to observe and manage their usage over time and across devices; this
+feature turns out to be quite useful for users who have Internet service
+plans with low data caps" (Section 3.2.2).  This module computes exactly
+what that interface showed:
+
+* per-device byte usage over the billing cycle (who is eating the cap);
+* cycle-to-date usage against the cap, with an end-of-cycle projection;
+* days until the cap is exhausted at the current burn rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.datasets import StudyData
+from repro.core.usage import device_domain_profile
+from repro.firmware.caps import UsageCapPolicy
+from repro.simulation.timebase import DAY
+
+
+@dataclass(frozen=True)
+class DeviceUsage:
+    """One row of the dashboard's per-device table."""
+
+    device_mac: str
+    bytes_total: float
+    bytes_up: float
+    bytes_down: float
+    share_of_home: float
+    top_domains: "tuple"
+
+
+@dataclass(frozen=True)
+class CapForecast:
+    """Cycle-to-date accounting plus the linear end-of-cycle projection."""
+
+    router_id: str
+    cycle_start: float
+    elapsed_days: float
+    used_bytes: float
+    cap_bytes: float
+    projected_bytes: float
+    days_until_cap: Optional[float]
+
+    @property
+    def used_fraction(self) -> float:
+        """Cap fraction consumed so far."""
+        return self.used_bytes / self.cap_bytes
+
+    @property
+    def projected_fraction(self) -> float:
+        """Projected end-of-cycle cap fraction at the current rate."""
+        return self.projected_bytes / self.cap_bytes
+
+    @property
+    def will_exceed(self) -> bool:
+        """True when the linear projection crosses the cap."""
+        return self.projected_fraction > 1.0
+
+
+def device_usage_table(data: StudyData, router_id: str,
+                       top_domains: int = 3) -> List[DeviceUsage]:
+    """The dashboard's per-device breakdown, largest consumer first."""
+    per_device: Dict[str, List[float]] = {}
+    for flow in data.flows:
+        if flow.router_id != router_id:
+            continue
+        entry = per_device.setdefault(flow.device_mac, [0.0, 0.0])
+        entry[0] += flow.bytes_up
+        entry[1] += flow.bytes_down
+    home_total = sum(up + down for up, down in per_device.values())
+    rows = []
+    for mac, (up, down) in per_device.items():
+        total = up + down
+        rows.append(DeviceUsage(
+            device_mac=mac,
+            bytes_total=total,
+            bytes_up=up,
+            bytes_down=down,
+            share_of_home=total / home_total if home_total else 0.0,
+            top_domains=tuple(
+                name for name, _share in device_domain_profile(
+                    data, router_id, mac, top=top_domains)),
+        ))
+    rows.sort(key=lambda row: -row.bytes_total)
+    return rows
+
+
+def cap_forecast(data: StudyData, router_id: str,
+                 policy: UsageCapPolicy,
+                 as_of: Optional[float] = None) -> Optional[CapForecast]:
+    """Cycle accounting for one home from its throughput series.
+
+    ``as_of`` defaults to the end of the collected series; the cycle is
+    assumed to start at the series start (the collection window is shorter
+    than a billing cycle, so this is the in-window view the user saw).
+    """
+    series = data.throughput.get(router_id)
+    if series is None or len(series) == 0:
+        return None
+    timestamps = series.timestamps
+    horizon = float(timestamps[-1]) if as_of is None else as_of
+    mask = timestamps <= horizon
+    if not mask.any():
+        return None
+    # Mean-rate floor of the per-minute peaks (see firmware.caps).
+    mean_bps = (series.up_bps[mask] + series.down_bps[mask]) / 2.2
+    used = float(mean_bps.sum()) / 8.0 * series.interval_seconds
+    elapsed_days = max((horizon - series.start) / DAY, 1e-6)
+    daily_rate = used / elapsed_days
+    projected = daily_rate * policy.cycle_days
+    if daily_rate > 0 and used < policy.monthly_cap_bytes:
+        days_until = (policy.monthly_cap_bytes - used) / daily_rate
+    elif used >= policy.monthly_cap_bytes:
+        days_until = 0.0
+    else:
+        days_until = None
+    return CapForecast(
+        router_id=router_id,
+        cycle_start=series.start,
+        elapsed_days=elapsed_days,
+        used_bytes=used,
+        cap_bytes=policy.monthly_cap_bytes,
+        projected_bytes=projected,
+        days_until_cap=days_until,
+    )
+
+
+def homes_projected_over_cap(data: StudyData,
+                             policy: UsageCapPolicy) -> List[str]:
+    """Qualifying homes whose current burn rate would blow the cap."""
+    over = []
+    for rid in data.qualifying_traffic_routers():
+        forecast = cap_forecast(data, rid, policy)
+        if forecast is not None and forecast.will_exceed:
+            over.append(rid)
+    return over

@@ -1,0 +1,194 @@
+"""Typed containers for the six collected data sets, plus Table 2.
+
+:class:`StudyData` is the hand-off point between collection and analysis —
+everything Sections 4-6 compute starts from one of these.  Two data sets
+are large enough to deserve columnar storage (per-router numpy arrays):
+heartbeat timestamps (:class:`HeartbeatLog`) and per-minute throughput
+(:class:`ThroughputSeries`); the rest are plain record lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.records import (
+    CapacityMeasurement,
+    DeviceCountSample,
+    DeviceRosterEntry,
+    DnsRecord,
+    FlowRecord,
+    RouterInfo,
+    ThroughputSample,
+    UptimeReport,
+    WifiScanSample,
+)
+from repro.simulation.timebase import MINUTE, StudyWindows
+
+#: The paper's activity bar for the Traffic data set (Section 3.2.2).
+TRAFFIC_MIN_BYTES = 100e6
+
+
+@dataclass
+class HeartbeatLog:
+    """All heartbeats received from one router, as a sorted timestamp array."""
+
+    router_id: str
+    timestamps: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.timestamps = np.asarray(self.timestamps, dtype=float)
+        if self.timestamps.ndim != 1:
+            raise ValueError("heartbeat timestamps must be one-dimensional")
+        if np.any(np.diff(self.timestamps) < 0):
+            self.timestamps = np.sort(self.timestamps)
+
+    def __len__(self) -> int:
+        return int(self.timestamps.size)
+
+    def clipped(self, start: float, end: float) -> "HeartbeatLog":
+        """Heartbeats within ``[start, end)``."""
+        mask = (self.timestamps >= start) & (self.timestamps < end)
+        return HeartbeatLog(self.router_id, self.timestamps[mask])
+
+
+@dataclass
+class ThroughputSeries:
+    """Per-minute peak-throughput series for one router (Section 6.2)."""
+
+    router_id: str
+    start: float
+    up_bps: np.ndarray
+    down_bps: np.ndarray
+    interval_seconds: float = MINUTE
+
+    def __post_init__(self) -> None:
+        self.up_bps = np.asarray(self.up_bps, dtype=float)
+        self.down_bps = np.asarray(self.down_bps, dtype=float)
+        if self.up_bps.shape != self.down_bps.shape:
+            raise ValueError("up/down series must be the same length")
+        if self.interval_seconds <= 0:
+            raise ValueError("interval must be positive")
+
+    def __len__(self) -> int:
+        return int(self.up_bps.size)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Epochs of each minute slot's start."""
+        return self.start + np.arange(self.up_bps.size) * self.interval_seconds
+
+    def samples(self) -> Iterator[ThroughputSample]:
+        """Materialize record objects (for export; analysis uses arrays)."""
+        for epoch, up, down in zip(self.timestamps, self.up_bps, self.down_bps):
+            yield ThroughputSample(self.router_id, float(epoch),
+                                   float(up), float(down))
+
+    def active_mask(self) -> np.ndarray:
+        """Minutes during which some device exchanged traffic.
+
+        The paper's utilization statistic "only consider[s] instances when
+        there is some device exchanging traffic with the Internet".
+        """
+        return (self.up_bps > 0) | (self.down_bps > 0)
+
+
+@dataclass
+class StudyData:
+    """Everything the deployment collected, ready for analysis."""
+
+    routers: Dict[str, RouterInfo]
+    windows: StudyWindows
+    heartbeats: Dict[str, HeartbeatLog] = field(default_factory=dict)
+    uptime_reports: List[UptimeReport] = field(default_factory=list)
+    capacity: List[CapacityMeasurement] = field(default_factory=list)
+    device_counts: List[DeviceCountSample] = field(default_factory=list)
+    roster: List[DeviceRosterEntry] = field(default_factory=list)
+    wifi_scans: List[WifiScanSample] = field(default_factory=list)
+    flows: List[FlowRecord] = field(default_factory=list)
+    throughput: Dict[str, ThroughputSeries] = field(default_factory=dict)
+    dns: List[DnsRecord] = field(default_factory=list)
+
+    # -- router helpers --------------------------------------------------------
+
+    def router_ids(self) -> List[str]:
+        """All deployed router ids, sorted."""
+        return sorted(self.routers)
+
+    def developed_ids(self) -> List[str]:
+        """Routers in developed countries."""
+        return sorted(rid for rid, info in self.routers.items()
+                      if info.developed)
+
+    def developing_ids(self) -> List[str]:
+        """Routers in developing countries."""
+        return sorted(rid for rid, info in self.routers.items()
+                      if not info.developed)
+
+    def info(self, router_id: str) -> RouterInfo:
+        """Metadata for one router (KeyError if unknown)."""
+        return self.routers[router_id]
+
+    def countries_of(self, router_ids: Sequence[str]) -> List[str]:
+        """Distinct country codes among *router_ids*, sorted."""
+        return sorted({self.routers[rid].country_code for rid in router_ids
+                       if rid in self.routers})
+
+    # -- traffic helpers ---------------------------------------------------------
+
+    def traffic_bytes_by_router(self) -> Dict[str, float]:
+        """Total Traffic-data-set bytes per router (from flow records)."""
+        totals: Dict[str, float] = {}
+        for flow in self.flows:
+            totals[flow.router_id] = totals.get(flow.router_id, 0.0) \
+                + flow.bytes_total
+        return totals
+
+    def qualifying_traffic_routers(
+            self, min_bytes: float = TRAFFIC_MIN_BYTES) -> List[str]:
+        """Routers whose Traffic data clears the paper's ≥100 MB bar."""
+        totals = self.traffic_bytes_by_router()
+        return sorted(rid for rid, total in totals.items()
+                      if total >= min_bytes)
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """One row of the paper's Table 2."""
+
+    name: str
+    kind: str  # "active" or "passive"
+    routers: int
+    countries: int
+    window: Tuple[float, float]
+
+
+def summarize_datasets(data: StudyData) -> List[DatasetSummary]:
+    """Reproduce Table 2: per-data-set router/country counts and windows."""
+
+    def row(name: str, kind: str, router_ids: Sequence[str],
+            window: Tuple[float, float]) -> DatasetSummary:
+        distinct = sorted(set(router_ids))
+        return DatasetSummary(
+            name=name, kind=kind, routers=len(distinct),
+            countries=len(data.countries_of(distinct)), window=window)
+
+    throughput_routers = list(data.throughput)
+    flow_routers = [flow.router_id for flow in data.flows]
+    return [
+        row("Heartbeats", "active", list(data.heartbeats),
+            data.windows.heartbeats),
+        row("Capacity", "active",
+            [m.router_id for m in data.capacity], data.windows.capacity),
+        row("Uptime", "passive",
+            [r.router_id for r in data.uptime_reports], data.windows.uptime),
+        row("Devices", "passive",
+            [s.router_id for s in data.device_counts], data.windows.devices),
+        row("WiFi", "passive",
+            [s.router_id for s in data.wifi_scans], data.windows.wifi),
+        row("Traffic", "passive",
+            sorted(set(flow_routers) | set(throughput_routers)),
+            data.windows.traffic),
+    ]

@@ -1,0 +1,178 @@
+"""Device fingerprinting from traffic mixes (paper Sections 6.4 and 7).
+
+The paper observes that a device's *domain mix* separates device types far
+better than its MAC OUI: a Roku talks almost exclusively to streaming
+services, a desktop syncs cloud storage, a phone leans social (Fig. 20).
+Section 7 proposes building device fingerprinting on this; we implement it:
+
+* :func:`category_vector` reduces a device's flows to a normalized
+  byte-share vector over domain *categories* (streaming/web/social/...);
+* :class:`DeviceFingerprinter` is a nearest-prototype classifier: fit it on
+  a few user-labeled devices (the paper surveyed six homes for ground
+  truth), then classify every other device in the deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.datasets import StudyData
+from repro.core.records import OBFUSCATED_DOMAIN, FlowRecord
+from repro.simulation.domains import Domain, build_domain_universe
+
+#: Category axes of the fingerprint vector, fixed order.
+CATEGORIES: Tuple[str, ...] = (
+    "streaming", "web", "social", "cloud", "update", "gaming", "other",
+)
+
+
+def _default_category_map() -> Dict[str, str]:
+    """domain name → category, from the public whitelist universe."""
+    return {d.name: d.category for d in build_domain_universe()}
+
+
+def category_vector(flows: Iterable[FlowRecord],
+                    category_map: Optional[Mapping[str, str]] = None,
+                    ) -> np.ndarray:
+    """Reduce flows to a normalized byte-share vector over CATEGORIES.
+
+    Obfuscated domains fall into ``"other"`` — the classifier must work on
+    anonymized data, since that is all that leaves the home.
+    """
+    mapping = category_map if category_map is not None \
+        else _default_category_map()
+    index = {cat: i for i, cat in enumerate(CATEGORIES)}
+    vector = np.zeros(len(CATEGORIES))
+    for flow in flows:
+        if flow.domain == OBFUSCATED_DOMAIN:
+            category = "other"
+        else:
+            category = mapping.get(flow.domain, "other")
+        vector[index.get(category, index["other"])] += flow.bytes_total
+    total = vector.sum()
+    if total > 0:
+        vector /= total
+    return vector
+
+
+def feature_vector(flows: Iterable[FlowRecord],
+                   category_map: Optional[Mapping[str, str]] = None,
+                   ) -> np.ndarray:
+    """A richer fingerprint: category shares plus flow-shape features.
+
+    Device types that share a category mix (phone vs laptop vs tablet)
+    still differ in *how* they talk: bytes per connection, upstream
+    fraction, and flow count all separate them.  The extra axes are scaled
+    into [0, 1] so cosine similarity stays meaningful.
+    """
+    flows = list(flows)
+    categories = category_vector(flows, category_map)
+    total_bytes = sum(f.bytes_total for f in flows)
+    total_up = sum(f.bytes_up for f in flows)
+    n = len(flows)
+    if n == 0 or total_bytes == 0:
+        return np.concatenate([categories, np.zeros(3)])
+    upstream_fraction = total_up / total_bytes
+    # log10 bytes/connection, squashed: 1 KB -> ~0.3, 100 MB -> ~0.9.
+    bytes_per_conn = total_bytes / n
+    size_axis = min(max(np.log10(bytes_per_conn) / 9.0, 0.0), 1.0)
+    duration_axis = min(np.median([f.duration_seconds for f in flows])
+                        / 3600.0, 1.0)
+    return np.concatenate([
+        categories,
+        [upstream_fraction, size_axis, duration_axis],
+    ])
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two fingerprint vectors (0 when empty)."""
+    norm = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if norm == 0:
+        return 0.0
+    return float(np.dot(a, b) / norm)
+
+
+@dataclass(frozen=True)
+class FingerprintMatch:
+    """A classification result with its confidence."""
+
+    label: str
+    similarity: float
+
+
+class DeviceFingerprinter:
+    """Nearest-prototype classifier over category vectors.
+
+    Prototypes are the mean vector of each label's training examples; a
+    query matches the most cosine-similar prototype.  ``min_similarity``
+    guards against classifying devices unlike anything seen in training.
+    """
+
+    def __init__(self, min_similarity: float = 0.5):
+        if not 0 <= min_similarity <= 1:
+            raise ValueError("min_similarity must be in [0, 1]")
+        self.min_similarity = min_similarity
+        self._prototypes: Dict[str, np.ndarray] = {}
+
+    @property
+    def labels(self) -> List[str]:
+        """Labels the classifier has been trained on."""
+        return sorted(self._prototypes)
+
+    def fit(self, examples: Sequence[Tuple[np.ndarray, str]]) -> None:
+        """Train on (vector, label) pairs from :func:`category_vector` or
+        :func:`feature_vector` — any consistent vector length works."""
+        if not examples:
+            raise ValueError("need at least one training example")
+        width = np.asarray(examples[0][0]).shape
+        grouped: Dict[str, List[np.ndarray]] = {}
+        for vector, label in examples:
+            vector = np.asarray(vector, dtype=float)
+            if vector.ndim != 1 or vector.shape != width:
+                raise ValueError(
+                    "fingerprint vectors must be 1-D and equally sized")
+            grouped.setdefault(label, []).append(vector)
+        self._prototypes = {
+            label: np.mean(np.vstack(vectors), axis=0)
+            for label, vectors in grouped.items()
+        }
+
+    def classify(self, vector: np.ndarray) -> Optional[FingerprintMatch]:
+        """Best-matching label, or None below the similarity floor."""
+        if not self._prototypes:
+            raise RuntimeError("classifier has not been fitted")
+        best_label, best_sim = None, -1.0
+        for label, prototype in sorted(self._prototypes.items()):
+            similarity = cosine_similarity(vector, prototype)
+            if similarity > best_sim:
+                best_label, best_sim = label, similarity
+        if best_label is None or best_sim < self.min_similarity:
+            return None
+        return FingerprintMatch(label=best_label, similarity=best_sim)
+
+
+def fingerprint_devices(data: StudyData, router_id: str,
+                        fingerprinter: DeviceFingerprinter,
+                        min_bytes: float = 100e3,
+                        use_flow_shape: bool = False,
+                        ) -> Dict[str, Optional[FingerprintMatch]]:
+    """Classify every sufficiently-active device in one traffic home.
+
+    ``use_flow_shape`` selects :func:`feature_vector` (the classifier must
+    have been trained on the same vector kind).
+    """
+    flows_by_mac: Dict[str, List[FlowRecord]] = {}
+    for flow in data.flows:
+        if flow.router_id == router_id:
+            flows_by_mac.setdefault(flow.device_mac, []).append(flow)
+    mapping = _default_category_map()
+    vectorize = feature_vector if use_flow_shape else category_vector
+    results: Dict[str, Optional[FingerprintMatch]] = {}
+    for mac, flows in sorted(flows_by_mac.items()):
+        if sum(f.bytes_total for f in flows) < min_bytes:
+            continue
+        results[mac] = fingerprinter.classify(vectorize(flows, mapping))
+    return results

@@ -1,0 +1,301 @@
+"""Section 5: the infrastructure inside home networks.
+
+Inputs are the Devices data set (hourly censuses + the per-device roster)
+and the WiFi data set (neighbor-AP scans); outputs are Figs. 7-12 and
+Tables 4-5:
+
+* device censuses: how many devices exist per home (Fig. 7) and how many
+  are connected at a time, split wired/wireless (Fig. 8) and by band
+  (Fig. 9 / Fig. 10);
+* always-connected devices (Table 5);
+* Ethernet port pressure (the "two ports would suffice" argument);
+* neighbor-AP crowding per band and development class (Fig. 11);
+* manufacturer profiles from roster OUIs (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.datasets import StudyData
+from repro.core.records import DeviceRosterEntry, Medium, Spectrum
+from repro.core.stats import EmpiricalCdf, MeanWithSpread
+from repro.netutils.mac import parse_mac
+from repro.simulation.vendors import BISMARK_OUI, vendor_category
+
+
+# -- Fig. 7: how many devices? ----------------------------------------------------
+
+def devices_per_home(data: StudyData) -> Dict[str, int]:
+    """Unique devices ever seen per home (roster size)."""
+    counts: Dict[str, int] = {}
+    for entry in data.roster:
+        counts[entry.router_id] = counts.get(entry.router_id, 0) + 1
+    return counts
+
+
+def devices_per_home_cdf(data: StudyData) -> EmpiricalCdf:
+    """Fig. 7: CDF of the number of unique devices per home."""
+    return EmpiricalCdf.from_samples(devices_per_home(data).values())
+
+
+# -- Figs. 8-9: how many connected at a time? ---------------------------------------
+
+def _per_home_census_means(data: StudyData) -> Dict[str, Dict[str, float]]:
+    """Per home: mean connected devices by medium/band across censuses."""
+    sums: Dict[str, np.ndarray] = {}
+    counts: Dict[str, int] = {}
+    for sample in data.device_counts:
+        vec = np.array([sample.wired, sample.wireless_2_4,
+                        sample.wireless_5], dtype=float)
+        if sample.router_id in sums:
+            sums[sample.router_id] += vec
+            counts[sample.router_id] += 1
+        else:
+            sums[sample.router_id] = vec
+            counts[sample.router_id] = 1
+    means: Dict[str, Dict[str, float]] = {}
+    for rid, total in sums.items():
+        wired, w24, w5 = total / counts[rid]
+        means[rid] = {"wired": wired, "wireless_2_4": w24, "wireless_5": w5,
+                      "wireless": w24 + w5}
+    return means
+
+
+def mean_connected_by_medium(data: StudyData,
+                             developed: bool) -> Dict[str, MeanWithSpread]:
+    """Fig. 8: mean simultaneously-connected devices, wired vs wireless."""
+    wanted = set(data.developed_ids() if developed else data.developing_ids())
+    per_home = _per_home_census_means(data)
+    wired = [v["wired"] for rid, v in per_home.items() if rid in wanted]
+    wireless = [v["wireless"] for rid, v in per_home.items() if rid in wanted]
+    return {
+        "wired": MeanWithSpread.from_samples(wired),
+        "wireless": MeanWithSpread.from_samples(wireless),
+    }
+
+
+def mean_connected_by_spectrum(data: StudyData,
+                               developed: bool) -> Dict[str, MeanWithSpread]:
+    """Fig. 9: mean simultaneously-connected wireless devices per band."""
+    wanted = set(data.developed_ids() if developed else data.developing_ids())
+    per_home = _per_home_census_means(data)
+    w24 = [v["wireless_2_4"] for rid, v in per_home.items() if rid in wanted]
+    w5 = [v["wireless_5"] for rid, v in per_home.items() if rid in wanted]
+    return {
+        "2.4GHz": MeanWithSpread.from_samples(w24),
+        "5GHz": MeanWithSpread.from_samples(w5),
+    }
+
+
+# -- Table 5: always-connected devices ----------------------------------------------
+
+@dataclass(frozen=True)
+class AlwaysConnectedRow:
+    """One row of Table 5."""
+
+    group: str
+    total_households: int
+    with_always_wired: int
+    with_always_wireless: int
+
+    @property
+    def wired_fraction(self) -> float:
+        """Share of households with an always-connected wired device."""
+        if self.total_households == 0:
+            return float("nan")
+        return self.with_always_wired / self.total_households
+
+    @property
+    def wireless_fraction(self) -> float:
+        """Share of households with an always-connected wireless device."""
+        if self.total_households == 0:
+            return float("nan")
+        return self.with_always_wireless / self.total_households
+
+
+def always_connected_households(data: StudyData) -> List[AlwaysConnectedRow]:
+    """Table 5: households with ≥1 never-disconnecting device, by group."""
+    homes_in_dataset = {entry.router_id for entry in data.roster}
+    rows: List[AlwaysConnectedRow] = []
+    for group, wanted_ids in (
+            ("developed", set(data.developed_ids())),
+            ("developing", set(data.developing_ids()))):
+        homes = homes_in_dataset & wanted_ids
+        wired_homes = set()
+        wireless_homes = set()
+        for entry in data.roster:
+            if entry.router_id not in homes or not entry.always_connected:
+                continue
+            if entry.medium is Medium.WIRED:
+                wired_homes.add(entry.router_id)
+            else:
+                wireless_homes.add(entry.router_id)
+        rows.append(AlwaysConnectedRow(
+            group=group,
+            total_households=len(homes),
+            with_always_wired=len(wired_homes),
+            with_always_wireless=len(wireless_homes),
+        ))
+    return rows
+
+
+# -- Fig. 10: unique devices per band -------------------------------------------------
+
+def unique_devices_per_spectrum_cdf(data: StudyData,
+                                    spectrum: Spectrum) -> EmpiricalCdf:
+    """Fig. 10: CDF over homes of unique devices seen on one band.
+
+    Homes with Devices data but no device on the band contribute zero, as
+    in the paper (the CDFs start well above zero at x=0 for 5 GHz).
+    """
+    homes = {entry.router_id for entry in data.roster}
+    counts = {rid: 0 for rid in homes}
+    for entry in data.roster:
+        if entry.spectrum is spectrum:
+            counts[entry.router_id] += 1
+    return EmpiricalCdf.from_samples(counts.values())
+
+
+# -- Ethernet port pressure -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PortUsage:
+    """How hard homes push the four LAN ports (Section 5.2)."""
+
+    mean_wired_in_use: float
+    fraction_all_four_used: float
+    fraction_at_most_two_needed: float
+
+
+def ethernet_port_usage(data: StudyData, ports: int = 4) -> PortUsage:
+    """Wired-port statistics across all census samples."""
+    per_home_max: Dict[str, int] = {}
+    wired_means = _per_home_census_means(data)
+    for sample in data.device_counts:
+        current = per_home_max.get(sample.router_id, 0)
+        per_home_max[sample.router_id] = max(current, sample.wired)
+    if not per_home_max:
+        return PortUsage(float("nan"), float("nan"), float("nan"))
+    maxima = np.array(list(per_home_max.values()))
+    means = np.array([v["wired"] for v in wired_means.values()])
+    return PortUsage(
+        mean_wired_in_use=float(means.mean()),
+        fraction_all_four_used=float((maxima >= ports).mean()),
+        fraction_at_most_two_needed=float((maxima <= 2).mean()),
+    )
+
+
+# -- Fig. 11: neighbor APs ----------------------------------------------------------------
+
+def neighbor_aps_per_home(data: StudyData, spectrum: Spectrum,
+                          quantile: float = 0.95) -> Dict[str, float]:
+    """Per home: the q-quantile of neighbor-AP counts across its scans.
+
+    A high quantile approximates "unique access points seen" while staying
+    robust to scans taken while neighbors were off.
+    """
+    scans: Dict[str, List[int]] = {}
+    for sample in data.wifi_scans:
+        if sample.spectrum is spectrum:
+            scans.setdefault(sample.router_id, []).append(sample.neighbor_aps)
+    return {rid: float(np.quantile(np.asarray(counts), quantile))
+            for rid, counts in scans.items()}
+
+
+def neighbor_ap_cdf(data: StudyData, spectrum: Spectrum,
+                    developed: Optional[bool] = None) -> EmpiricalCdf:
+    """Fig. 11: CDF over homes of visible neighbor APs on one band."""
+    per_home = neighbor_aps_per_home(data, spectrum)
+    if developed is None:
+        values = list(per_home.values())
+    else:
+        wanted = set(data.developed_ids() if developed
+                     else data.developing_ids())
+        values = [v for rid, v in per_home.items() if rid in wanted]
+    return EmpiricalCdf.from_samples(values)
+
+
+def neighbor_ap_bimodality(cdf: EmpiricalCdf,
+                           low: float = 3.0,
+                           gap_high: float = 10.0) -> float:
+    """Fraction of homes outside the (low, gap_high) middle band.
+
+    The paper observes "either there are very few access points in that
+    channel or there are a lot"; values near 1 mean strongly bimodal.
+    """
+    if cdf.n == 0:
+        return float("nan")
+    middle = cdf.fraction_at_most(gap_high) - cdf.fraction_at_most(low)
+    return 1.0 - middle
+
+
+# -- Fig. 12: vendors ---------------------------------------------------------------------
+
+def vendor_histogram(data: StudyData,
+                     router_ids: Optional[Iterable[str]] = None,
+                     min_bytes: float = 100e3) -> Dict[str, int]:
+    """Fig. 12: device counts per manufacturer bucket.
+
+    Mirrors the paper's filters: only homes in the Traffic data set, only
+    devices that transferred at least *min_bytes*, and the BISmark gateways
+    themselves removed.  MACs are lower-24-hashed but keep their OUI, which
+    is all this resolution needs.
+    """
+    if router_ids is None:
+        wanted = set(data.throughput) | {f.router_id for f in data.flows}
+    else:
+        wanted = set(router_ids)
+
+    bytes_by_mac: Dict[str, float] = {}
+    for flow in data.flows:
+        if flow.router_id in wanted:
+            bytes_by_mac[flow.device_mac] = (
+                bytes_by_mac.get(flow.device_mac, 0.0) + flow.bytes_total)
+
+    histogram: Dict[str, int] = {}
+    for entry in data.roster:
+        if entry.router_id not in wanted:
+            continue
+        if bytes_by_mac.get(entry.device_mac, 0.0) < min_bytes:
+            continue
+        mac = parse_mac(entry.device_mac)
+        if mac.oui == BISMARK_OUI:
+            continue
+        category = vendor_category(mac.oui)
+        histogram[category] = histogram.get(category, 0) + 1
+    return dict(sorted(histogram.items(), key=lambda kv: -kv[1]))
+
+
+# -- Table 4 --------------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Section5Highlights:
+    """The Table 4 claims, as measured."""
+
+    always_wired_fraction_developed: float
+    always_wired_fraction_developing: float
+    median_devices_2_4ghz: float
+    median_devices_5ghz: float
+    median_neighbor_aps_developed: float
+    median_neighbor_aps_developing: float
+
+
+def section5_highlights(data: StudyData) -> Section5Highlights:
+    """Compute Table 4 from the Devices + WiFi data sets."""
+    rows = {row.group: row for row in always_connected_households(data)}
+    cdf_24 = unique_devices_per_spectrum_cdf(data, Spectrum.GHZ_2_4)
+    cdf_5 = unique_devices_per_spectrum_cdf(data, Spectrum.GHZ_5)
+    ap_dev = neighbor_ap_cdf(data, Spectrum.GHZ_2_4, developed=True)
+    ap_dvg = neighbor_ap_cdf(data, Spectrum.GHZ_2_4, developed=False)
+    return Section5Highlights(
+        always_wired_fraction_developed=rows["developed"].wired_fraction,
+        always_wired_fraction_developing=rows["developing"].wired_fraction,
+        median_devices_2_4ghz=cdf_24.median if cdf_24.n else float("nan"),
+        median_devices_5ghz=cdf_5.median if cdf_5.n else float("nan"),
+        median_neighbor_aps_developed=ap_dev.median if ap_dev.n else float("nan"),
+        median_neighbor_aps_developing=ap_dvg.median if ap_dvg.n else float("nan"),
+    )

@@ -1,0 +1,211 @@
+"""Interval algebra over half-open time ranges ``[start, end)``.
+
+Both the simulator (router power periods, ISP outages, device association
+spans) and the availability analysis (up-intervals reconstructed from
+heartbeats, gap extraction) work in terms of sets of disjoint intervals.
+:class:`IntervalSet` provides the normalized representation plus the set
+operations the pipeline needs: union, intersection, complement, clipping,
+and total duration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+Interval = Tuple[float, float]
+
+
+class IntervalSet:
+    """An immutable, normalized set of disjoint half-open intervals.
+
+    Normalization sorts the intervals, drops empty ones, and merges any that
+    touch or overlap, so two IntervalSets covering the same instants always
+    compare equal.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        self._intervals: Tuple[Interval, ...] = self._normalize(intervals)
+
+    @staticmethod
+    def _normalize(intervals: Iterable[Interval]) -> Tuple[Interval, ...]:
+        cleaned: List[Interval] = []
+        for start, end in intervals:
+            if not (np.isfinite(start) and np.isfinite(end)):
+                raise ValueError(f"non-finite interval ({start!r}, {end!r})")
+            if end > start:
+                cleaned.append((float(start), float(end)))
+        cleaned.sort()
+        merged: List[Interval] = []
+        for start, end in cleaned:
+            if merged and start <= merged[-1][1]:
+                prev_start, prev_end = merged[-1]
+                merged[-1] = (prev_start, max(prev_end, end))
+            else:
+                merged.append((start, end))
+        return tuple(merged)
+
+    # -- basic container protocol -------------------------------------------
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{s:g}, {e:g})" for s, e in self._intervals)
+        return f"IntervalSet({inner})"
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The normalized intervals as an immutable tuple."""
+        return self._intervals
+
+    @property
+    def span(self) -> Interval:
+        """The smallest single interval containing the whole set.
+
+        Raises ValueError on an empty set.
+        """
+        if not self._intervals:
+            raise ValueError("empty IntervalSet has no span")
+        return (self._intervals[0][0], self._intervals[-1][1])
+
+    def total_duration(self) -> float:
+        """Sum of interval lengths."""
+        return float(sum(end - start for start, end in self._intervals))
+
+    def durations(self) -> np.ndarray:
+        """Lengths of each interval, in order."""
+        if not self._intervals:
+            return np.empty(0)
+        arr = np.asarray(self._intervals)
+        return arr[:, 1] - arr[:, 0]
+
+    # -- point and set queries ----------------------------------------------
+
+    def contains(self, instant: float) -> bool:
+        """True when *instant* falls inside some interval."""
+        starts = [s for s, _ in self._intervals]
+        idx = np.searchsorted(starts, instant, side="right") - 1
+        if idx < 0:
+            return False
+        start, end = self._intervals[idx]
+        return start <= instant < end
+
+    def contains_many(self, instants: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`contains` returning a boolean array."""
+        instants = np.asarray(instants, dtype=float)
+        if not self._intervals:
+            return np.zeros(instants.shape, dtype=bool)
+        arr = np.asarray(self._intervals)
+        idx = np.searchsorted(arr[:, 0], instants, side="right") - 1
+        valid = idx >= 0
+        result = np.zeros(instants.shape, dtype=bool)
+        clamped = np.clip(idx, 0, len(self._intervals) - 1)
+        inside = (instants >= arr[clamped, 0]) & (instants < arr[clamped, 1])
+        result[valid & inside] = True
+        return result
+
+    # -- set algebra ----------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Instants covered by either set."""
+        return IntervalSet(self._intervals + other._intervals)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Instants covered by both sets (two-pointer sweep)."""
+        result: List[Interval] = []
+        i, j = 0, 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            start = max(a[i][0], b[j][0])
+            end = min(a[i][1], b[j][1])
+            if end > start:
+                result.append((start, end))
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(result)
+
+    def complement(self, window: Interval) -> "IntervalSet":
+        """Instants inside *window* not covered by this set (the "gaps")."""
+        win_start, win_end = window
+        if win_end <= win_start:
+            return IntervalSet()
+        gaps: List[Interval] = []
+        cursor = win_start
+        for start, end in self.clip(win_start, win_end):
+            if start > cursor:
+                gaps.append((cursor, start))
+            cursor = max(cursor, end)
+        if cursor < win_end:
+            gaps.append((cursor, win_end))
+        return IntervalSet(gaps)
+
+    def clip(self, start: float, end: float) -> "IntervalSet":
+        """Restrict the set to the window ``[start, end)``."""
+        if end <= start:
+            return IntervalSet()
+        clipped = [
+            (max(s, start), min(e, end))
+            for s, e in self._intervals
+            if e > start and s < end
+        ]
+        return IntervalSet(clipped)
+
+    def filter_min_duration(self, min_duration: float) -> "IntervalSet":
+        """Keep only intervals at least *min_duration* long.
+
+        This is the "gaps of ten minutes or longer" rule the paper uses to
+        separate downtime from heartbeat loss.
+        """
+        if min_duration < 0:
+            raise ValueError("min_duration cannot be negative")
+        return IntervalSet(
+            (s, e) for s, e in self._intervals if (e - s) >= min_duration
+        )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_timestamps(cls, timestamps: Sequence[float],
+                        max_gap: float) -> "IntervalSet":
+        """Reconstruct up-intervals from a sorted stream of heartbeats.
+
+        Consecutive timestamps closer than *max_gap* belong to the same
+        up-interval; each interval extends from its first to its last
+        heartbeat.  This is how the availability analysis rebuilds router
+        uptime from the Heartbeats data set.
+        """
+        if max_gap <= 0:
+            raise ValueError("max_gap must be positive")
+        ts = np.asarray(timestamps, dtype=float)
+        if ts.size == 0:
+            return cls()
+        if np.any(np.diff(ts) < 0):
+            ts = np.sort(ts)
+        breaks = np.flatnonzero(np.diff(ts) > max_gap)
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [ts.size - 1]))
+        # A lone heartbeat still proves ~one sampling period of uptime.
+        return cls(
+            (float(ts[i]), float(max(ts[j], ts[i] + 1.0)))
+            for i, j in zip(starts, ends)
+        )

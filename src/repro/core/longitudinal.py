@@ -1,0 +1,203 @@
+"""Longitudinal analysis: what continuous monitoring buys you.
+
+The paper's core methodological argument (Section 2) is that a gateway
+vantage point enables *continuous* monitoring — "how usage patterns change
+over time, both on short and long timescales" — where prior work took
+one-shot measurements.  This module delivers that promise over the
+collected data sets:
+
+* per-week availability series and trends per home or group;
+* rolling downtime rates (is a home's connectivity getting worse?);
+* device-population growth across the Devices window;
+* per-day traffic volume series for consenting homes.
+
+Each series comes with a least-squares slope so "getting better/worse" is
+a number, not a squint at a plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import availability
+from repro.core.datasets import HeartbeatLog, StudyData
+from repro.simulation.timebase import DAY, WEEK
+
+
+@dataclass(frozen=True)
+class TrendSeries:
+    """A time series of (bucket_start_epoch, value) with its linear trend."""
+
+    label: str
+    times: np.ndarray
+    values: np.ndarray
+    #: Least-squares slope in value-units per day.
+    slope_per_day: float
+
+    @classmethod
+    def from_points(cls, label: str,
+                    points: Sequence[Tuple[float, float]]) -> "TrendSeries":
+        """Build a series; slope is NaN with fewer than two points."""
+        if points:
+            times = np.asarray([t for t, _ in points], dtype=float)
+            values = np.asarray([v for _, v in points], dtype=float)
+        else:
+            times = np.empty(0)
+            values = np.empty(0)
+        if times.size >= 2 and np.ptp(times) > 0:
+            slope = float(np.polyfit((times - times[0]) / DAY,
+                                     values, deg=1)[0])
+        else:
+            slope = float("nan")
+        return cls(label=label, times=times, values=values,
+                   slope_per_day=slope)
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def mean(self) -> float:
+        """Mean value across buckets (NaN when empty)."""
+        return float(self.values.mean()) if self.values.size else float("nan")
+
+    def points(self) -> List[Tuple[float, float]]:
+        """(time, value) pairs, for rendering."""
+        return list(zip(self.times.tolist(), self.values.tolist()))
+
+
+def _bucket_edges(start: float, end: float,
+                  bucket_seconds: float) -> np.ndarray:
+    if end <= start:
+        return np.asarray([start])
+    count = int(np.ceil((end - start) / bucket_seconds))
+    return start + np.arange(count + 1) * bucket_seconds
+
+
+# -- availability over time ---------------------------------------------------------
+
+def availability_series(log: HeartbeatLog,
+                        bucket_seconds: float = WEEK) -> TrendSeries:
+    """Per-bucket availability fraction for one router."""
+    ts = log.timestamps
+    if ts.size < 2:
+        return TrendSeries.from_points(log.router_id, [])
+    up = availability.up_intervals(log)
+    edges = _bucket_edges(float(ts[0]), float(ts[-1]), bucket_seconds)
+    points = []
+    for left, right in zip(edges, edges[1:]):
+        span = min(right, float(ts[-1])) - left
+        if span < bucket_seconds * 0.5:
+            continue  # ignore ragged final bucket
+        covered = up.clip(left, left + span).total_duration()
+        points.append((left, covered / span))
+    return TrendSeries.from_points(log.router_id, points)
+
+
+def downtime_rate_series(log: HeartbeatLog,
+                         bucket_seconds: float = WEEK,
+                         threshold: float = 600.0) -> TrendSeries:
+    """Per-bucket ≥threshold downtimes per day for one router."""
+    ts = log.timestamps
+    if ts.size < 2:
+        return TrendSeries.from_points(log.router_id, [])
+    events = availability.downtime_events(log, threshold)
+    starts = np.asarray([s for s, _ in events])
+    edges = _bucket_edges(float(ts[0]), float(ts[-1]), bucket_seconds)
+    points = []
+    for left, right in zip(edges, edges[1:]):
+        span = min(right, float(ts[-1])) - left
+        if span < bucket_seconds * 0.5:
+            continue
+        count = int(np.sum((starts >= left) & (starts < left + span))) \
+            if starts.size else 0
+        points.append((left, count / (span / DAY)))
+    return TrendSeries.from_points(log.router_id, points)
+
+
+def group_availability_trend(data: StudyData, developed: bool,
+                             bucket_seconds: float = WEEK) -> TrendSeries:
+    """Median availability per bucket across one development class."""
+    wanted = set(data.developed_ids() if developed else data.developing_ids())
+    per_bucket: Dict[float, List[float]] = {}
+    for rid, log in data.heartbeats.items():
+        if rid not in wanted:
+            continue
+        for t, value in availability_series(log, bucket_seconds).points():
+            per_bucket.setdefault(t, []).append(value)
+    label = "developed" if developed else "developing"
+    points = sorted((t, float(np.median(values)))
+                    for t, values in per_bucket.items())
+    return TrendSeries.from_points(label, points)
+
+
+# -- infrastructure over time ---------------------------------------------------------
+
+def connected_devices_series(data: StudyData,
+                             bucket_seconds: float = WEEK) -> TrendSeries:
+    """Mean simultaneously-connected devices per bucket, all homes."""
+    if not data.device_counts:
+        return TrendSeries.from_points("devices", [])
+    start = min(s.timestamp for s in data.device_counts)
+    per_bucket: Dict[float, List[int]] = {}
+    for sample in data.device_counts:
+        bucket = start + ((sample.timestamp - start) // bucket_seconds) \
+            * bucket_seconds
+        per_bucket.setdefault(bucket, []).append(sample.total)
+    points = sorted((t, float(np.mean(values)))
+                    for t, values in per_bucket.items())
+    return TrendSeries.from_points("devices", points)
+
+
+# -- usage over time ----------------------------------------------------------------------
+
+def traffic_volume_series(data: StudyData, router_id: str,
+                          bucket_seconds: float = DAY) -> TrendSeries:
+    """Per-bucket gateway bytes for one consenting home."""
+    series = data.throughput.get(router_id)
+    if series is None or len(series) == 0:
+        return TrendSeries.from_points(router_id, [])
+    # Mean-rate floor of per-minute peaks (see firmware.caps).
+    byte_rate = (series.up_bps + series.down_bps) / 2.2 / 8.0
+    bytes_per_minute = byte_rate * series.interval_seconds
+    times = series.timestamps
+    start = float(times[0])
+    per_bucket: Dict[float, float] = {}
+    for t, b in zip(times, bytes_per_minute):
+        bucket = start + ((t - start) // bucket_seconds) * bucket_seconds
+        per_bucket[bucket] = per_bucket.get(bucket, 0.0) + float(b)
+    return TrendSeries.from_points(router_id, sorted(per_bucket.items()))
+
+
+@dataclass(frozen=True)
+class DegradingHome:
+    """A home whose connectivity is measurably worsening."""
+
+    router_id: str
+    downtime_slope_per_day: float
+    current_rate_per_day: float
+
+
+def degrading_homes(data: StudyData,
+                    min_slope: float = 0.02,
+                    bucket_seconds: float = WEEK) -> List[DegradingHome]:
+    """Homes whose weekly downtime rate trends upward.
+
+    The ISP-facing payoff of continuous monitoring: a one-shot measurement
+    cannot distinguish a bad week from a deteriorating line.
+    """
+    results: List[DegradingHome] = []
+    for rid, log in sorted(data.heartbeats.items()):
+        series = downtime_rate_series(log, bucket_seconds)
+        if len(series) < 3 or not np.isfinite(series.slope_per_day):
+            continue
+        if series.slope_per_day >= min_slope:
+            results.append(DegradingHome(
+                router_id=rid,
+                downtime_slope_per_day=series.slope_per_day,
+                current_rate_per_day=float(series.values[-1]),
+            ))
+    results.sort(key=lambda h: -h.downtime_slope_per_day)
+    return results

@@ -1,0 +1,186 @@
+"""One-call reproduction of the paper's whole evaluation.
+
+:func:`reproduce_all` runs every Section 4/5/6 analysis over a collected
+study and returns a structured :class:`PaperReport`;
+:func:`render_report` turns it into the text document a reader would
+diff against the paper.  The per-experiment benchmarks under
+``benchmarks/`` remain the authoritative shape checks; this module is the
+library-user-facing "give me everything" entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import availability, infrastructure, usage
+from repro.core.datasets import DatasetSummary, StudyData, summarize_datasets
+from repro.core.records import Spectrum
+from repro.core.report import render_comparison, render_table
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One paper-vs-measured line of the final report."""
+
+    experiment: str
+    quantity: str
+    paper: str
+    measured: object
+
+
+@dataclass
+class PaperReport:
+    """Every reproduced number, grouped by paper section."""
+
+    datasets: List[DatasetSummary]
+    section4: List[ExperimentRow] = field(default_factory=list)
+    section5: List[ExperimentRow] = field(default_factory=list)
+    section6: List[ExperimentRow] = field(default_factory=list)
+
+    def rows(self) -> List[ExperimentRow]:
+        """All rows in paper order."""
+        return self.section4 + self.section5 + self.section6
+
+    def by_experiment(self) -> Dict[str, List[ExperimentRow]]:
+        """Rows grouped by experiment label (e.g. ``"Fig. 3"``)."""
+        grouped: Dict[str, List[ExperimentRow]] = {}
+        for row in self.rows():
+            grouped.setdefault(row.experiment, []).append(row)
+        return grouped
+
+
+def _section4_rows(data: StudyData) -> List[ExperimentRow]:
+    rows: List[ExperimentRow] = []
+    dev = availability.downtime_rate_cdf(data, developed=True)
+    dvg = availability.downtime_rate_cdf(data, developed=False)
+    if dev.n and dvg.n:
+        rows.append(ExperimentRow(
+            "Fig. 3", "median downtimes/day developed vs developing",
+            "~0.03 vs ~1", f"{dev.median:.3f} vs {dvg.median:.3f}"))
+    dur_dev = availability.downtime_duration_cdf(data, developed=True)
+    dur_dvg = availability.downtime_duration_cdf(data, developed=False)
+    if dur_dev.n and dur_dvg.n:
+        rows.append(ExperimentRow(
+            "Fig. 4", "median downtime minutes developed vs developing",
+            "~30 vs ~30 (longer tail)",
+            f"{dur_dev.median / 60:.0f} vs {dur_dvg.median / 60:.0f}"))
+    points = availability.downtimes_by_country(data)
+    if points:
+        worst = sorted(points, key=lambda p: -p.median_downtimes)[:2]
+        rows.append(ExperimentRow(
+            "Fig. 5", "two worst countries", "IN, PK",
+            ", ".join(sorted(p.country_code for p in worst))))
+    by_country = availability.median_availability_by_country(data)
+    for code, paper in (("US", "98.25%"), ("IN", "76.01%"),
+                        ("ZA", "85.57%")):
+        if code in by_country:
+            rows.append(ExperimentRow(
+                "Table 3", f"median {code} availability", paper,
+                f"{by_country[code]:.2%}"))
+    return rows
+
+
+def _section5_rows(data: StudyData) -> List[ExperimentRow]:
+    rows: List[ExperimentRow] = []
+    cdf = infrastructure.devices_per_home_cdf(data)
+    if cdf.n:
+        rows.append(ExperimentRow(
+            "Fig. 7", "mean devices per home", "~7",
+            round(float(np.mean(cdf.values)), 2)))
+        rows.append(ExperimentRow(
+            "Fig. 7", "P(>=5 devices)", "> 0.5",
+            round(cdf.fraction_at_least(5), 2)))
+    for developed, label in ((True, "developed"), (False, "developing")):
+        medium = infrastructure.mean_connected_by_medium(data, developed)
+        if medium["wired"].n:
+            rows.append(ExperimentRow(
+                "Fig. 8", f"wireless vs wired connected ({label})",
+                "wireless > wired",
+                f"{medium['wireless'].mean:.2f} vs "
+                f"{medium['wired'].mean:.2f}"))
+    table5 = {r.group: r
+              for r in infrastructure.always_connected_households(data)}
+    if table5["developed"].total_households:
+        rows.append(ExperimentRow(
+            "Table 5", "always-wired homes developed vs developing",
+            "43% vs 12%",
+            f"{table5['developed'].wired_fraction:.0%} vs "
+            f"{table5['developing'].wired_fraction:.0%}"))
+    ap_dev = infrastructure.neighbor_ap_cdf(data, Spectrum.GHZ_2_4, True)
+    ap_dvg = infrastructure.neighbor_ap_cdf(data, Spectrum.GHZ_2_4, False)
+    if ap_dev.n and ap_dvg.n:
+        rows.append(ExperimentRow(
+            "Fig. 11", "median neighbor APs developed vs developing",
+            "~20 vs ~2", f"{ap_dev.median:.0f} vs {ap_dvg.median:.0f}"))
+    histogram = infrastructure.vendor_histogram(data)
+    if histogram:
+        rows.append(ExperimentRow(
+            "Fig. 12", "most common manufacturer", "Apple",
+            next(iter(histogram))))
+    return rows
+
+
+def _section6_rows(data: StudyData) -> List[ExperimentRow]:
+    rows: List[ExperimentRow] = []
+    weekday = usage.diurnal_device_profile(data, weekend=False)
+    weekend = usage.diurnal_device_profile(data, weekend=True)
+    if weekday.counts.sum() and weekend.counts.sum():
+        rows.append(ExperimentRow(
+            "Fig. 13", "weekday peak hour (local)", "evening",
+            f"{weekday.peak_hour}:00"))
+        rows.append(ExperimentRow(
+            "Fig. 13", "weekday/weekend amplitude ratio", "> 1",
+            round(usage.diurnal_amplitude_ratio(data), 2)))
+    points = usage.link_saturation(data)
+    if points:
+        over = usage.saturating_uplink_homes(points)
+        rows.append(ExperimentRow(
+            "Fig. 15", "homes with uplink utilization > 1", "2", len(over)))
+        below_half = np.mean([p.downlink_utilization < 0.5 for p in points])
+        rows.append(ExperimentRow(
+            "Fig. 15", "homes under 50% downlink at p95", "most",
+            f"{below_half:.0%}"))
+    shares = usage.mean_device_share(data, ranks=2)
+    if shares.size and shares[0] > 0:
+        rows.append(ExperimentRow(
+            "Fig. 17", "top / second device share", "~65% / ~20%",
+            f"{shares[0]:.0%} / {shares[1]:.0%}"))
+    domains = usage.domain_share(data)
+    if domains.volume_share_by_rank.size and domains.volume_share_by_rank[0]:
+        rows.append(ExperimentRow(
+            "Fig. 19", "top domain volume share", "~38%",
+            f"{domains.volume_share_by_rank[0]:.0%}"))
+        rows.append(ExperimentRow(
+            "Fig. 19", "whitelist byte coverage", "~65%",
+            f"{domains.whitelist_byte_coverage:.0%}"))
+    return rows
+
+
+def reproduce_all(data: StudyData) -> PaperReport:
+    """Compute the full paper-vs-measured report for one study."""
+    return PaperReport(
+        datasets=summarize_datasets(data),
+        section4=_section4_rows(data),
+        section5=_section5_rows(data),
+        section6=_section6_rows(data),
+    )
+
+
+def render_report(report: PaperReport) -> str:
+    """Render a :class:`PaperReport` as the full text document."""
+    sections = [render_table(
+        ["dataset", "kind", "routers", "countries"],
+        [(row.name, row.kind, row.routers, row.countries)
+         for row in report.datasets],
+        title="Table 2 — data sets")]
+    for title, rows in (("Section 4 — availability", report.section4),
+                        ("Section 5 — infrastructure", report.section5),
+                        ("Section 6 — usage", report.section6)):
+        if rows:
+            sections.append(render_comparison(title, [
+                (f"{row.experiment}: {row.quantity}", row.paper,
+                 row.measured) for row in rows]))
+    return "\n\n".join(sections)

@@ -1,0 +1,241 @@
+"""Record schemas for the six BISmark data sets (paper Section 3.2).
+
+Every collector in :mod:`repro.firmware` emits these records, the collection
+server stores them, and the analysis modules consume them.  The schemas
+deliberately contain only what the paper says was collected — e.g. flow
+records carry an *obfuscated* device MAC and a domain that is either
+whitelisted or the ``OBFUSCATED_DOMAIN`` sentinel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Sentinel domain used when a DNS name was not on the whitelist.  The
+#: firmware replaces the name *before* the record leaves the home.
+OBFUSCATED_DOMAIN = "(obfuscated)"
+
+
+class Spectrum(enum.Enum):
+    """The two wireless bands the BISmark routers operate (802.11gn/an)."""
+
+    GHZ_2_4 = "2.4GHz"
+    GHZ_5 = "5GHz"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Medium(enum.Enum):
+    """How a device attaches to the gateway."""
+
+    WIRED = "wired"
+    WIRELESS = "wireless"
+
+
+@dataclass(frozen=True)
+class RouterInfo:
+    """Deployment metadata for one gateway (who/where, not measurements)."""
+
+    router_id: str
+    country_code: str
+    developed: bool
+    tz_offset_hours: float
+    #: Per-capita GDP (PPP, international dollars) of the router's country.
+    gdp_ppp_per_capita: float
+
+    def __post_init__(self) -> None:
+        if not self.router_id:
+            raise ValueError("router_id must be non-empty")
+        if self.gdp_ppp_per_capita <= 0:
+            raise ValueError("gdp_ppp_per_capita must be positive")
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One ~1-minute keepalive received by the central server.
+
+    A heartbeat proves the router was powered on, its access link was up,
+    and the path to the server worked at ``timestamp``.  Heartbeats are not
+    retransmitted (Section 3.2.2), so absence is ambiguous — resolving that
+    ambiguity is the availability analysis's job.
+    """
+
+    router_id: str
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class UptimeReport:
+    """12-hourly report of seconds since the router last booted."""
+
+    router_id: str
+    timestamp: float
+    uptime_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.uptime_seconds < 0:
+            raise ValueError("uptime_seconds cannot be negative")
+
+    @property
+    def boot_time(self) -> float:
+        """Epoch at which this router last powered on."""
+        return self.timestamp - self.uptime_seconds
+
+
+@dataclass(frozen=True)
+class CapacityMeasurement:
+    """12-hourly ShaperProbe-style estimate of access-link capacity (Mbps)."""
+
+    router_id: str
+    timestamp: float
+    downstream_mbps: float
+    upstream_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.downstream_mbps < 0 or self.upstream_mbps < 0:
+            raise ValueError("capacity estimates cannot be negative")
+
+
+@dataclass(frozen=True)
+class DeviceCountSample:
+    """Hourly census: devices on Ethernet ports and per wireless band."""
+
+    router_id: str
+    timestamp: float
+    wired: int
+    wireless_2_4: int
+    wireless_5: int
+
+    def __post_init__(self) -> None:
+        if min(self.wired, self.wireless_2_4, self.wireless_5) < 0:
+            raise ValueError("device counts cannot be negative")
+
+    @property
+    def wireless(self) -> int:
+        """Total wireless devices across both bands."""
+        return self.wireless_2_4 + self.wireless_5
+
+    @property
+    def total(self) -> int:
+        """All devices connected at this sample."""
+        return self.wired + self.wireless
+
+
+@dataclass(frozen=True)
+class DeviceRosterEntry:
+    """One device ever seen by a gateway (Devices data set, non-PII).
+
+    The MAC is anonymized (lower 24 bits hashed) but keeps its OUI, so the
+    analysis can resolve the manufacturer (Fig. 12) without identifying the
+    device.  ``always_connected`` records whether the device was associated
+    whenever the router was powered across the whole Devices window — the
+    paper's Table 5 "never disconnects for over five weeks" criterion.
+    """
+
+    router_id: str
+    device_mac: str
+    medium: Medium
+    spectrum: Optional[Spectrum]
+    first_seen: float
+    last_seen: float
+    always_connected: bool
+
+    def __post_init__(self) -> None:
+        if self.last_seen < self.first_seen:
+            raise ValueError("last_seen cannot precede first_seen")
+        if self.medium is Medium.WIRED and self.spectrum is not None:
+            raise ValueError("wired devices have no spectrum")
+
+
+@dataclass(frozen=True)
+class WifiScanSample:
+    """~10-minute scan of one channel for neighboring APs.
+
+    ``channel`` records which channel was scanned; the deployed firmware
+    only scanned the configured channel (11 on 2.4 GHz, 36 on 5 GHz), but
+    the full-spectrum extension sweeps them all.  0 means unknown (legacy
+    records).
+    """
+
+    router_id: str
+    timestamp: float
+    spectrum: Spectrum
+    neighbor_aps: int
+    associated_clients: int
+    channel: int = 0
+
+    def __post_init__(self) -> None:
+        if self.neighbor_aps < 0 or self.associated_clients < 0:
+            raise ValueError("scan counts cannot be negative")
+        if self.channel < 0:
+            raise ValueError("channel cannot be negative")
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One sampled Internet-bound flow (Traffic data set, consented homes).
+
+    ``device_mac`` has its lower 24 bits hashed; ``domain`` is a whitelisted
+    name or :data:`OBFUSCATED_DOMAIN`; ``remote_ip`` is the deterministic
+    pseudonym from :func:`repro.netutils.ip.obfuscate_ipv4`.
+    """
+
+    router_id: str
+    timestamp: float
+    device_mac: str
+    domain: str
+    remote_ip: int
+    port: int
+    application: str
+    bytes_up: float
+    bytes_down: float
+    duration_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_up < 0 or self.bytes_down < 0:
+            raise ValueError("flow byte counts cannot be negative")
+        if self.duration_seconds < 0:
+            raise ValueError("flow duration cannot be negative")
+
+    @property
+    def bytes_total(self) -> float:
+        """Bytes in both directions."""
+        return self.bytes_up + self.bytes_down
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """Per-minute traffic sample: the peak 1-second throughput in the minute.
+
+    This is exactly the statistic the paper computes for Section 6.2 ("the
+    maximum per-second throughput every minute"), recorded at the gateway.
+    """
+
+    router_id: str
+    timestamp: float
+    up_bps: float
+    down_bps: float
+
+    def __post_init__(self) -> None:
+        if self.up_bps < 0 or self.down_bps < 0:
+            raise ValueError("throughput cannot be negative")
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """A sampled A/CNAME response, domain whitelisted-or-obfuscated."""
+
+    router_id: str
+    timestamp: float
+    device_mac: str
+    domain: str
+    record_type: str
+    #: Resolved (obfuscated) address for A records; None for CNAMEs.
+    address: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.record_type not in ("A", "CNAME"):
+            raise ValueError(f"unsupported DNS record type {self.record_type!r}")

@@ -1,0 +1,87 @@
+"""Plain-text rendering of tables, CDFs, and profiles.
+
+The benchmark harness regenerates each of the paper's tables and figures as
+text: tables as aligned columns, CDFs and hour-of-day profiles as compact
+(x, y) series with sparkline bars.  Everything here is presentation only —
+no statistics are computed in this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_series(pairs: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y",
+                  title: Optional[str] = None,
+                  max_points: int = 20) -> str:
+    """Render (x, y) pairs as a table with a sparkline column."""
+    if not pairs:
+        return (title or "") + "\n(empty series)"
+    if len(pairs) > max_points:
+        step = len(pairs) / max_points
+        pairs = [pairs[int(i * step)] for i in range(max_points)]
+    ys = [y for _, y in pairs]
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    rows = []
+    for x, y in pairs:
+        level = int((y - lo) / span * (len(_BLOCKS) - 1))
+        rows.append((x, y, _BLOCKS[level] * 8))
+    return render_table([x_label, y_label, "bar"], rows, title=title)
+
+
+def render_cdf(cdf, x_label: str = "value",
+               title: Optional[str] = None, points: int = 16) -> str:
+    """Render an :class:`~repro.core.stats.EmpiricalCdf` as text."""
+    return render_series(cdf.series(points), x_label=x_label,
+                         y_label="CDF", title=title)
+
+
+def render_profile(profile, title: Optional[str] = None) -> str:
+    """Render an :class:`~repro.core.stats.HourOfDayProfile` as text."""
+    pairs = [(float(hour), float(mean))
+             for hour, mean in enumerate(profile.means)
+             if mean == mean]  # skip NaN slots
+    return render_series(pairs, x_label="hour", y_label="mean",
+                         title=title, max_points=24)
+
+
+def render_comparison(title: str,
+                      rows: Iterable[Tuple[str, object, object]]) -> str:
+    """Render paper-vs-measured rows (used by every bench)."""
+    return render_table(["quantity", "paper", "measured"], rows, title=title)

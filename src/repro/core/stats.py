@@ -1,0 +1,180 @@
+"""Shared statistics kit: empirical CDFs, percentiles, binned profiles.
+
+Every figure in the paper is one of a small number of statistical shapes —
+an empirical CDF (Figs. 3, 4, 7, 10, 11), a mean-with-deviation bar
+(Figs. 8, 9), an hour-of-day profile (Fig. 13), a scatter (Figs. 5, 15),
+or a ranked-share breakdown (Figs. 17–19).  This module implements those
+shapes once so each analysis module stays about its domain logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical cumulative distribution over observed values."""
+
+    values: np.ndarray      # sorted observations
+    fractions: np.ndarray   # P(X <= values[i]), same length
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "EmpiricalCdf":
+        """Build a CDF from raw samples (need not be sorted)."""
+        arr = np.sort(np.asarray(list(samples), dtype=float))
+        if arr.size == 0:
+            return cls(values=np.empty(0), fractions=np.empty(0))
+        fractions = np.arange(1, arr.size + 1, dtype=float) / arr.size
+        return cls(values=arr, fractions=fractions)
+
+    @property
+    def n(self) -> int:
+        """Number of underlying samples."""
+        return int(self.values.size)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1) of the observations."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.values.size == 0:
+            raise ValueError("quantile of an empty CDF")
+        return float(np.quantile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        """Convenience for :meth:`quantile` at 0.5."""
+        return self.quantile(0.5)
+
+    def fraction_at_most(self, threshold: float) -> float:
+        """P(X <= threshold) under the empirical distribution."""
+        if self.values.size == 0:
+            raise ValueError("fraction of an empty CDF")
+        return float(np.searchsorted(self.values, threshold, side="right")
+                     / self.values.size)
+
+    def fraction_at_least(self, threshold: float) -> float:
+        """P(X >= threshold) under the empirical distribution."""
+        if self.values.size == 0:
+            raise ValueError("fraction of an empty CDF")
+        below = np.searchsorted(self.values, threshold, side="left")
+        return float((self.values.size - below) / self.values.size)
+
+    def series(self, points: int = 50) -> List[Tuple[float, float]]:
+        """Downsample to ~*points* (value, fraction) pairs for rendering."""
+        if self.values.size == 0:
+            return []
+        if self.values.size <= points:
+            return list(zip(self.values.tolist(), self.fractions.tolist()))
+        idx = np.unique(np.linspace(0, self.values.size - 1, points).astype(int))
+        return [(float(self.values[i]), float(self.fractions[i])) for i in idx]
+
+
+@dataclass(frozen=True)
+class MeanWithSpread:
+    """A mean with its standard deviation and sample count (bar + error bar)."""
+
+    mean: float
+    std: float
+    n: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "MeanWithSpread":
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            return cls(mean=float("nan"), std=float("nan"), n=0)
+        return cls(mean=float(arr.mean()),
+                   std=float(arr.std(ddof=0)),
+                   n=int(arr.size))
+
+
+@dataclass(frozen=True)
+class HourOfDayProfile:
+    """Mean of a quantity in each local hour of day (Fig. 13 shape)."""
+
+    means: np.ndarray  # 24 entries, hour 0..23
+    counts: np.ndarray
+
+    @classmethod
+    def from_samples(cls, hours: Sequence[int],
+                     values: Sequence[float]) -> "HourOfDayProfile":
+        """Aggregate (hour, value) samples into a 24-slot mean profile."""
+        hours_arr = np.asarray(list(hours), dtype=int)
+        values_arr = np.asarray(list(values), dtype=float)
+        if hours_arr.shape != values_arr.shape:
+            raise ValueError("hours and values must have the same length")
+        if hours_arr.size and (hours_arr.min() < 0 or hours_arr.max() > 23):
+            raise ValueError("hours must be in 0..23")
+        sums = np.zeros(24)
+        counts = np.zeros(24)
+        np.add.at(sums, hours_arr, values_arr)
+        np.add.at(counts, hours_arr, 1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return cls(means=means, counts=counts)
+
+    @property
+    def peak_hour(self) -> int:
+        """Local hour with the highest mean."""
+        return int(np.nanargmax(self.means))
+
+    @property
+    def trough_hour(self) -> int:
+        """Local hour with the lowest mean."""
+        return int(np.nanargmin(self.means))
+
+    def amplitude(self) -> float:
+        """Peak-to-trough difference; how diurnal the profile is."""
+        return float(np.nanmax(self.means) - np.nanmin(self.means))
+
+
+def shares(values: Sequence[float]) -> np.ndarray:
+    """Normalize non-negative values into descending fractional shares.
+
+    Used for Fig. 17 (per-device byte shares) and Fig. 19 (per-domain
+    volume/connection shares).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return arr
+    if np.any(arr < 0):
+        raise ValueError("shares require non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return np.zeros(arr.size)
+    return np.sort(arr / total)[::-1]
+
+
+def mean_ranked_shares(per_home_shares: Iterable[np.ndarray],
+                       ranks: int) -> np.ndarray:
+    """Average the rank-k share across homes (padding short homes with 0).
+
+    The paper's "the most popular domain accounts for about 38% of traffic on
+    average" is exactly ``mean_ranked_shares(...)[0]``.
+    """
+    if ranks <= 0:
+        raise ValueError("ranks must be positive")
+    stacked = []
+    for share_vec in per_home_shares:
+        padded = np.zeros(ranks)
+        take = min(ranks, share_vec.size)
+        padded[:take] = share_vec[:take]
+        stacked.append(padded)
+    if not stacked:
+        return np.zeros(ranks)
+    return np.mean(np.vstack(stacked), axis=0)
+
+
+def percentile_by_key(pairs: Iterable[Tuple[str, float]],
+                      q: float) -> Dict[str, float]:
+    """Group (key, value) pairs by key and take the q-percentile per key."""
+    grouped: Dict[str, List[float]] = {}
+    for key, value in pairs:
+        grouped.setdefault(key, []).append(value)
+    return {
+        key: float(np.percentile(np.asarray(values), q))
+        for key, values in grouped.items()
+    }

@@ -1,0 +1,418 @@
+"""Section 6: usage characteristics of home networks.
+
+Inputs: the Devices censuses (diurnal device presence), the Capacity data
+set, and the Traffic data set (per-minute throughput, flow records).
+Outputs: Figs. 13-20 and Table 6.
+
+One methodological note: the paper's Fig. 13 uses the WiFi data set's
+associated-client counts.  Our scanner, like the real one, backs off while
+clients are associated — which biases scan-derived client counts — so the
+diurnal profile here uses the hourly Devices censuses instead; they measure
+the identical quantity (wireless devices associated, by local hour) without
+the back-off bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.datasets import StudyData, ThroughputSeries
+from repro.core.records import OBFUSCATED_DOMAIN, FlowRecord
+from repro.core.stats import (
+    EmpiricalCdf,
+    HourOfDayProfile,
+    mean_ranked_shares,
+    shares,
+)
+from repro.simulation.timebase import StudyCalendar
+
+MBPS = 1e6
+
+
+def _traffic_router_ids(data: StudyData,
+                        router_ids: Optional[Iterable[str]]) -> List[str]:
+    if router_ids is not None:
+        return sorted(set(router_ids))
+    return data.qualifying_traffic_routers()
+
+
+# -- Fig. 13: diurnal device presence ----------------------------------------------
+
+def diurnal_device_profile(data: StudyData, weekend: bool) -> HourOfDayProfile:
+    """Fig. 13: mean wireless devices online per local hour of day."""
+    hours: List[int] = []
+    values: List[float] = []
+    calendars: Dict[str, StudyCalendar] = {}
+    for sample in data.device_counts:
+        info = data.routers.get(sample.router_id)
+        if info is None:
+            continue
+        calendar = calendars.get(sample.router_id)
+        if calendar is None:
+            calendar = StudyCalendar(info.tz_offset_hours)
+            calendars[sample.router_id] = calendar
+        if calendar.is_weekend(sample.timestamp) != weekend:
+            continue
+        hours.append(calendar.hour_of_day(sample.timestamp))
+        values.append(float(sample.wireless))
+    return HourOfDayProfile.from_samples(hours, values)
+
+
+def diurnal_amplitude_ratio(data: StudyData) -> float:
+    """How much more diurnal weekdays are than weekends (Table 6, row 1).
+
+    Ratio of weekday to weekend peak-to-trough amplitude; > 1 means the
+    weekday profile swings harder.
+    """
+    weekday = diurnal_device_profile(data, weekend=False).amplitude()
+    weekend = diurnal_device_profile(data, weekend=True).amplitude()
+    if weekend == 0:
+        return float("inf")
+    return weekday / weekend
+
+
+# -- Figs. 14-16: link utilization ---------------------------------------------------
+
+def median_capacity(data: StudyData,
+                    router_id: str) -> Optional[Tuple[float, float]]:
+    """Median (down, up) capacity estimate in Mbps for one router."""
+    down = [m.downstream_mbps for m in data.capacity
+            if m.router_id == router_id]
+    up = [m.upstream_mbps for m in data.capacity if m.router_id == router_id]
+    if not down:
+        return None
+    return (float(np.median(down)), float(np.median(up)))
+
+
+@dataclass(frozen=True)
+class UtilizationTimeseries:
+    """Fig. 14 / Fig. 16 contents for one home."""
+
+    router_id: str
+    series: ThroughputSeries
+    capacity_down_mbps: float
+    capacity_up_mbps: float
+
+    def downlink_utilization(self) -> np.ndarray:
+        """Per-minute downlink peak as a fraction of estimated capacity."""
+        return self.series.down_bps / (self.capacity_down_mbps * MBPS)
+
+    def uplink_utilization(self) -> np.ndarray:
+        """Per-minute uplink peak as a fraction of estimated capacity."""
+        return self.series.up_bps / (self.capacity_up_mbps * MBPS)
+
+
+def utilization_timeseries(data: StudyData,
+                           router_id: str) -> Optional[UtilizationTimeseries]:
+    """Join one home's throughput series with its capacity estimates."""
+    series = data.throughput.get(router_id)
+    capacity = median_capacity(data, router_id)
+    if series is None or capacity is None:
+        return None
+    down, up = capacity
+    return UtilizationTimeseries(router_id=router_id, series=series,
+                                 capacity_down_mbps=down,
+                                 capacity_up_mbps=up)
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """One home's point in the Fig. 15 scatter."""
+
+    router_id: str
+    capacity_down_mbps: float
+    capacity_up_mbps: float
+    downlink_utilization: float
+    uplink_utilization: float
+
+
+def link_saturation(data: StudyData, percentile: float = 95.0,
+                    router_ids: Optional[Iterable[str]] = None,
+                    ) -> List[SaturationPoint]:
+    """Fig. 15: 95th-percentile utilization vs capacity, per home.
+
+    Only active minutes count (some device exchanging traffic), matching
+    Section 6.2's methodology.
+    """
+    points: List[SaturationPoint] = []
+    for rid in _traffic_router_ids(data, router_ids):
+        joined = utilization_timeseries(data, rid)
+        if joined is None:
+            continue
+        active = joined.series.active_mask()
+        if not np.any(active):
+            continue
+        down_util = joined.downlink_utilization()[active]
+        up_util = joined.uplink_utilization()[active]
+        points.append(SaturationPoint(
+            router_id=rid,
+            capacity_down_mbps=joined.capacity_down_mbps,
+            capacity_up_mbps=joined.capacity_up_mbps,
+            downlink_utilization=float(np.percentile(down_util, percentile)),
+            uplink_utilization=float(np.percentile(up_util, percentile)),
+        ))
+    return points
+
+
+def saturating_uplink_homes(points: Sequence[SaturationPoint]) -> List[str]:
+    """Homes whose 95th-pct uplink utilization exceeds capacity (Fig. 16)."""
+    return [p.router_id for p in points if p.uplink_utilization > 1.0]
+
+
+# -- Fig. 17: per-device shares --------------------------------------------------------
+
+def device_share_per_home(data: StudyData,
+                          router_ids: Optional[Iterable[str]] = None,
+                          ) -> Dict[str, np.ndarray]:
+    """Per home: descending per-device byte shares from flow records."""
+    wanted = set(_traffic_router_ids(data, router_ids))
+    per_device: Dict[str, Dict[str, float]] = {}
+    for flow in data.flows:
+        if flow.router_id not in wanted:
+            continue
+        home = per_device.setdefault(flow.router_id, {})
+        home[flow.device_mac] = home.get(flow.device_mac, 0.0) \
+            + flow.bytes_total
+    return {rid: shares(list(macs.values()))
+            for rid, macs in per_device.items()}
+
+
+def mean_device_share(data: StudyData, ranks: int = 5,
+                      router_ids: Optional[Iterable[str]] = None) -> np.ndarray:
+    """Fig. 17 summary: mean share of the rank-k device across homes."""
+    per_home = device_share_per_home(data, router_ids)
+    return mean_ranked_shares(per_home.values(), ranks)
+
+
+# -- Figs. 18-19: domain shares ----------------------------------------------------------
+
+def _domain_totals(flows: Iterable[FlowRecord],
+                   include_obfuscated: bool) -> Dict[str, Dict[str, float]]:
+    """domain → {"bytes": ..., "connections": ...} for a flow stream."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for flow in flows:
+        if flow.domain == OBFUSCATED_DOMAIN and not include_obfuscated:
+            continue
+        entry = totals.setdefault(flow.domain,
+                                  {"bytes": 0.0, "connections": 0.0})
+        entry["bytes"] += flow.bytes_total
+        entry["connections"] += 1.0
+    return totals
+
+
+def domain_rankings(data: StudyData,
+                    router_ids: Optional[Iterable[str]] = None,
+                    by: str = "bytes") -> Dict[str, List[Tuple[str, float]]]:
+    """Per home: whitelisted domains ranked by bytes or connections."""
+    if by not in ("bytes", "connections"):
+        raise ValueError(f"rank key must be bytes/connections, got {by!r}")
+    wanted = set(_traffic_router_ids(data, router_ids))
+    per_home: Dict[str, List[FlowRecord]] = {}
+    for flow in data.flows:
+        if flow.router_id in wanted:
+            per_home.setdefault(flow.router_id, []).append(flow)
+    rankings: Dict[str, List[Tuple[str, float]]] = {}
+    for rid, flows in per_home.items():
+        totals = _domain_totals(flows, include_obfuscated=False)
+        ranked = sorted(((name, t[by]) for name, t in totals.items()),
+                        key=lambda kv: -kv[1])
+        rankings[rid] = ranked
+    return rankings
+
+
+def domain_top_counts(data: StudyData,
+                      router_ids: Optional[Iterable[str]] = None,
+                      ) -> Dict[str, Tuple[int, int]]:
+    """Fig. 18: per domain, #homes where it ranks top-5 / top-10 by volume."""
+    counts: Dict[str, List[int]] = {}
+    for ranked in domain_rankings(data, router_ids, by="bytes").values():
+        for rank, (name, _volume) in enumerate(ranked[:10]):
+            entry = counts.setdefault(name, [0, 0])
+            if rank < 5:
+                entry[0] += 1
+            entry[1] += 1
+    ordered = sorted(counts.items(), key=lambda kv: (-kv[1][0], -kv[1][1]))
+    return {name: (top5, top10) for name, (top5, top10) in ordered}
+
+
+@dataclass(frozen=True)
+class DomainShareSummary:
+    """Fig. 19's three panels in numbers."""
+
+    #: Mean share of whitelisted bytes carried by the rank-k volume domain.
+    volume_share_by_rank: np.ndarray
+    #: Mean share of connections made to the rank-k connection domain.
+    connection_share_by_rank: np.ndarray
+    #: Mean share of connections made to the rank-k *volume* domain
+    #: (Fig. 19c: the volume-top domain holds few connections).
+    connections_of_volume_ranked: np.ndarray
+    #: Mean fraction of all bytes that went to whitelisted domains (~65%).
+    whitelist_byte_coverage: float
+
+
+def domain_share(data: StudyData, ranks: int = 10,
+                 router_ids: Optional[Iterable[str]] = None,
+                 ) -> DomainShareSummary:
+    """Fig. 19: per-rank domain shares of volume and connections."""
+    wanted = set(_traffic_router_ids(data, router_ids))
+    per_home: Dict[str, List[FlowRecord]] = {}
+    for flow in data.flows:
+        if flow.router_id in wanted:
+            per_home.setdefault(flow.router_id, []).append(flow)
+
+    volume_shares: List[np.ndarray] = []
+    connection_shares: List[np.ndarray] = []
+    conn_of_volume: List[np.ndarray] = []
+    coverages: List[float] = []
+    for flows in per_home.values():
+        visible = _domain_totals(flows, include_obfuscated=False)
+        everything = _domain_totals(flows, include_obfuscated=True)
+        if not visible:
+            continue
+        total_bytes_all = sum(t["bytes"] for t in everything.values())
+        total_bytes_wl = sum(t["bytes"] for t in visible.values())
+        total_conns_wl = sum(t["connections"] for t in visible.values())
+        if total_bytes_all > 0:
+            coverages.append(total_bytes_wl / total_bytes_all)
+        by_volume = sorted(visible.values(), key=lambda t: -t["bytes"])
+        by_conns = sorted(visible.values(), key=lambda t: -t["connections"])
+        if total_bytes_wl > 0:
+            volume_shares.append(np.asarray(
+                [t["bytes"] / total_bytes_wl for t in by_volume]))
+        if total_conns_wl > 0:
+            connection_shares.append(np.asarray(
+                [t["connections"] / total_conns_wl for t in by_conns]))
+            conn_of_volume.append(np.asarray(
+                [t["connections"] / total_conns_wl for t in by_volume]))
+
+    return DomainShareSummary(
+        volume_share_by_rank=mean_ranked_shares(volume_shares, ranks),
+        connection_share_by_rank=mean_ranked_shares(connection_shares, ranks),
+        connections_of_volume_ranked=mean_ranked_shares(conn_of_volume, ranks),
+        whitelist_byte_coverage=(float(np.mean(coverages))
+                                 if coverages else float("nan")),
+    )
+
+
+# -- Fig. 20: per-device domain mixes -------------------------------------------------------
+
+def device_domain_profile(data: StudyData, router_id: str,
+                          device_mac: str,
+                          top: int = 8) -> List[Tuple[str, float]]:
+    """Fig. 20: one device's top domains by byte share."""
+    totals: Dict[str, float] = {}
+    grand_total = 0.0
+    for flow in data.flows:
+        if flow.router_id != router_id or flow.device_mac != device_mac:
+            continue
+        totals[flow.domain] = totals.get(flow.domain, 0.0) + flow.bytes_total
+        grand_total += flow.bytes_total
+    if grand_total == 0:
+        return []
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1])[:top]
+    return [(name, volume / grand_total) for name, volume in ranked]
+
+
+def devices_in_traffic_home(data: StudyData, router_id: str,
+                            min_bytes: float = 100e3) -> List[str]:
+    """Device MACs in one traffic home that moved at least *min_bytes*."""
+    totals: Dict[str, float] = {}
+    for flow in data.flows:
+        if flow.router_id == router_id:
+            totals[flow.device_mac] = totals.get(flow.device_mac, 0.0) \
+                + flow.bytes_total
+    return sorted((mac for mac, total in totals.items()
+                   if total >= min_bytes),
+                  key=lambda mac: -totals[mac])
+
+
+# -- Section 7: usage by country --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CountryUsage:
+    """Per-country usage summary for the Section 7 expansion."""
+
+    country_code: str
+    homes: int
+    total_bytes: float
+    mean_daily_bytes_per_home: float
+    top_device_share: float
+    top_domain_volume_share: float
+    whitelist_byte_coverage: float
+
+
+def usage_by_country(data: StudyData,
+                     min_bytes: float = 1e6) -> List[CountryUsage]:
+    """Compare Section 6 statistics across countries with Traffic homes.
+
+    The paper's Traffic data set was US-only; Section 7 proposed expanding
+    it ("how usage patterns ... differ by country").  With international
+    consents enabled in the deployment, this computes the comparison.
+    Homes need only *min_bytes* to count — international cohorts are small,
+    so the paper's 100 MB bar would leave single-home countries.
+    """
+    totals = data.traffic_bytes_by_router()
+    by_country: Dict[str, List[str]] = {}
+    for rid, total in totals.items():
+        info = data.routers.get(rid)
+        if info is None or total < min_bytes:
+            continue
+        by_country.setdefault(info.country_code, []).append(rid)
+
+    window_days = max(
+        (data.windows.traffic[1] - data.windows.traffic[0]) / 86400.0, 1e-6)
+    results: List[CountryUsage] = []
+    for code, rids in sorted(by_country.items()):
+        shares = mean_ranked_shares(
+            device_share_per_home(data, router_ids=rids).values(), ranks=1)
+        domains = domain_share(data, router_ids=rids)
+        country_bytes = sum(totals[rid] for rid in rids)
+        results.append(CountryUsage(
+            country_code=code,
+            homes=len(rids),
+            total_bytes=country_bytes,
+            mean_daily_bytes_per_home=country_bytes / len(rids) / window_days,
+            top_device_share=float(shares[0]) if shares.size else float("nan"),
+            top_domain_volume_share=(
+                float(domains.volume_share_by_rank[0])
+                if domains.volume_share_by_rank.size else float("nan")),
+            whitelist_byte_coverage=domains.whitelist_byte_coverage,
+        ))
+    results.sort(key=lambda c: -c.total_bytes)
+    return results
+
+
+# -- Table 6 -----------------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Section6Highlights:
+    """The Table 6 claims, as measured."""
+
+    weekday_weekend_amplitude_ratio: float
+    homes_with_saturated_uplink: int
+    top_device_mean_share: float
+    top_domain_mean_volume_share: float
+    top_domain_mean_connection_share: float
+    whitelist_byte_coverage: float
+
+
+def section6_highlights(data: StudyData) -> Section6Highlights:
+    """Compute Table 6 from the Devices + Capacity + Traffic data sets."""
+    points = link_saturation(data)
+    device_shares = mean_device_share(data, ranks=3)
+    domains = domain_share(data)
+    return Section6Highlights(
+        weekday_weekend_amplitude_ratio=diurnal_amplitude_ratio(data),
+        homes_with_saturated_uplink=len(saturating_uplink_homes(points)),
+        top_device_mean_share=float(device_shares[0]) if device_shares.size
+        else float("nan"),
+        top_domain_mean_volume_share=float(domains.volume_share_by_rank[0])
+        if domains.volume_share_by_rank.size else float("nan"),
+        top_domain_mean_connection_share=float(
+            domains.connection_share_by_rank[0])
+        if domains.connection_share_by_rank.size else float("nan"),
+        whitelist_byte_coverage=domains.whitelist_byte_coverage,
+    )

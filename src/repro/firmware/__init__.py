@@ -1,0 +1,14 @@
+"""The BISmark router firmware simulator.
+
+Each module here is one of the measurement daemons the real OpenWrt
+firmware ran on the Netgear WNDR3800 gateways (paper Section 3.1): the
+heartbeat sender, the uptime and capacity reporters, the hourly device
+census, the 10-minute WiFi scanner, and the traffic monitor with its
+anonymization pipeline.  :class:`repro.firmware.router.BismarkRouter` wires
+them all onto one simulated household.
+"""
+
+from repro.firmware.anonymize import AnonymizationPolicy
+from repro.firmware.router import BismarkRouter, RouterOutput
+
+__all__ = ["AnonymizationPolicy", "BismarkRouter", "RouterOutput"]

@@ -1,0 +1,57 @@
+"""The privacy transforms applied on the router, before data leaves home.
+
+Section 3.2.2 of the paper commits to three transforms for the Traffic data
+set, all applied at the gateway:
+
+* device MACs keep their OUI but have the lower 24 bits hashed;
+* DNS names are passed through only when on the (user-extensible) whitelist
+  of the Alexa top-200 US domains, otherwise replaced by an opaque token;
+* remote IP addresses are replaced by stable pseudonyms.
+
+:class:`AnonymizationPolicy` bundles the three with a per-study salt so
+pseudonyms are stable within a study but unlinkable across studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from repro.core.records import OBFUSCATED_DOMAIN
+from repro.netutils.ip import obfuscate_ipv4
+from repro.netutils.mac import MacAddress, hash_lower24
+
+
+@dataclass(frozen=True)
+class AnonymizationPolicy:
+    """The gateway-side anonymization configuration for one home.
+
+    ``whitelist`` holds the domains allowed through by name; users may add
+    their own via the router's web interface (the paper's usage-cap UI), so
+    the set is per-home.
+    """
+
+    whitelist: FrozenSet[str]
+    salt: bytes = b"bismark-study"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.whitelist, frozenset):
+            object.__setattr__(self, "whitelist", frozenset(self.whitelist))
+
+    @classmethod
+    def for_whitelist(cls, domains: Iterable[str],
+                      salt: bytes = b"bismark-study") -> "AnonymizationPolicy":
+        """Build a policy from any iterable of whitelisted names."""
+        return cls(whitelist=frozenset(domains), salt=salt)
+
+    def anonymize_mac(self, mac: MacAddress) -> str:
+        """Hash the NIC-specific bits, keep the OUI, render as text."""
+        return str(hash_lower24(mac, salt=self.salt))
+
+    def filter_domain(self, domain: str) -> str:
+        """Pass whitelisted names; everything else becomes the sentinel."""
+        return domain if domain in self.whitelist else OBFUSCATED_DOMAIN
+
+    def anonymize_ip(self, address: int) -> int:
+        """Stable pseudonym for a remote address."""
+        return obfuscate_ipv4(address, salt=self.salt)

@@ -1,0 +1,144 @@
+"""The usage-cap management tool (paper Section 3.1, reference [24]).
+
+Several BISmark households were recruited through a usage-cap manager the
+authors built on the firmware ("Communicating with caps", Kim et al.): ISPs
+in several deployment countries bill against monthly data caps, and the
+router is the one place that can meter *all* of a home's usage and warn
+before the cap bites.
+
+This module is the on-router half: a billing-cycle-aware byte meter fed by
+the gateway's per-minute counters, which emits threshold-crossing alerts
+(50%, 90%, 100% by default).  The analysis-side half — per-device
+breakdowns and end-of-cycle projections — lives in
+:mod:`repro.core.caps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.datasets import ThroughputSeries
+from repro.simulation.timebase import DAY
+
+
+@dataclass(frozen=True)
+class UsageCapPolicy:
+    """One home's data-cap contract."""
+
+    #: Bytes allowed per billing cycle (up + down combined, as most
+    #: capped ISPs count them).
+    monthly_cap_bytes: float
+    #: Fractions of the cap at which the router alerts the user.
+    alert_thresholds: Tuple[float, ...] = (0.5, 0.9, 1.0)
+    #: Billing cycles restart every this many days (ISOs vary; 30 is the
+    #: common case and keeps cycle arithmetic timezone-free).
+    cycle_days: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.monthly_cap_bytes <= 0:
+            raise ValueError("cap must be positive")
+        if self.cycle_days <= 0:
+            raise ValueError("cycle length must be positive")
+        thresholds = tuple(sorted(self.alert_thresholds))
+        if any(not 0 < t for t in thresholds):
+            raise ValueError("alert thresholds must be positive")
+        object.__setattr__(self, "alert_thresholds", thresholds)
+
+    @property
+    def cycle_seconds(self) -> float:
+        """Length of one billing cycle in seconds."""
+        return self.cycle_days * DAY
+
+
+@dataclass(frozen=True)
+class CapAlert:
+    """A threshold crossing the router reported to the user."""
+
+    router_id: str
+    timestamp: float
+    threshold: float
+    used_bytes: float
+    cap_bytes: float
+
+    @property
+    def over_cap(self) -> bool:
+        """True for the 100%-and-beyond alert."""
+        return self.threshold >= 1.0
+
+
+class CapMeter:
+    """Billing-cycle byte meter for one gateway.
+
+    Feed it the per-minute byte counts the traffic monitor already
+    maintains; it resets at each cycle boundary and emits each configured
+    alert at most once per cycle — exactly the semantics a user-facing
+    cap tool needs (no alert storms).
+    """
+
+    def __init__(self, router_id: str, policy: UsageCapPolicy,
+                 cycle_start: float):
+        self.router_id = router_id
+        self.policy = policy
+        self.cycle_start = cycle_start
+        self.used_bytes = 0.0
+        self._fired: set = set()
+        self.alerts: List[CapAlert] = []
+
+    def _roll_cycle(self, epoch: float) -> None:
+        cycle = self.policy.cycle_seconds
+        while epoch >= self.cycle_start + cycle:
+            self.cycle_start += cycle
+            self.used_bytes = 0.0
+            self._fired.clear()
+
+    def record(self, epoch: float, byte_count: float) -> List[CapAlert]:
+        """Account *byte_count* bytes at *epoch*; return alerts fired now."""
+        if byte_count < 0:
+            raise ValueError("byte count cannot be negative")
+        if epoch < self.cycle_start:
+            raise ValueError("records must not precede the cycle start")
+        self._roll_cycle(epoch)
+        self.used_bytes += byte_count
+        fired_now: List[CapAlert] = []
+        fraction = self.used_bytes / self.policy.monthly_cap_bytes
+        for threshold in self.policy.alert_thresholds:
+            if fraction >= threshold and threshold not in self._fired:
+                self._fired.add(threshold)
+                alert = CapAlert(
+                    router_id=self.router_id,
+                    timestamp=epoch,
+                    threshold=threshold,
+                    used_bytes=self.used_bytes,
+                    cap_bytes=self.policy.monthly_cap_bytes,
+                )
+                self.alerts.append(alert)
+                fired_now.append(alert)
+        return fired_now
+
+    @property
+    def used_fraction(self) -> float:
+        """Cap fraction consumed so far this cycle."""
+        return self.used_bytes / self.policy.monthly_cap_bytes
+
+
+def meter_throughput(series: ThroughputSeries, policy: UsageCapPolicy,
+                     cycle_start: Optional[float] = None) -> CapMeter:
+    """Run a cap meter over a collected throughput series.
+
+    The per-minute *peak* rate overstates the mean, so bytes are estimated
+    from the mean-rate floor of each minute: peak / typical burstiness.
+    Measurement-side estimation is part of the tool's reality — the meter
+    sees what the gateway counted, not what the ISP bills.
+    """
+    meter = CapMeter(series.router_id, policy,
+                     cycle_start if cycle_start is not None else series.start)
+    interval = series.interval_seconds
+    # Invert the monitor's typical burstiness (median factor ~2.2).
+    mean_bps = (series.up_bps + series.down_bps) / 2.2
+    for epoch, bps in zip(series.timestamps, mean_bps):
+        if bps > 0:
+            meter.record(float(epoch), float(bps) / 8.0 * interval)
+    return meter

@@ -1,0 +1,128 @@
+"""The traffic monitor: packet, flow, and DNS collection (Section 3.2.2).
+
+For the consenting homes only, the firmware records:
+
+* **Packet statistics** — reduced on-router to the per-minute peak
+  one-second throughput, the statistic Section 6.2 analyzes.  The peak is
+  the mean minute rate amplified by a burstiness factor, then clamped by
+  the physical link: downlink at line rate, uplink at line rate *plus* the
+  bufferbloat overshoot (Figs. 15, 16).
+* **Flow statistics** — one record per sampled connection with obfuscated
+  device MAC, whitelisted-or-obfuscated domain, pseudonymous remote IP,
+  and the application port.
+* **DNS responses** — a sample of A/CNAME answers, same domain policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.datasets import ThroughputSeries
+from repro.core.records import DnsRecord, FlowRecord
+from repro.netutils.ports import port_application
+from repro.simulation.household import Household
+from repro.simulation.timebase import MINUTE
+from repro.simulation.traffic_model import HomeTraffic
+from repro.firmware.anonymize import AnonymizationPolicy
+
+#: Fraction of connections whose flow record is exported (the paper samples
+#: flows rather than exporting all of them).
+FLOW_SAMPLE_FRACTION = 1.0
+#: Fraction of flows that also yield a sampled DNS response record.
+DNS_SAMPLE_FRACTION = 0.25
+
+
+def _domain_ip(domain: str) -> int:
+    """A stable fake public IPv4 for a domain (pre-anonymization)."""
+    digest = hashlib.sha256(domain.encode("utf-8")).digest()
+    value = int.from_bytes(digest[:4], "big")
+    # Pin the first octet to 23/24/25/26 — always-public CDN-ish space.
+    first_octet = 23 + (value >> 24) % 4
+    return (first_octet << 24) | (value & 0x00FFFFFF)
+
+
+def monitor_traffic(household: Household, start: float, end: float,
+                    rng: np.random.Generator,
+                    policy: AnonymizationPolicy,
+                    flow_sample_fraction: float = FLOW_SAMPLE_FRACTION,
+                    dns_sample_fraction: float = DNS_SAMPLE_FRACTION,
+                    ) -> Tuple[ThroughputSeries, List[FlowRecord], List[DnsRecord]]:
+    """Run the traffic monitor over ``[start, end)`` for one home."""
+    if not 0 <= flow_sample_fraction <= 1:
+        raise ValueError("flow_sample_fraction must be in [0, 1]")
+    if not 0 <= dns_sample_fraction <= 1:
+        raise ValueError("dns_sample_fraction must be in [0, 1]")
+    traffic = household.traffic(start, end)
+    series = _throughput_series(household, traffic, rng)
+    flows, dns = _flow_records(household, traffic, rng, policy,
+                               flow_sample_fraction, dns_sample_fraction)
+    return series, flows, dns
+
+
+def _throughput_series(household: Household, traffic: HomeTraffic,
+                       rng: np.random.Generator) -> ThroughputSeries:
+    """Per-minute peak throughput, physically shaped by the access link."""
+    n = traffic.minutes
+    mean_up = traffic.minute_up_bytes * 8 / MINUTE
+    mean_down = traffic.minute_down_bytes * 8 / MINUTE
+    bursts = np.clip(rng.lognormal(np.log(2.2), 0.5, size=n), 1.0, 6.0)
+    peak_up = np.empty(n)
+    peak_down = np.empty(n)
+    link = household.link
+    for i in range(n):
+        peak_down[i] = link.shape_downlink_peak(mean_down[i] * bursts[i])
+        peak_up[i] = link.shape_uplink_peak(mean_up[i] * bursts[i], rng)
+    return ThroughputSeries(
+        router_id=household.router_id,
+        start=traffic.window[0],
+        up_bps=peak_up,
+        down_bps=peak_down,
+    )
+
+
+def _flow_records(household: Household, traffic: HomeTraffic,
+                  rng: np.random.Generator,
+                  policy: AnonymizationPolicy,
+                  flow_sample_fraction: float,
+                  dns_sample_fraction: float,
+                  ) -> Tuple[List[FlowRecord], List[DnsRecord]]:
+    """Anonymize and sample the generated connections."""
+    flows: List[FlowRecord] = []
+    dns: List[DnsRecord] = []
+    mac_cache = {
+        index: policy.anonymize_mac(device.mac)
+        for index, device in enumerate(household.devices)
+    }
+    for flow in traffic.flows:
+        if flow_sample_fraction < 1 and rng.random() >= flow_sample_fraction:
+            continue
+        domain = policy.filter_domain(flow.domain.name)
+        remote_ip = policy.anonymize_ip(_domain_ip(flow.domain.name))
+        port = flow.domain.profile.port
+        device_mac = mac_cache[flow.device_index]
+        flows.append(FlowRecord(
+            router_id=household.router_id,
+            timestamp=flow.timestamp,
+            device_mac=device_mac,
+            domain=domain,
+            remote_ip=remote_ip,
+            port=port,
+            application=port_application(port),
+            bytes_up=flow.bytes_up,
+            bytes_down=flow.bytes_down,
+            duration_seconds=flow.duration_seconds,
+        ))
+        if rng.random() < dns_sample_fraction:
+            record_type = "CNAME" if rng.random() < 0.15 else "A"
+            dns.append(DnsRecord(
+                router_id=household.router_id,
+                timestamp=flow.timestamp - float(rng.uniform(0.01, 0.5)),
+                device_mac=device_mac,
+                domain=domain,
+                record_type=record_type,
+                address=remote_ip if record_type == "A" else None,
+            ))
+    return flows, dns

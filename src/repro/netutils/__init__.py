@@ -1,0 +1,43 @@
+"""Low-level network helpers shared by the simulator, firmware, and analysis.
+
+The modules here are deliberately dependency-free: MAC address handling
+(:mod:`repro.netutils.mac`), IPv4 helpers with deterministic obfuscation
+(:mod:`repro.netutils.ip`), and application-port naming
+(:mod:`repro.netutils.ports`).
+"""
+
+from repro.netutils.mac import (
+    MacAddress,
+    format_mac,
+    hash_lower24,
+    oui_of,
+    parse_mac,
+    random_mac,
+)
+from repro.netutils.ip import (
+    format_ipv4,
+    is_private_ipv4,
+    obfuscate_ipv4,
+    parse_ipv4,
+)
+from repro.netutils.ports import (
+    APPLICATION_PORTS,
+    port_application,
+    well_known_port,
+)
+
+__all__ = [
+    "MacAddress",
+    "format_mac",
+    "hash_lower24",
+    "oui_of",
+    "parse_mac",
+    "random_mac",
+    "format_ipv4",
+    "is_private_ipv4",
+    "obfuscate_ipv4",
+    "parse_ipv4",
+    "APPLICATION_PORTS",
+    "port_application",
+    "well_known_port",
+]

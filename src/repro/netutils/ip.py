@@ -1,0 +1,79 @@
+"""IPv4 helpers and the deterministic obfuscation used for flow statistics.
+
+The paper's Traffic data set stores *obfuscated* IP addresses for sampled
+flows (Section 3.2.2, "Flow statistics"): addresses must not be reversible,
+but the same real address must map to the same pseudonym so flow-level
+aggregation still works.  :func:`obfuscate_ipv4` provides that mapping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_IPV4_MAX = (1 << 32) - 1
+
+_PRIVATE_RANGES = (
+    (0x0A000000, 0x0AFFFFFF),  # 10.0.0.0/8
+    (0xAC100000, 0xAC1FFFFF),  # 172.16.0.0/12
+    (0xC0A80000, 0xC0A8FFFF),  # 192.168.0.0/16
+    (0x7F000000, 0x7FFFFFFF),  # 127.0.0.0/8 loopback
+    (0xA9FE0000, 0xA9FEFFFF),  # 169.254.0.0/16 link-local
+)
+
+
+class Ipv4Error(ValueError):
+    """Raised when a string cannot be parsed as an IPv4 address."""
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad *text* into a 32-bit integer.
+
+    Raises :class:`Ipv4Error` for malformed input (wrong number of octets,
+    out-of-range octets, or non-numeric parts).
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise Ipv4Error(f"not an IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise Ipv4Error(f"bad IPv4 octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise Ipv4Error(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Render a 32-bit integer as a dotted quad."""
+    if not 0 <= value <= _IPV4_MAX:
+        raise Ipv4Error(f"IPv4 value out of range: {value!r}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def is_private_ipv4(value: int) -> bool:
+    """True for RFC 1918 / loopback / link-local addresses.
+
+    The firmware never obfuscates home-side private addresses the same way as
+    remote ones, because they carry no identifying information beyond the
+    home itself.
+    """
+    return any(low <= value <= high for low, high in _PRIVATE_RANGES)
+
+
+def obfuscate_ipv4(value: int, salt: bytes = b"bismark") -> int:
+    """Deterministically pseudonymize a public IPv4 address.
+
+    Private addresses are returned unchanged (they are already
+    non-identifying outside the home); public addresses map to a stable
+    keyed-hash pseudonym in the reserved 240.0.0.0/4 block so pseudonyms can
+    never collide with real routable addresses.
+    """
+    if not 0 <= value <= _IPV4_MAX:
+        raise Ipv4Error(f"IPv4 value out of range: {value!r}")
+    if is_private_ipv4(value):
+        return value
+    digest = hashlib.sha256(salt + value.to_bytes(4, "big")).digest()
+    suffix = int.from_bytes(digest[:4], "big") & 0x0FFFFFFF
+    return 0xF0000000 | suffix

@@ -1,0 +1,50 @@
+"""Application-port naming for flow statistics.
+
+The paper's flow records expose "application ports" so analysts can see what
+kinds of applications a home uses (HTTP, SMTP, ...) without seeing payloads
+(Section 3.2.2).  This module maps well-known ports to application labels.
+"""
+
+from __future__ import annotations
+
+#: Well-known destination ports and the application label the flow monitor
+#: attaches to them.  Anything else is reported as ``"other"``.
+APPLICATION_PORTS = {
+    20: "ftp-data",
+    21: "ftp",
+    22: "ssh",
+    25: "smtp",
+    53: "dns",
+    80: "http",
+    110: "pop3",
+    123: "ntp",
+    143: "imap",
+    443: "https",
+    465: "smtps",
+    587: "submission",
+    993: "imaps",
+    995: "pop3s",
+    1194: "openvpn",
+    1935: "rtmp",
+    3074: "xbox-live",
+    3478: "stun",
+    5060: "sip",
+    5222: "xmpp",
+    6881: "bittorrent",
+    8080: "http-alt",
+}
+
+
+def port_application(port: int) -> str:
+    """Return the application label for a destination *port*.
+
+    Unknown ports map to ``"other"``; out-of-range ports raise ValueError.
+    """
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range: {port!r}")
+    return APPLICATION_PORTS.get(port, "other")
+
+
+def well_known_port(port: int) -> bool:
+    """True when *port* has an entry in :data:`APPLICATION_PORTS`."""
+    return port in APPLICATION_PORTS

@@ -1,0 +1,49 @@
+"""The simulated world the BISmark routers live in.
+
+This subpackage is the substitute for the paper's 126 real homes: it builds a
+deterministic, parameterized deployment of households whose power habits,
+access links, device populations, wireless neighborhoods, and traffic are
+generated from per-country behaviour models calibrated to the marginals the
+paper reports (see DESIGN.md section 4).
+
+The entry point is :func:`repro.simulation.deployment.build_deployment`.
+"""
+
+from repro.simulation.seeding import SeedHierarchy
+from repro.simulation.timebase import (
+    StudyCalendar,
+    StudyWindows,
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+)
+from repro.simulation.countries import (
+    Country,
+    COUNTRIES,
+    DEPLOYMENT_COUNTS,
+    classify_development,
+    country_by_code,
+)
+from repro.simulation.household import Household, HouseholdConfig
+from repro.simulation.deployment import Deployment, DeploymentConfig, build_deployment
+
+__all__ = [
+    "SeedHierarchy",
+    "StudyCalendar",
+    "StudyWindows",
+    "DAY",
+    "HOUR",
+    "MINUTE",
+    "WEEK",
+    "Country",
+    "COUNTRIES",
+    "DEPLOYMENT_COUNTS",
+    "classify_development",
+    "country_by_code",
+    "Household",
+    "HouseholdConfig",
+    "Deployment",
+    "DeploymentConfig",
+    "build_deployment",
+]

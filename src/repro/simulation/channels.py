@@ -1,0 +1,117 @@
+"""2.4/5 GHz channel structure: assignments, overlap, and contention.
+
+Section 5.3 measures spectrum *contention*, but the deployed scanner only
+sees the configured channel (2.4 GHz channel 11 by default) — the paper
+flags this explicitly.  To quantify what that misses, the simulator gives
+every neighboring AP an actual channel:
+
+* on 2.4 GHz, neighbors cluster on the North-American non-overlapping trio
+  1/6/11 with a minority misconfigured onto in-between channels;
+* on 5 GHz, the (then-sparse) APs sit on the UNII-1 channels 36-48;
+* a scan on channel c hears an AP on channel c' when their spectral masks
+  overlap — full co-channel, partially for |Δ| ≤ 2 on 2.4 GHz, co-channel
+  only on 5 GHz (20 MHz channels don't overlap there).
+
+:func:`interference_weight` is the standard triangular spectral-overlap
+model for 20 MHz 802.11g masks (5 channel-widths to zero overlap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.records import Spectrum
+
+#: Valid channels per band (North American allocations, as deployed).
+CHANNELS_2_4: Tuple[int, ...] = tuple(range(1, 12))
+CHANNELS_5: Tuple[int, ...] = (36, 40, 44, 48)
+
+#: Channel popularity on 2.4 GHz: most APs follow the 1/6/11 convention,
+#: a minority sit misconfigured in between.
+_POPULARITY_2_4: Dict[int, float] = {
+    1: 0.27, 2: 0.02, 3: 0.03, 4: 0.02, 5: 0.03,
+    6: 0.23, 7: 0.03, 8: 0.02, 9: 0.03, 10: 0.02, 11: 0.30,
+}
+
+#: How many channel-widths apart two 2.4 GHz channels must be for their
+#: 20 MHz masks to stop overlapping entirely.
+_OVERLAP_SPAN = 5
+
+#: A scan hears beacons from this many channels away on 2.4 GHz.
+SCAN_AUDIBLE_DELTA = 2
+
+
+def channel_weights(spectrum: Spectrum) -> Tuple[Tuple[int, ...], np.ndarray]:
+    """(channels, normalized popularity weights) for one band."""
+    if spectrum is Spectrum.GHZ_2_4:
+        channels = CHANNELS_2_4
+        weights = np.array([_POPULARITY_2_4[c] for c in channels])
+    else:
+        channels = CHANNELS_5
+        weights = np.ones(len(channels))
+    return channels, weights / weights.sum()
+
+
+def assign_channels(rng: np.random.Generator, spectrum: Spectrum,
+                    count: int) -> List[int]:
+    """Draw channel assignments for *count* neighboring APs."""
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    if count == 0:
+        return []
+    channels, weights = channel_weights(spectrum)
+    drawn = rng.choice(channels, size=count, p=weights)
+    return [int(c) for c in drawn]
+
+
+def audible(spectrum: Spectrum, scan_channel: int, ap_channel: int) -> bool:
+    """Can a scan on *scan_channel* hear an AP on *ap_channel*?"""
+    if spectrum is Spectrum.GHZ_5:
+        return scan_channel == ap_channel
+    return abs(scan_channel - ap_channel) <= SCAN_AUDIBLE_DELTA
+
+
+def interference_weight(spectrum: Spectrum, channel_a: int,
+                        channel_b: int) -> float:
+    """Spectral-overlap fraction between two channels (0..1).
+
+    Co-channel is full overlap (CSMA at least shares politely); partially
+    overlapping 2.4 GHz channels interfere without carrier-sensing each
+    other — the worst case — but with less overlapped energy.
+    """
+    if spectrum is Spectrum.GHZ_5:
+        return 1.0 if channel_a == channel_b else 0.0
+    delta = abs(channel_a - channel_b)
+    return max(0.0, 1.0 - delta / _OVERLAP_SPAN)
+
+
+def contention_index(spectrum: Spectrum, own_channel: int,
+                     neighbor_channels: Sequence[int]) -> float:
+    """Total interference pressure on *own_channel* from the neighbors.
+
+    The sum of spectral overlaps — the quantity Section 5.3 gestures at
+    with "many devices talking to many access points in the vicinity
+    causes contention and interference problems".
+    """
+    return float(sum(interference_weight(spectrum, own_channel, ch)
+                     for ch in neighbor_channels))
+
+
+def least_contended_channel(spectrum: Spectrum,
+                            neighbor_channels: Sequence[int]) -> int:
+    """The channel a spectrum-aware router would pick.
+
+    Ties break toward the conventional non-overlapping channels (1/6/11 on
+    2.4 GHz) in their scan order.
+    """
+    if spectrum is Spectrum.GHZ_2_4:
+        candidates: Sequence[int] = (1, 6, 11) + tuple(
+            c for c in CHANNELS_2_4 if c not in (1, 6, 11))
+    else:
+        candidates = CHANNELS_5
+    best = min(candidates,
+               key=lambda c: contention_index(spectrum, c,
+                                              neighbor_channels))
+    return int(best)

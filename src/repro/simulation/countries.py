@@ -1,0 +1,230 @@
+"""Country metadata: GDP, development class, and deployment counts (Table 1).
+
+The paper classifies the 19 deployment countries into *developed* (top-50
+per-capita GDP in 2011) and *developing*, and deploys the router counts of
+Table 1.  GDP values are purchasing-power-parity international dollars (the
+x-axis of Figure 5); they are approximate 2011/2012 World Bank values, which
+is all Figure 5 needs.
+
+Per-country behaviour knobs (appliance-mode probability, ISP outage rates,
+device-population scaling) encode the paper's reported marginals: e.g. the
+median Indian router is on only 76.01% of the time, Pakistan sees nearly two
+≥10-minute downtimes per day, and US homes are on 98.25% of the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Generative knobs for the households of one country.
+
+    These are the only free parameters of the availability and
+    infrastructure simulation; DESIGN.md section 4 lists the targets they
+    were calibrated against.
+    """
+
+    #: Probability a household treats the router as an appliance — powering
+    #: it on only while actively using the Internet (paper Section 4.2).
+    appliance_probability: float
+    #: Mean ISP outages (any duration) per day on the access link.
+    isp_outage_rate_per_day: float
+    #: Probability (per night) an always-on home still powers the router
+    #: off overnight — common thrift behaviour in developing countries.
+    nightly_off_probability: float
+    #: Log-space sigma of outage durations (larger ⇒ heavier tail).
+    isp_outage_duration_sigma: float
+    #: Median ISP outage duration in seconds.
+    isp_outage_median_seconds: float
+    #: Mean number of unique devices a household owns.
+    mean_devices: float
+    #: Probability a household has at least one never-disconnecting wired
+    #: device (media box, NAS, desktop left on — paper Table 5).
+    always_wired_probability: float
+    #: Same for an always-connected wireless device (VoIP phone etc.).
+    always_wireless_probability: float
+    #: Mean neighboring APs on the 2.4 GHz channel (Fig. 11); drawn from a
+    #: bimodal mixture around this level.
+    neighbor_ap_level: float
+    #: Typical downstream capacity in Mbps (tier center; homes vary).
+    downstream_mbps: float
+    #: Typical upstream capacity in Mbps.
+    upstream_mbps: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.appliance_probability <= 1:
+            raise ValueError("appliance_probability must be in [0, 1]")
+        if self.isp_outage_rate_per_day < 0:
+            raise ValueError("isp_outage_rate_per_day cannot be negative")
+        if self.mean_devices <= 0:
+            raise ValueError("mean_devices must be positive")
+
+
+@dataclass(frozen=True)
+class Country:
+    """One deployment country: identity, wealth, zone, and behaviour."""
+
+    code: str
+    name: str
+    gdp_ppp_per_capita: float
+    developed: bool
+    tz_offset_hours: float
+    routers: int
+    behavior: BehaviorProfile
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 2:
+            raise ValueError(f"country code must be ISO-2: {self.code!r}")
+        if self.routers < 0:
+            raise ValueError("router count cannot be negative")
+
+
+def _developed_behavior(mean_devices: float = 7.5,
+                        neighbor_ap_level: float = 22.0,
+                        downstream: float = 30.0,
+                        upstream: float = 5.0,
+                        outage_rate: float = 0.022) -> BehaviorProfile:
+    return BehaviorProfile(
+        appliance_probability=0.02,
+        isp_outage_rate_per_day=outage_rate,
+        nightly_off_probability=0.01,
+        isp_outage_duration_sigma=0.9,
+        isp_outage_median_seconds=1100.0,
+        mean_devices=mean_devices,
+        always_wired_probability=0.46,
+        always_wireless_probability=0.17,
+        neighbor_ap_level=neighbor_ap_level,
+        downstream_mbps=downstream,
+        upstream_mbps=upstream,
+    )
+
+
+def _developing_behavior(appliance: float = 0.35,
+                         outage_rate: float = 0.70,
+                         nightly: float = 0.25,
+                         mean_devices: float = 5.0,
+                         neighbor_ap_level: float = 3.0,
+                         downstream: float = 4.0,
+                         upstream: float = 1.0,
+                         sigma: float = 1.5) -> BehaviorProfile:
+    return BehaviorProfile(
+        appliance_probability=appliance,
+        isp_outage_rate_per_day=outage_rate,
+        nightly_off_probability=nightly,
+        isp_outage_duration_sigma=sigma,
+        isp_outage_median_seconds=900.0,
+        mean_devices=mean_devices,
+        always_wired_probability=0.17,
+        always_wireless_probability=0.12,
+        neighbor_ap_level=neighbor_ap_level,
+        downstream_mbps=downstream,
+        upstream_mbps=upstream,
+    )
+
+
+#: The 19 deployment countries of Table 1 with router counts and GDP (PPP).
+COUNTRIES: Tuple[Country, ...] = (
+    # -- developed (top-50 per-capita GDP, 2011) ---------------------------
+    Country("US", "United States", 49800, True, -5.0, 63,
+            _developed_behavior(mean_devices=8.0, neighbor_ap_level=24.0,
+                                downstream=30.0, upstream=5.0)),
+    Country("GB", "United Kingdom", 36000, True, 0.0, 12,
+            _developed_behavior(mean_devices=7.0, neighbor_ap_level=20.0,
+                                downstream=20.0, upstream=2.0)),
+    Country("NL", "Netherlands", 43200, True, 1.0, 3,
+            _developed_behavior(mean_devices=7.5, neighbor_ap_level=26.0,
+                                downstream=40.0, upstream=6.0)),
+    Country("CA", "Canada", 41100, True, -5.0, 2,
+            _developed_behavior(mean_devices=7.0, downstream=25.0)),
+    Country("DE", "Germany", 40100, True, 1.0, 2,
+            _developed_behavior(mean_devices=6.5, downstream=25.0)),
+    Country("FR", "France", 35500, True, 1.0, 1,
+            _developed_behavior(mean_devices=6.5, downstream=20.0)),
+    Country("IE", "Ireland", 41600, True, 0.0, 2,
+            _developed_behavior(mean_devices=6.5, downstream=15.0)),
+    Country("IT", "Italy", 33100, True, 1.0, 1,
+            _developed_behavior(mean_devices=6.0, downstream=10.0,
+                                outage_rate=0.06)),
+    Country("JP", "Japan", 34300, True, 9.0, 2,
+            _developed_behavior(mean_devices=7.0, downstream=60.0,
+                                upstream=20.0)),
+    Country("SG", "Singapore", 61000, True, 8.0, 2,
+            _developed_behavior(mean_devices=7.5, neighbor_ap_level=30.0,
+                                downstream=80.0, upstream=30.0)),
+    # -- developing --------------------------------------------------------
+    Country("IN", "India", 3700, False, 5.5, 12,
+            _developing_behavior(appliance=0.42, outage_rate=1.20,
+                                 nightly=0.40, mean_devices=4.5,
+                                 neighbor_ap_level=2.5,
+                                 downstream=2.0, upstream=0.5, sigma=1.5)),
+    Country("PK", "Pakistan", 2700, False, 5.0, 5,
+            _developing_behavior(appliance=0.40, outage_rate=2.00,
+                                 nightly=0.40, mean_devices=4.0,
+                                 neighbor_ap_level=2.0,
+                                 downstream=2.0, upstream=0.5, sigma=1.5)),
+    Country("ZA", "South Africa", 11000, False, 2.0, 10,
+            _developing_behavior(appliance=0.15, outage_rate=0.60,
+                                 nightly=0.30, mean_devices=5.5,
+                                 neighbor_ap_level=3.5,
+                                 downstream=4.0, upstream=1.0)),
+    Country("MX", "Mexico", 16000, False, -6.0, 2,
+            _developing_behavior(appliance=0.25, outage_rate=0.25,
+                                 nightly=0.15, mean_devices=5.5,
+                                 downstream=5.0)),
+    Country("CN", "China", 8400, False, 8.0, 2,
+            _developing_behavior(appliance=0.55, outage_rate=0.60,
+                                 nightly=0.25, mean_devices=5.0,
+                                 neighbor_ap_level=5.0, downstream=4.0)),
+    Country("BR", "Brazil", 11600, False, -3.0, 2,
+            _developing_behavior(appliance=0.25, outage_rate=0.28,
+                                 nightly=0.15, mean_devices=5.5,
+                                 downstream=5.0)),
+    Country("MY", "Malaysia", 16200, False, 8.0, 1,
+            _developing_behavior(appliance=0.20, outage_rate=0.20,
+                                 nightly=0.10, mean_devices=5.5,
+                                 downstream=5.0)),
+    Country("ID", "Indonesia", 4600, False, 7.0, 1,
+            _developing_behavior(appliance=0.35, outage_rate=0.35,
+                                 nightly=0.30, mean_devices=4.5,
+                                 downstream=2.0)),
+    Country("TH", "Thailand", 9000, False, 7.0, 1,
+            _developing_behavior(appliance=0.30, outage_rate=0.28,
+                                 nightly=0.20, mean_devices=5.0,
+                                 downstream=4.0)),
+)
+
+#: Router counts per country code (Table 1 of the paper).
+DEPLOYMENT_COUNTS: Dict[str, int] = {c.code: c.routers for c in COUNTRIES}
+
+_BY_CODE: Dict[str, Country] = {c.code: c for c in COUNTRIES}
+
+#: The paper's classification threshold: top-50 per-capita GDP ⇒ developed.
+#: Singapore/US sit far above it; South Africa/Mexico/Malaysia below.
+_DEVELOPED_GDP_THRESHOLD = 25000.0
+
+
+def country_by_code(code: str) -> Country:
+    """Look up a deployment country by ISO-2 code (KeyError if absent)."""
+    try:
+        return _BY_CODE[code.upper()]
+    except KeyError:
+        raise KeyError(f"no deployment country with code {code!r}") from None
+
+
+def classify_development(gdp_ppp_per_capita: float) -> bool:
+    """True (developed) when per-capita GDP clears the top-50 threshold.
+
+    This mirrors the paper's GDP-rank rule with a fixed dollar threshold
+    that produces the identical partition over the 19 deployment countries.
+    """
+    if gdp_ppp_per_capita <= 0:
+        raise ValueError("GDP must be positive")
+    return gdp_ppp_per_capita >= _DEVELOPED_GDP_THRESHOLD
+
+
+def total_routers(developed: bool) -> int:
+    """Total routers in one development class (Table 1 bottom row)."""
+    return sum(c.routers for c in COUNTRIES if c.developed == developed)

@@ -1,0 +1,314 @@
+"""Device archetypes and household device-population generation.
+
+A household's device population determines most of Section 5: how many
+devices exist (Fig. 7), how many are connected at once (Figs. 8, 9), which
+band they use (Fig. 10), which vendors appear (Fig. 12), and which homes
+have always-connected devices (Table 5).
+
+Each device gets:
+
+* a *kind* (phone, laptop, desktop, media box, ...), which fixes its
+  attachment medium, band capability, vendor-bucket mix, presence behaviour,
+  and traffic profile;
+* a MAC allocated from the vendor registry;
+* an hour-granularity association process: a Markov chain whose stationary
+  distribution tracks the household presence/activity curves, so devices
+  stay connected for realistic stretches instead of flapping hourly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.intervals import IntervalSet
+from repro.core.records import Medium, Spectrum
+from repro.netutils.mac import MacAddress
+from repro.simulation.behavior import ActivitySchedule
+from repro.simulation.timebase import HOUR, StudyCalendar
+from repro.simulation.vendors import allocate_mac
+
+
+class DeviceKind(enum.Enum):
+    """Archetypes the simulator knows how to behave as."""
+
+    PHONE = "phone"
+    TABLET = "tablet"
+    LAPTOP = "laptop"
+    DESKTOP = "desktop"
+    MEDIA_BOX = "media_box"
+    CONSOLE = "console"
+    PRINTER = "printer"
+    VOIP_PHONE = "voip_phone"
+    IOT = "iot"
+
+
+@dataclass(frozen=True)
+class KindTraits:
+    """Static behaviour of one device kind."""
+
+    medium: Medium
+    #: Probability the device is dual-band capable (can use 5 GHz).
+    dual_band_probability: float
+    #: Vendor-bucket mix this kind draws its MAC from.
+    vendor_mix: Tuple[Tuple[str, float], ...]
+    #: Whether the association process follows presence (portables) or
+    #: activity (powered-during-use devices); always-connected overrides.
+    follows_presence: bool
+    #: Multiplier on the schedule curve for this kind.
+    schedule_scale: float
+    #: Relative traffic intensity (sessions per active hour).
+    session_rate: float
+    #: Traffic profile key used by :mod:`repro.simulation.domains`.
+    traffic_profile: str
+
+
+_TRAITS: Dict[DeviceKind, KindTraits] = {
+    DeviceKind.PHONE: KindTraits(
+        Medium.WIRELESS, 0.30,
+        (("Apple", 0.50), ("Samsung", 0.22), ("SmartPhone", 0.28)),
+        follows_presence=True, schedule_scale=1.0,
+        session_rate=5.0, traffic_profile="phone"),
+    DeviceKind.TABLET: KindTraits(
+        Medium.WIRELESS, 0.80,
+        (("Apple", 0.66), ("Samsung", 0.20), ("ODM", 0.14)),
+        follows_presence=True, schedule_scale=0.85,
+        session_rate=3.0, traffic_profile="tablet"),
+    DeviceKind.LAPTOP: KindTraits(
+        Medium.WIRELESS, 0.75,
+        (("Apple", 0.16), ("Intel", 0.30), ("ODM", 0.42), ("Asus", 0.03),
+         ("Hewlett-Packard", 0.04), ("WirelessCard", 0.05)),
+        follows_presence=True, schedule_scale=0.75,
+        session_rate=8.0, traffic_profile="laptop"),
+    DeviceKind.DESKTOP: KindTraits(
+        Medium.WIRED, 0.0,
+        (("Apple", 0.10), ("Intel", 0.36), ("ODM", 0.26), ("Asus", 0.08),
+         ("Hewlett-Packard", 0.08), ("Hardware", 0.08), ("Gateway", 0.02),
+         ("VMware", 0.04)),
+        follows_presence=False, schedule_scale=0.9,
+        session_rate=8.0, traffic_profile="desktop"),
+    DeviceKind.MEDIA_BOX: KindTraits(
+        Medium.WIRED, 0.0,
+        (("InternetTV", 0.85), ("Misc.", 0.15)),
+        follows_presence=False, schedule_scale=0.8,
+        session_rate=1.2, traffic_profile="media_box"),
+    DeviceKind.CONSOLE: KindTraits(
+        Medium.WIRED, 0.0,
+        (("Gaming", 0.55), ("Microsoft", 0.45)),
+        follows_presence=False, schedule_scale=0.5,
+        session_rate=1.5, traffic_profile="console"),
+    DeviceKind.PRINTER: KindTraits(
+        Medium.WIRED, 0.0,
+        (("Printer", 0.60), ("Hewlett-Packard", 0.40)),
+        follows_presence=False, schedule_scale=0.25,
+        session_rate=0.6, traffic_profile="background"),
+    DeviceKind.VOIP_PHONE: KindTraits(
+        Medium.WIRELESS, 0.0,
+        (("VoIP", 0.70), ("Misc.", 0.30)),
+        follows_presence=False, schedule_scale=0.3,
+        session_rate=1.0, traffic_profile="background"),
+    DeviceKind.IOT: KindTraits(
+        Medium.WIRELESS, 0.10,
+        (("Raspberry-Pi", 0.30), ("WirelessCard", 0.30), ("Misc.", 0.25),
+         ("Hardware", 0.15)),
+        follows_presence=False, schedule_scale=0.4,
+        session_rate=1.0, traffic_profile="background"),
+}
+
+
+def kind_traits(kind: DeviceKind) -> KindTraits:
+    """Static traits for a device kind."""
+    return _TRAITS[kind]
+
+
+@dataclass
+class SimDevice:
+    """One concrete device in one home."""
+
+    device_id: str
+    kind: DeviceKind
+    mac: MacAddress
+    medium: Medium
+    #: Band the device associates on (None for wired devices).
+    spectrum: Optional[Spectrum]
+    always_connected: bool
+    #: Hour-granularity association spans over the study span.
+    connected: IntervalSet
+    #: Relative traffic weight within the home (drives Fig. 17 dominance).
+    traffic_weight: float
+
+    @property
+    def traits(self) -> KindTraits:
+        """Static traits of this device's kind."""
+        return kind_traits(self.kind)
+
+    def is_connected(self, epoch: float) -> bool:
+        """True when the device is associated/powered at *epoch*."""
+        return self.always_connected or self.connected.contains(epoch)
+
+    def connected_intervals(self, start: float, end: float) -> IntervalSet:
+        """Association intervals clipped to a window."""
+        if self.always_connected:
+            return IntervalSet([(start, end)])
+        return self.connected.clip(start, end)
+
+
+def _markov_association(rng: np.random.Generator,
+                        span: Tuple[float, float],
+                        calendar: StudyCalendar,
+                        schedule: ActivitySchedule,
+                        follows_presence: bool,
+                        scale: float,
+                        persistence: float = 0.55) -> IntervalSet:
+    """Hourly association process tracking the household schedule.
+
+    Each hour the device is connected with probability equal to the
+    (scaled) schedule level, but transitions are smoothed: the previous
+    state pulls the draw toward itself with weight *persistence*, giving
+    realistic multi-hour sessions while preserving the hourly marginals.
+    """
+    start, end = span
+    hours = int(np.ceil((end - start) / HOUR))
+    if hours <= 0:
+        return IntervalSet()
+    connected: List[Tuple[float, float]] = []
+    state = False
+    run_start = 0.0
+    for idx in range(hours):
+        epoch = start + idx * HOUR
+        if follows_presence:
+            level = schedule.presence(calendar, epoch)
+        else:
+            level = schedule.activity(calendar, epoch)
+        target = min(level * scale, 1.0)
+        prob = (1 - persistence) * target + persistence * (1.0 if state else 0.0)
+        # Keep a floor/ceiling so the chain can always escape either state.
+        prob = min(max(prob, 0.02 * target), 1 - 0.02 * (1 - target))
+        new_state = bool(rng.random() < prob)
+        if new_state and not state:
+            run_start = epoch
+        elif state and not new_state:
+            connected.append((run_start, epoch))
+        state = new_state
+    if state:
+        connected.append((run_start, start + hours * HOUR))
+    return IntervalSet(connected).clip(start, end)
+
+
+# Population mixes: (kind, mean count per home).  Calibrated so developed
+# homes average ~7-8 unique devices with ~2.5 wired, developing ~4-5 with
+# ~1.2 wired (Figs. 7, 8) and the Fig. 12 vendor histogram emerges.
+_DEVELOPED_MIX: Tuple[Tuple[DeviceKind, float], ...] = (
+    (DeviceKind.PHONE, 2.8),
+    (DeviceKind.LAPTOP, 2.1),
+    (DeviceKind.TABLET, 0.9),
+    (DeviceKind.DESKTOP, 0.5),
+    (DeviceKind.MEDIA_BOX, 0.7),
+    (DeviceKind.CONSOLE, 0.45),
+    (DeviceKind.PRINTER, 0.25),
+    (DeviceKind.VOIP_PHONE, 0.12),
+    (DeviceKind.IOT, 0.55),
+)
+
+_DEVELOPING_MIX: Tuple[Tuple[DeviceKind, float], ...] = (
+    (DeviceKind.PHONE, 2.0),
+    (DeviceKind.LAPTOP, 1.3),
+    (DeviceKind.TABLET, 0.35),
+    (DeviceKind.DESKTOP, 0.55),
+    (DeviceKind.MEDIA_BOX, 0.15),
+    (DeviceKind.CONSOLE, 0.12),
+    (DeviceKind.PRINTER, 0.12),
+    (DeviceKind.VOIP_PHONE, 0.08),
+    (DeviceKind.IOT, 0.12),
+)
+
+
+def _choose_weighted(rng: np.random.Generator,
+                     options: Tuple[Tuple[str, float], ...]) -> str:
+    labels = [label for label, _ in options]
+    weights = np.asarray([w for _, w in options], dtype=float)
+    weights /= weights.sum()
+    return str(rng.choice(labels, p=weights))
+
+
+def generate_devices(rng: np.random.Generator,
+                     router_id: str,
+                     span: Tuple[float, float],
+                     calendar: StudyCalendar,
+                     schedule: ActivitySchedule,
+                     developed: bool,
+                     mean_devices: float,
+                     always_wired_probability: float,
+                     always_wireless_probability: float) -> List[SimDevice]:
+    """Generate one household's device population.
+
+    The per-kind Poisson counts are rescaled so the expected total matches
+    the country's ``mean_devices``; every home gets at least one device.
+    """
+    mix = _DEVELOPED_MIX if developed else _DEVELOPING_MIX
+    base_total = sum(mean for _, mean in mix)
+    # Household size varies far more than Poisson alone allows: Fig. 7 shows
+    # ~20% of homes with two or fewer devices next to double-digit homes.
+    size_factor = float(rng.lognormal(-0.10, 0.55))
+    scale = mean_devices / base_total * size_factor
+
+    kinds: List[DeviceKind] = []
+    for kind, mean in mix:
+        kinds.extend([kind] * int(rng.poisson(mean * scale)))
+    if not kinds:
+        kinds.append(DeviceKind.PHONE)
+
+    # Table 5: decide up-front whether this home keeps an always-connected
+    # wired and/or wireless device, then pin one eligible device of each.
+    wants_always_wired = bool(rng.random() < always_wired_probability)
+    wants_always_wireless = bool(rng.random() < always_wireless_probability)
+    if wants_always_wired and not any(
+            kind_traits(k).medium is Medium.WIRED for k in kinds):
+        kinds.append(DeviceKind.MEDIA_BOX)
+
+    # Dirichlet traffic weights with a heavy lead device: the paper's
+    # Fig. 17 dominance (top device ~60-65% of bytes) comes from here.
+    alphas = np.full(len(kinds), 0.45)
+    weights = rng.dirichlet(alphas)
+
+    devices: List[SimDevice] = []
+    assigned_always_wired = False
+    assigned_always_wireless = False
+    for index, kind in enumerate(kinds):
+        traits = kind_traits(kind)
+        category = _choose_weighted(rng, traits.vendor_mix)
+        mac = allocate_mac(rng, category)
+        spectrum = None
+        if traits.medium is Medium.WIRELESS:
+            dual = rng.random() < traits.dual_band_probability
+            use_5 = dual and rng.random() < 0.60
+            spectrum = Spectrum.GHZ_5 if use_5 else Spectrum.GHZ_2_4
+        always = False
+        if (wants_always_wired and not assigned_always_wired
+                and traits.medium is Medium.WIRED):
+            always = True
+            assigned_always_wired = True
+        elif (wants_always_wireless and not assigned_always_wireless
+              and traits.medium is Medium.WIRELESS):
+            always = True
+            assigned_always_wireless = True
+        if always:
+            connected = IntervalSet([span])
+        else:
+            connected = _markov_association(
+                rng, span, calendar, schedule,
+                traits.follows_presence, traits.schedule_scale)
+        devices.append(SimDevice(
+            device_id=f"{router_id}-dev{index:02d}",
+            kind=kind,
+            mac=mac,
+            medium=traits.medium,
+            spectrum=spectrum,
+            always_connected=always,
+            connected=connected,
+            traffic_weight=float(weights[index]) * traits.session_rate,
+        ))
+    return devices

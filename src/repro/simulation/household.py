@@ -1,0 +1,175 @@
+"""One simulated home: link + power + devices + wireless + traffic.
+
+A :class:`Household` is the unit the firmware simulator instruments.  It
+wires together every per-home model with independent random streams derived
+from the study seed, and exposes the queries the collectors need:
+
+* when was the router powered (:attr:`power`), the link up (:attr:`link`),
+  and both (:meth:`online_intervals`) — heartbeats need the conjunction;
+* which devices were associated when (:attr:`devices`);
+* what the radio neighborhood looks like (:attr:`wireless`);
+* the generated traffic, for consenting homes (:meth:`traffic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.intervals import IntervalSet
+from repro.core.records import RouterInfo
+from repro.simulation.behavior import ActivitySchedule
+from repro.simulation.countries import Country
+from repro.simulation.device_models import SimDevice, generate_devices
+from repro.simulation.domains import Domain, DomainSampler, build_domain_universe
+from repro.simulation.link import AccessLink, AccessLinkConfig
+from repro.simulation.power import PowerModel, draw_power_model
+from repro.simulation.seeding import SeedHierarchy
+from repro.simulation.timebase import StudyCalendar
+from repro.simulation.traffic_model import HomeTraffic, TrafficGenerator
+from repro.simulation.wireless import WirelessEnvironment, WirelessEnvironmentConfig
+
+
+@dataclass(frozen=True)
+class HouseholdConfig:
+    """Static description of one home before any randomness is drawn."""
+
+    router_id: str
+    country: Country
+    span: Tuple[float, float]
+    traffic_consent: bool = False
+    #: None, "continuous", or "diurnal" — the Fig. 16 uplink saturators.
+    uplink_saturator: Optional[str] = None
+    #: Multiplier on traffic volume; <1 models barely-active homes that the
+    #: paper's ≥100 MB Traffic filter excludes.
+    traffic_intensity: float = 1.0
+    #: Deployment-stratified appliance-mode decision.  None keeps the
+    #: per-home Bernoulli draw; True/False pins the mode so each country
+    #: gets exactly its calibrated share of appliance homes.
+    appliance_hint: "Optional[bool]" = None
+
+    def __post_init__(self) -> None:
+        if self.span[1] <= self.span[0]:
+            raise ValueError("household span must be non-empty")
+        if self.traffic_intensity <= 0:
+            raise ValueError("traffic_intensity must be positive")
+
+
+class Household:
+    """A fully-instantiated home, deterministic given (seed, config)."""
+
+    def __init__(self, seeds: SeedHierarchy, config: HouseholdConfig,
+                 domain_universe: Optional[Sequence[Domain]] = None):
+        self.config = config
+        self.country = config.country
+        self.router_id = config.router_id
+        self.span = config.span
+        self.calendar = StudyCalendar(config.country.tz_offset_hours)
+
+        scope = seeds.child("household", config.router_id)
+        profile = config.country.behavior
+
+        self.schedule = ActivitySchedule.generate(scope.generator("schedule"))
+        if config.appliance_hint is None:
+            appliance_probability = profile.appliance_probability
+        else:
+            appliance_probability = 1.0 if config.appliance_hint else 0.0
+        self.power: PowerModel = draw_power_model(
+            scope.generator("power"), config.span, self.calendar,
+            self.schedule, appliance_probability,
+            config.country.developed,
+            nightly_off_probability=profile.nightly_off_probability)
+
+        link_rng = scope.generator("link")
+        capacity_jitter = float(link_rng.lognormal(0.0, 0.35))
+        self.link = AccessLink(link_rng, config.span, AccessLinkConfig(
+            downstream_mbps=profile.downstream_mbps * capacity_jitter,
+            upstream_mbps=profile.upstream_mbps * capacity_jitter,
+            outage_rate_per_day=profile.isp_outage_rate_per_day,
+            outage_median_seconds=profile.isp_outage_median_seconds,
+            outage_duration_sigma=profile.isp_outage_duration_sigma,
+        ))
+
+        self.wireless = WirelessEnvironment(
+            scope.generator("wireless"),
+            WirelessEnvironmentConfig(
+                neighbor_ap_level=profile.neighbor_ap_level,
+                sparse_probability=0.30 if config.country.developed else 0.42,
+            ))
+
+        self.devices: List[SimDevice] = generate_devices(
+            scope.generator("devices"), config.router_id, config.span,
+            self.calendar, self.schedule, config.country.developed,
+            profile.mean_devices, profile.always_wired_probability,
+            profile.always_wireless_probability)
+
+        self._universe = (list(domain_universe) if domain_universe is not None
+                          else build_domain_universe())
+        self._sampler: Optional[DomainSampler] = None
+        self._traffic_cache: "dict[Tuple[float, float], HomeTraffic]" = {}
+        self._seeds = scope
+
+    @property
+    def info(self) -> RouterInfo:
+        """Deployment metadata record for this home's gateway."""
+        return RouterInfo(
+            router_id=self.router_id,
+            country_code=self.country.code,
+            developed=self.country.developed,
+            tz_offset_hours=self.country.tz_offset_hours,
+            gdp_ppp_per_capita=self.country.gdp_ppp_per_capita,
+        )
+
+    @property
+    def domain_sampler(self) -> DomainSampler:
+        """This home's domain taste (lazy: only traffic homes need it)."""
+        if self._sampler is None:
+            self._sampler = DomainSampler(
+                self._seeds.generator("domains"), self._universe)
+        return self._sampler
+
+    # -- availability queries ---------------------------------------------------
+
+    def online_intervals(self, start: float, end: float) -> IntervalSet:
+        """When the router was powered AND the access link was up."""
+        return self.power.up_intervals(start, end).intersection(
+            self.link.up_intervals(start, end))
+
+    def is_online(self, epoch: float) -> bool:
+        """True when both power and link were up at *epoch*."""
+        return self.power.is_on(epoch) and self.link.is_up(epoch)
+
+    def uptime_at(self, epoch: float) -> Optional[float]:
+        """Seconds since last boot at *epoch*, or None if powered off.
+
+        This is what the 12-hourly Uptime reports carry; it resets on every
+        power cycle but *not* on ISP outages, which is precisely how the
+        paper distinguishes powered-off routers from offline ones.
+        """
+        for on_start, on_end in self.power.on_intervals:
+            if on_start <= epoch < on_end:
+                return epoch - on_start
+        return None
+
+    # -- traffic -----------------------------------------------------------------
+
+    def traffic(self, start: float, end: float) -> HomeTraffic:
+        """Generated traffic for a window (cached per window)."""
+        key = (start, end)
+        cached = self._traffic_cache.get(key)
+        if cached is not None:
+            return cached
+        generator = TrafficGenerator(
+            rng=self._seeds.generator("traffic"),
+            devices=self.devices,
+            schedule=self.schedule,
+            calendar=self.calendar,
+            sampler=self.domain_sampler,
+            online=self.online_intervals(start, end),
+            uplink_saturator=self.config.uplink_saturator,
+            upstream_capacity_bps=self.link.upstream_bps,
+            intensity=self.config.traffic_intensity,
+        )
+        traffic = generator.generate(start, end)
+        self._traffic_cache[key] = traffic
+        return traffic

@@ -1,0 +1,123 @@
+"""The simulated calendar: epochs, local time, and the study windows.
+
+All simulator and firmware timestamps are Unix epoch seconds (UTC).  Each
+household carries a timezone offset so diurnal behaviour happens in *local*
+time — the paper's Figure 6 timelines are plotted in the household's zone,
+and the weekday/weekend split of Figure 13 is local too.
+
+The default windows match Table 2 of the paper:
+
+==========  =====================================
+Heartbeats  2012-10-01 .. 2013-04-15
+Capacity    2013-04-01 .. 2013-04-15
+Uptime      2013-03-06 .. 2013-04-15
+Devices     2013-03-06 .. 2013-04-15
+WiFi        2012-11-01 .. 2012-11-15
+Traffic     2013-04-01 .. 2013-04-15
+==========  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Tuple
+
+MINUTE = 60
+HOUR = 3600
+DAY = 86400
+WEEK = 7 * DAY
+
+#: Day-of-week index of the Unix epoch (1970-01-01 was a Thursday).
+_EPOCH_WEEKDAY = 3
+
+
+def utc(year: int, month: int, day: int, hour: int = 0, minute: int = 0) -> float:
+    """Epoch seconds for a UTC calendar instant."""
+    return datetime(year, month, day, hour, minute, tzinfo=timezone.utc).timestamp()
+
+
+@dataclass(frozen=True)
+class StudyWindows:
+    """Start/end epochs for each data set's collection window (Table 2)."""
+
+    heartbeats: Tuple[float, float] = (utc(2012, 10, 1), utc(2013, 4, 15))
+    uptime: Tuple[float, float] = (utc(2013, 3, 6), utc(2013, 4, 15))
+    capacity: Tuple[float, float] = (utc(2013, 4, 1), utc(2013, 4, 15))
+    devices: Tuple[float, float] = (utc(2013, 3, 6), utc(2013, 4, 15))
+    wifi: Tuple[float, float] = (utc(2012, 11, 1), utc(2012, 11, 15))
+    traffic: Tuple[float, float] = (utc(2013, 4, 1), utc(2013, 4, 15))
+
+    def scaled(self, fraction: float) -> "StudyWindows":
+        """Shrink every window to its first *fraction* — for fast tests.
+
+        Each window keeps its original start; the end moves so the window is
+        ``fraction`` of its paper length (but never below one day).
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+
+        def shrink(window: Tuple[float, float]) -> Tuple[float, float]:
+            start, end = window
+            length = max((end - start) * fraction, DAY)
+            return (start, start + length)
+
+        return StudyWindows(
+            heartbeats=shrink(self.heartbeats),
+            uptime=shrink(self.uptime),
+            capacity=shrink(self.capacity),
+            devices=shrink(self.devices),
+            wifi=shrink(self.wifi),
+            traffic=shrink(self.traffic),
+        )
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        """The earliest start and latest end across all windows."""
+        windows = (self.heartbeats, self.uptime, self.capacity,
+                   self.devices, self.wifi, self.traffic)
+        return (min(w[0] for w in windows), max(w[1] for w in windows))
+
+
+@dataclass(frozen=True)
+class StudyCalendar:
+    """Local-time arithmetic for one household.
+
+    ``tz_offset_hours`` is a fixed UTC offset; the simulator does not model
+    daylight-saving transitions (their effect on the paper's hour-of-day
+    statistics is a sub-hour shift that does not change any conclusion).
+    """
+
+    tz_offset_hours: float = 0.0
+    _offset: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if not -12 <= self.tz_offset_hours <= 14:
+            raise ValueError(f"implausible tz offset: {self.tz_offset_hours!r}")
+        object.__setattr__(self, "_offset", self.tz_offset_hours * HOUR)
+
+    def local_seconds(self, epoch: float) -> float:
+        """Epoch shifted into local wall-clock seconds."""
+        return epoch + self._offset
+
+    def hour_of_day(self, epoch: float) -> int:
+        """Local hour of day, 0..23."""
+        return int(self.local_seconds(epoch) % DAY // HOUR)
+
+    def day_of_week(self, epoch: float) -> int:
+        """Local day of week: 0=Monday .. 6=Sunday."""
+        days = int(self.local_seconds(epoch) // DAY)
+        return (days + _EPOCH_WEEKDAY) % 7
+
+    def is_weekend(self, epoch: float) -> bool:
+        """True on local Saturday or Sunday."""
+        return self.day_of_week(epoch) >= 5
+
+    def local_midnight_before(self, epoch: float) -> float:
+        """Epoch of the most recent local midnight at or before *epoch*."""
+        local = self.local_seconds(epoch)
+        return local - (local % DAY) - self._offset
+
+    def fraction_of_day(self, epoch: float) -> float:
+        """Local time of day as a fraction in [0, 1)."""
+        return (self.local_seconds(epoch) % DAY) / DAY

@@ -1,0 +1,246 @@
+"""The traffic generator: sessions, flows, and per-minute byte series.
+
+This is the substrate under all of Section 6.  For each consenting home it
+produces:
+
+* a list of :class:`SimFlow` — one entry per TCP connection, carrying the
+  *real* device MAC and the *real* domain (the firmware anonymizes both
+  before anything leaves the home);
+* per-minute upstream/downstream byte series at the gateway, from which the
+  traffic monitor derives the paper's "maximum per-second throughput every
+  minute" statistic.
+
+Generation walks device-hours: whenever a device is associated and the
+household is active, the device opens sessions at its own rate; each session
+picks a domain from the home's :class:`~repro.simulation.domains.DomainSampler`
+and expands into connections whose byte counts follow the domain category's
+flow shape.  Two special *uplink saturator* behaviours reproduce Fig. 16:
+``"continuous"`` uploads scientific data around the clock; ``"diurnal"``
+bursts uploads in the evening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.intervals import IntervalSet
+from repro.simulation.behavior import ActivitySchedule
+from repro.simulation.device_models import SimDevice
+from repro.simulation.domains import Domain, DomainSampler
+from repro.simulation.timebase import HOUR, MINUTE, StudyCalendar
+
+
+@dataclass(frozen=True)
+class SimFlow:
+    """One simulated TCP connection, pre-anonymization."""
+
+    timestamp: float
+    device_index: int
+    domain: Domain
+    bytes_up: float
+    bytes_down: float
+    duration_seconds: float
+
+
+@dataclass
+class HomeTraffic:
+    """One home's generated traffic over a window."""
+
+    window: Tuple[float, float]
+    flows: List[SimFlow]
+    #: Per-minute gateway byte counts; index 0 is the window start minute.
+    minute_up_bytes: np.ndarray
+    minute_down_bytes: np.ndarray
+
+    @property
+    def minutes(self) -> int:
+        """Number of minute slots in the window."""
+        return int(self.minute_up_bytes.size)
+
+    def minute_epoch(self, index: int) -> float:
+        """Epoch of the start of minute slot *index*."""
+        return self.window[0] + index * MINUTE
+
+    def total_bytes(self) -> float:
+        """All bytes in both directions."""
+        return float(self.minute_up_bytes.sum() + self.minute_down_bytes.sum())
+
+
+# Overall session-rate scale: sessions per active device-hour per unit of
+# device traffic weight.  Tuned so a typical home moves 0.5-5 GB/day.
+_SESSIONS_PER_WEIGHT_HOUR = 1.1
+
+
+class TrafficGenerator:
+    """Generates one home's traffic over the Traffic window."""
+
+    def __init__(self, rng: np.random.Generator,
+                 devices: Sequence[SimDevice],
+                 schedule: ActivitySchedule,
+                 calendar: StudyCalendar,
+                 sampler: DomainSampler,
+                 online: IntervalSet,
+                 uplink_saturator: Optional[str] = None,
+                 upstream_capacity_bps: float = 1e6,
+                 intensity: float = 1.0):
+        if uplink_saturator not in (None, "continuous", "diurnal"):
+            raise ValueError(f"unknown saturator mode {uplink_saturator!r}")
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        self.rng = rng
+        self.devices = list(devices)
+        self.schedule = schedule
+        self.calendar = calendar
+        self.sampler = sampler
+        self.online = online
+        self.uplink_saturator = uplink_saturator
+        self.upstream_capacity_bps = upstream_capacity_bps
+        self.intensity = intensity
+
+    # -- top level -------------------------------------------------------------
+
+    def generate(self, start: float, end: float) -> HomeTraffic:
+        """Generate flows and minute series for ``[start, end)``."""
+        if end <= start:
+            raise ValueError("traffic window must be non-empty")
+        n_minutes = int(np.ceil((end - start) / MINUTE))
+        up = np.zeros(n_minutes)
+        down = np.zeros(n_minutes)
+        flows: List[SimFlow] = []
+
+        for index, device in enumerate(self.devices):
+            for hour_start, hour_end in device.connected_intervals(start, end):
+                cursor = hour_start
+                while cursor < hour_end:
+                    slot_end = min(cursor + HOUR, hour_end)
+                    self._device_hour(index, device, cursor, slot_end,
+                                      start, up, down, flows)
+                    cursor = slot_end
+
+        if self.uplink_saturator is not None:
+            self._add_saturator_upload(start, end, up, flows)
+
+        self._mask_offline(start, up, down)
+        flows = [f for f in flows if self.online.contains(f.timestamp)]
+        flows.sort(key=lambda f: f.timestamp)
+        return HomeTraffic(window=(start, end), flows=flows,
+                           minute_up_bytes=up, minute_down_bytes=down)
+
+    # -- pieces ----------------------------------------------------------------
+
+    def _device_hour(self, index: int, device: SimDevice,
+                     slot_start: float, slot_end: float,
+                     window_start: float,
+                     up: np.ndarray, down: np.ndarray,
+                     flows: List[SimFlow]) -> None:
+        """Generate the sessions one device opens during one hour slot."""
+        activity = self.schedule.activity(self.calendar, slot_start)
+        mean_sessions = (device.traffic_weight * activity
+                         * _SESSIONS_PER_WEIGHT_HOUR * self.intensity
+                         * (slot_end - slot_start) / HOUR)
+        n_sessions = int(self.rng.poisson(mean_sessions))
+        if n_sessions == 0:
+            return
+        profile_key = device.traits.traffic_profile
+        domains = self.sampler.sample(self.rng, profile_key, n_sessions)
+        for domain in domains:
+            session_start = float(self.rng.uniform(slot_start, slot_end))
+            self._expand_session(index, domain, session_start,
+                                 window_start, up, down, flows)
+
+    def _expand_session(self, device_index: int, domain: Domain,
+                        session_start: float, window_start: float,
+                        up: np.ndarray, down: np.ndarray,
+                        flows: List[SimFlow]) -> None:
+        """Expand one session into connections and account their bytes."""
+        profile = domain.profile
+        n_conns = 1 + int(self.rng.poisson(
+            max(profile.connections_per_session - 1, 0)))
+        for conn in range(n_conns):
+            conn_start = session_start + conn * float(self.rng.uniform(0.5, 10.0))
+            total = float(self.rng.lognormal(
+                np.log(profile.bytes_per_connection), profile.bytes_sigma))
+            bytes_up = total * profile.upstream_fraction
+            bytes_down = total - bytes_up
+            duration = max(float(self.rng.lognormal(
+                np.log(profile.duration_seconds), 0.6)), 1.0)
+            flows.append(SimFlow(
+                timestamp=conn_start,
+                device_index=device_index,
+                domain=domain,
+                bytes_up=bytes_up,
+                bytes_down=bytes_down,
+                duration_seconds=duration,
+            ))
+            self._accumulate(conn_start, duration, bytes_up, bytes_down,
+                             window_start, up, down)
+
+    def _accumulate(self, conn_start: float, duration: float,
+                    bytes_up: float, bytes_down: float,
+                    window_start: float,
+                    up: np.ndarray, down: np.ndarray) -> None:
+        """Spread a connection's bytes across the minute bins it spans."""
+        n_minutes = up.size
+        first = int((conn_start - window_start) // MINUTE)
+        last = int((conn_start + duration - window_start) // MINUTE)
+        first = max(first, 0)
+        last = min(max(last, first), n_minutes - 1)
+        if first >= n_minutes:
+            return
+        span = last - first + 1
+        up[first:last + 1] += bytes_up / span
+        down[first:last + 1] += bytes_down / span
+
+    def _add_saturator_upload(self, start: float, end: float,
+                              up: np.ndarray,
+                              flows: List[SimFlow]) -> None:
+        """Overlay the Fig. 16 upload process onto the uplink series.
+
+        ``continuous`` keeps the uplink offered load above capacity nearly
+        all the time (the scientific-data uploader of Fig. 16a);
+        ``diurnal`` pushes bursts during evening hours (Fig. 16b).
+        """
+        capacity_bytes_per_minute = self.upstream_capacity_bps / 8 * MINUTE
+        cloud = next((d for d in self.sampler.universe
+                      if d.category == "cloud" and d.whitelisted), None)
+        minute_epochs = start + np.arange(up.size) * MINUTE
+        for slot, epoch in enumerate(minute_epochs):
+            if self.uplink_saturator == "continuous":
+                load = float(self.rng.uniform(1.05, 1.9))
+            else:
+                hour = self.calendar.hour_of_day(epoch)
+                if 18 <= hour <= 23:
+                    load = float(self.rng.uniform(0.9, 1.8))
+                elif 8 <= hour < 18:
+                    load = float(self.rng.uniform(0.1, 0.5))
+                else:
+                    load = 0.05
+            up[slot] += load * capacity_bytes_per_minute
+        # Record the upload as daily long-running flows so domain/device
+        # accounting (Figs. 17, 19) sees the bytes too.
+        if cloud is not None:
+            day = 86400.0
+            cursor = start
+            while cursor < end:
+                chunk_end = min(cursor + day, end)
+                seconds = chunk_end - cursor
+                flows.append(SimFlow(
+                    timestamp=cursor + 1.0,
+                    device_index=0,
+                    domain=cloud,
+                    bytes_up=self.upstream_capacity_bps / 8 * seconds * 0.9,
+                    bytes_down=1e6,
+                    duration_seconds=seconds,
+                ))
+                cursor = chunk_end
+
+    def _mask_offline(self, start: float,
+                      up: np.ndarray, down: np.ndarray) -> None:
+        """Zero traffic in minutes when the gateway or link was down."""
+        minute_epochs = start + np.arange(up.size) * MINUTE + MINUTE / 2
+        mask = self.online.contains_many(minute_epochs)
+        up[~mask] = 0.0
+        down[~mask] = 0.0

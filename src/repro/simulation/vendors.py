@@ -1,0 +1,129 @@
+"""The OUI registry and vendor categories of Figure 12.
+
+The paper resolves the unobfuscated top 24 bits of each MAC to a
+manufacturer, then buckets manufacturers into the categories of Fig. 12
+(Apple, ODM, Intel, SmartPhone, Samsung, Gateway, ...).  This module bundles
+a registry with the same bucket structure: each vendor has one or more OUIs,
+and :func:`vendor_category` resolves an OUI back to its bucket — which is
+all Fig. 12 needs.
+
+The registry is intentionally the *analysis-side* source of truth too: the
+simulator allocates device MACs from it, and the infrastructure analysis
+resolves collected (lower-24-hashed) MACs through it, exactly as the paper
+resolved real OUIs through the IEEE registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.netutils.mac import MacAddress, random_mac
+
+# Fig. 12 category labels, in the paper's display order.
+CATEGORY_ORDER: Tuple[str, ...] = (
+    "Apple", "ODM", "Intel", "SmartPhone", "Samsung", "Gateway", "Asus",
+    "Misc.", "Microsoft", "InternetTV", "Gaming", "WirelessCard", "VoIP",
+    "Hewlett-Packard", "Hardware", "VMware", "Raspberry-Pi", "Printer",
+)
+
+
+@dataclass(frozen=True)
+class Vendor:
+    """One manufacturer: display name, Fig. 12 bucket, registered OUIs."""
+
+    name: str
+    category: str
+    ouis: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORY_ORDER:
+            raise ValueError(f"unknown vendor category {self.category!r}")
+        if not self.ouis:
+            raise ValueError(f"vendor {self.name!r} needs at least one OUI")
+
+
+#: The bundled registry.  OUI values follow real allocations where widely
+#: known (Apple, Raspberry-Pi, VMware, ...), and are stable placeholders
+#: otherwise; Fig. 12 depends only on the OUI → bucket mapping.
+VENDORS: Tuple[Vendor, ...] = (
+    Vendor("Apple", "Apple", (0x3C0754, 0x28CFDA, 0x7CD1C3, 0xF0B479, 0x0026BB)),
+    Vendor("Compal", "ODM", (0x001A73,)),
+    Vendor("Hon Hai Precision", "ODM", (0x00242B, 0x60D819)),
+    Vendor("Quanta", "ODM", (0x00C09F,)),
+    Vendor("Universal Global Systems", "ODM", (0x0016D4,)),
+    Vendor("Wistron Infocomm", "ODM", (0x3C970F,)),
+    Vendor("Intel", "Intel", (0x001B21, 0x8C705A, 0x4C8093)),
+    Vendor("HTC", "SmartPhone", (0x188796,)),
+    Vendor("LG", "SmartPhone", (0x0021FB,)),
+    Vendor("Motorola", "SmartPhone", (0x40786A,)),
+    Vendor("Nokia", "SmartPhone", (0x0026CC,)),
+    Vendor("Murata", "SmartPhone", (0x44A7CF,)),
+    Vendor("Samsung", "Samsung", (0x002339, 0x5C0A5B, 0x8C71F8)),
+    Vendor("TP-Link", "Gateway", (0xF4EC38,)),
+    Vendor("Realtek", "Gateway", (0x00E04C,)),
+    Vendor("Liteon", "Gateway", (0x74DE2B,)),
+    Vendor("D-Link", "Gateway", (0x14D64D,)),
+    Vendor("Cisco-Linksys", "Gateway", (0x687F74,)),
+    Vendor("Belkin", "Gateway", (0x944452,)),
+    Vendor("Askey", "Gateway", (0x0E5610,)),
+    Vendor("Asus", "Asus", (0x50465D, 0xBCAEC5)),
+    Vendor("Polycom", "Misc.", (0x0004F2,)),
+    Vendor("Prolifix", "Misc.", (0x04E9E5,)),
+    Vendor("Pegatron", "Misc.", (0x10C37B,)),
+    Vendor("Microsoft", "Microsoft", (0x7CED8D, 0x0017FA)),
+    Vendor("Roku", "InternetTV", (0xB0A737,)),
+    Vendor("TiVo", "InternetTV", (0x0011D9,)),
+    Vendor("ASRock", "InternetTV", (0xBC5FF4,)),
+    Vendor("Nintendo", "Gaming", (0x0019FD,)),
+    Vendor("Mitsumi", "Gaming", (0x0009BF,)),
+    Vendor("AzureWave", "WirelessCard", (0x74F06D,)),
+    Vendor("GainSpan", "WirelessCard", (0x20F85E,)),
+    Vendor("UniData", "VoIP", (0x00E091,)),
+    Vendor("Hewlett-Packard", "Hewlett-Packard", (0x308D99, 0x3CD92B)),
+    Vendor("Giga-Byte", "Hardware", (0x1C6F65,)),
+    Vendor("Microchip", "Hardware", (0x001EC0,)),
+    Vendor("VMware", "VMware", (0x000C29,)),
+    Vendor("Raspberry Pi Foundation", "Raspberry-Pi", (0xB827EB,)),
+    Vendor("Epson", "Printer", (0x64EB8C,)),
+    Vendor("Netgear", "Gateway", (0x204E7F,)),  # the BISmark router itself
+)
+
+#: OUI of the deployed BISmark gateways; the paper removes these from
+#: Fig. 12 ("we have removed all references to Netgear originating from our
+#: BISmark routers").
+BISMARK_OUI = 0x204E7F
+
+_OUI_TO_VENDOR: Dict[int, Vendor] = {}
+for _vendor in VENDORS:
+    for _oui in _vendor.ouis:
+        if _oui in _OUI_TO_VENDOR:
+            raise RuntimeError(f"duplicate OUI {_oui:#08x} in registry")
+        _OUI_TO_VENDOR[_oui] = _vendor
+
+_CATEGORY_TO_OUIS: Dict[str, List[int]] = {}
+for _vendor in VENDORS:
+    _CATEGORY_TO_OUIS.setdefault(_vendor.category, []).extend(_vendor.ouis)
+
+
+def vendor_of_oui(oui: int) -> "Vendor | None":
+    """The registered vendor owning *oui*, or None for unknown OUIs."""
+    return _OUI_TO_VENDOR.get(oui)
+
+
+def vendor_category(oui: int) -> str:
+    """The Fig. 12 bucket for *oui* (``"Unknown"`` when unregistered)."""
+    vendor = _OUI_TO_VENDOR.get(oui)
+    return vendor.category if vendor is not None else "Unknown"
+
+
+def allocate_mac(rng: np.random.Generator, category: str) -> MacAddress:
+    """Allocate a device MAC under a random OUI of the given bucket."""
+    try:
+        ouis = _CATEGORY_TO_OUIS[category]
+    except KeyError:
+        raise KeyError(f"no vendors registered for category {category!r}") from None
+    oui = int(ouis[int(rng.integers(0, len(ouis)))])
+    return random_mac(rng, oui)

@@ -1,0 +1,28 @@
+"""Shared fixtures: one small-but-complete simulated study per session.
+
+The integration tests all read from a single cached campaign so the whole
+suite stays fast; the study is scaled down (fewer routers, shorter windows)
+but exercises every collector and consent tier.
+"""
+
+import pytest
+
+from repro import StudyConfig, run_study
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A complete campaign: ~35 homes, ~6-day heartbeat window."""
+    return run_study(StudyConfig(
+        seed=20130401,
+        router_scale=0.28,
+        duration_scale=0.04,
+        traffic_consents=6,
+        low_activity_consents=1,
+    ))
+
+
+@pytest.fixture(scope="session")
+def small_data(small_study):
+    """The collected data bundle of the session study."""
+    return small_study.data

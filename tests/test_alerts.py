@@ -1,0 +1,179 @@
+"""Tests for the security-alert detector and the compromise injector."""
+
+import numpy as np
+import pytest
+
+from repro.core.alerts import (
+    SecurityAlert,
+    SecurityMonitor,
+    split_training_window,
+)
+from repro.core.records import OBFUSCATED_DOMAIN, FlowRecord
+from repro.simulation.malware import PROFILES, inject_compromise
+from repro.simulation.timebase import DAY, utc
+
+T0 = utc(2013, 4, 1)
+WINDOW = (T0, T0 + 3 * DAY)
+
+
+def benign_flows(mac, days=3, per_day=30, rid="r", start=T0):
+    """A steady web-browsing device."""
+    rng = np.random.default_rng(hash(mac) % 2**31)
+    flows = []
+    for day in range(days):
+        for i in range(per_day):
+            ts = start + day * DAY + 600 * i
+            flows.append(FlowRecord(
+                rid, ts, mac, "google.com", 0xF0000001, 443, "https",
+                bytes_up=float(rng.uniform(5e3, 5e4)),
+                bytes_down=float(rng.uniform(1e5, 1e6)),
+                duration_seconds=20.0))
+    return flows
+
+
+class TestSecurityAlertRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SecurityAlert("r", "m", "weird", 0.5, "x")
+        with pytest.raises(ValueError):
+            SecurityAlert("r", "m", "port-anomaly", 1.5, "x")
+
+
+class TestSecurityMonitor:
+    def make_fitted(self, macs=("a", "b")):
+        monitor = SecurityMonitor()
+        flows = [f for mac in macs for f in benign_flows(mac)]
+        assert monitor.fit(flows) == len(macs)
+        return monitor
+
+    def test_clean_traffic_raises_nothing(self):
+        monitor = self.make_fitted()
+        later = benign_flows("a", start=T0 + 3 * DAY)
+        assert monitor.scan(later) == []
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SecurityMonitor().scan([])
+
+    def test_too_few_flows_skipped_in_fit(self):
+        monitor = SecurityMonitor(min_baseline_flows=100)
+        assert monitor.fit(benign_flows("a", days=1, per_day=5)) == 0
+
+    def test_unknown_device_ignored_in_scan(self):
+        monitor = self.make_fitted(macs=("a",))
+        alerts = monitor.scan(benign_flows("never-seen",
+                                           start=T0 + 3 * DAY))
+        assert alerts == []
+
+    def test_spambot_detected(self):
+        monitor = self.make_fitted()
+        rng = np.random.default_rng(1)
+        later = benign_flows("a", start=T0 + 3 * DAY)
+        later += inject_compromise(rng, "r", "a",
+                                   (T0 + 3 * DAY, T0 + 6 * DAY),
+                                   profile="spambot")
+        alerts = monitor.scan(later)
+        reasons = {a.reason for a in alerts}
+        assert "port-anomaly" in reasons  # SMTP never seen before
+        assert all(a.device_mac == "a" for a in alerts)
+
+    def test_exfiltration_detected(self):
+        monitor = self.make_fitted()
+        rng = np.random.default_rng(2)
+        later = benign_flows("a", start=T0 + 3 * DAY)
+        later += inject_compromise(rng, "r", "a",
+                                   (T0 + 3 * DAY, T0 + 6 * DAY),
+                                   profile="exfiltration")
+        alerts = monitor.scan(later)
+        reasons = {a.reason for a in alerts}
+        assert "upstream-anomaly" in reasons
+        worst = alerts[0]
+        assert worst.severity >= 0.5
+
+    def test_alerts_attributed_to_infected_device_only(self):
+        monitor = self.make_fitted(macs=("a", "b"))
+        rng = np.random.default_rng(3)
+        later = (benign_flows("a", start=T0 + 3 * DAY)
+                 + benign_flows("b", start=T0 + 3 * DAY)
+                 + inject_compromise(rng, "r", "b",
+                                     (T0 + 3 * DAY, T0 + 6 * DAY),
+                                     profile="spambot"))
+        alerts = monitor.scan(later)
+        assert alerts
+        assert {a.device_mac for a in alerts} == {"b"}
+
+    def test_alerts_sorted_by_severity(self):
+        monitor = self.make_fitted()
+        rng = np.random.default_rng(4)
+        later = benign_flows("a", start=T0 + 3 * DAY) + inject_compromise(
+            rng, "r", "a", (T0 + 3 * DAY, T0 + 6 * DAY), "exfiltration")
+        alerts = monitor.scan(later)
+        severities = [a.severity for a in alerts]
+        assert severities == sorted(severities, reverse=True)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SecurityMonitor(similarity_floor=2)
+        with pytest.raises(ValueError):
+            SecurityMonitor(upstream_factor=1.0)
+
+
+class TestMalwareInjection:
+    def test_profiles_exhaustive(self):
+        assert set(PROFILES) == {"spambot", "exfiltration"}
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            inject_compromise(np.random.default_rng(0), "r", "m", WINDOW,
+                              profile="cryptominer")
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            inject_compromise(np.random.default_rng(0), "r", "m",
+                              (T0, T0), "spambot")
+
+    def test_spambot_shape(self):
+        flows = inject_compromise(np.random.default_rng(0), "r", "m",
+                                  WINDOW, "spambot")
+        assert len(flows) > 100  # fan-out
+        for f in flows:
+            assert f.application == "smtp"
+            assert f.domain == OBFUSCATED_DOMAIN
+            assert f.bytes_up > f.bytes_down
+            assert WINDOW[0] <= f.timestamp < WINDOW[1]
+
+    def test_exfiltration_shape(self):
+        flows = inject_compromise(np.random.default_rng(0), "r", "m",
+                                  WINDOW, "exfiltration")
+        assert 1 <= len(flows) < 100  # few fat flows
+        drop_ips = {f.remote_ip for f in flows}
+        assert len(drop_ips) == 1  # one stable drop point
+        assert all(f.bytes_up > 50e6 for f in flows)
+
+    def test_intensity_scales(self):
+        loud = inject_compromise(np.random.default_rng(5), "r", "m",
+                                 WINDOW, "spambot", intensity=1.0)
+        quiet = inject_compromise(np.random.default_rng(5), "r", "m",
+                                  WINDOW, "spambot", intensity=0.05)
+        assert len(quiet) < len(loud)
+
+    def test_intensity_validation(self):
+        with pytest.raises(ValueError):
+            inject_compromise(np.random.default_rng(0), "r", "m", WINDOW,
+                              "spambot", intensity=0)
+
+
+class TestSplitTrainingWindow:
+    def test_split(self):
+        flows = benign_flows("a", days=4)
+        train, scan = split_training_window(flows, fraction=0.5)
+        assert len(train) + len(scan) == len(flows)
+        assert max(f.timestamp for f in train) <= \
+            min(f.timestamp for f in scan)
+
+    def test_empty(self):
+        assert split_training_window([]) == ([], [])
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            split_training_window(benign_flows("a"), fraction=1.0)

@@ -1,0 +1,258 @@
+"""Unit tests for the Section 4 availability analysis, on synthetic logs.
+
+These tests hand-build heartbeat logs with known gap structure so every
+statistic has an exactly computable expected value — no simulator involved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import availability as av
+from repro.core.datasets import HeartbeatLog, StudyData
+from repro.core.records import RouterInfo, UptimeReport
+from repro.simulation.timebase import DAY, HOUR, MINUTE, StudyWindows, utc
+
+T0 = utc(2012, 10, 1)
+
+
+def minute_log(rid, *up_blocks):
+    """Heartbeat log with one timestamp per minute inside each block."""
+    stamps = np.concatenate([
+        np.arange(start, end, MINUTE) for start, end in up_blocks
+    ]) if up_blocks else np.empty(0)
+    return HeartbeatLog(rid, stamps)
+
+
+def make_data(logs, infos=None, uptime=()):
+    routers = {}
+    for log in logs:
+        if infos and log.router_id in infos:
+            routers[log.router_id] = infos[log.router_id]
+        else:
+            routers[log.router_id] = RouterInfo(log.router_id, "US", True,
+                                                -5.0, 49800)
+    return StudyData(routers=routers, windows=StudyWindows(),
+                     heartbeats={log.router_id: log for log in logs},
+                     uptime_reports=list(uptime))
+
+
+class TestDowntimeExtraction:
+    def test_short_gap_not_downtime(self):
+        # 9-minute gap: below the 10-minute rule.
+        log = HeartbeatLog("r", np.array([T0, T0 + 60, T0 + 60 + 9 * MINUTE]))
+        assert len(av.downtime_events(log)) == 0
+
+    def test_ten_minute_gap_is_downtime(self):
+        log = HeartbeatLog("r", np.array([T0, T0 + 10 * MINUTE]))
+        events = av.downtime_events(log)
+        assert len(events) == 1
+        assert events.intervals[0] == (T0, T0 + 10 * MINUTE)
+
+    def test_multiple_gaps(self):
+        log = minute_log("r", (T0, T0 + HOUR),
+                         (T0 + 2 * HOUR, T0 + 3 * HOUR),
+                         (T0 + 5 * HOUR, T0 + 6 * HOUR))
+        events = av.downtime_events(log)
+        assert len(events) == 2
+        durations = sorted(events.durations())
+        assert durations[0] == pytest.approx(HOUR + MINUTE, abs=120)
+        assert durations[1] == pytest.approx(2 * HOUR + MINUTE, abs=120)
+
+    def test_edges_not_counted(self):
+        # Nothing before the first or after the last heartbeat counts.
+        log = minute_log("r", (T0 + 10 * DAY, T0 + 10 * DAY + HOUR))
+        assert len(av.downtime_events(log)) == 0
+
+    def test_empty_and_single(self):
+        assert len(av.downtime_events(HeartbeatLog("r", np.empty(0)))) == 0
+        assert len(av.downtime_events(HeartbeatLog("r", np.array([T0])))) == 0
+
+
+class TestRatesAndAvailability:
+    def test_downtime_rate(self):
+        # Two gaps over ten observed days.
+        log = minute_log("r", (T0, T0 + 3 * DAY),
+                         (T0 + 4 * DAY, T0 + 6 * DAY),
+                         (T0 + 7 * DAY, T0 + 10 * DAY))
+        rate = av.downtime_rate_per_day(log)
+        assert rate == pytest.approx(2 / 10, rel=0.01)
+
+    def test_rate_none_when_unobserved(self):
+        assert av.downtime_rate_per_day(HeartbeatLog("r", np.empty(0))) is None
+
+    def test_availability_fraction(self):
+        log = minute_log("r", (T0, T0 + 8 * DAY), (T0 + 9 * DAY, T0 + 10 * DAY))
+        fraction = av.availability_fraction(log)
+        assert fraction == pytest.approx(0.9, abs=0.01)
+
+    def test_observed_days(self):
+        log = minute_log("r", (T0, T0 + 5 * DAY))
+        assert av.observed_days(log) == pytest.approx(5.0, abs=0.01)
+
+    def test_timeline_clips(self):
+        log = minute_log("r", (T0, T0 + 5 * DAY))
+        timeline = av.availability_timeline(log, (T0 + DAY, T0 + 2 * DAY))
+        assert timeline.span == (T0 + DAY, T0 + 2 * DAY)
+
+
+class TestGroupStatistics:
+    def make_two_group_data(self):
+        dev_info = RouterInfo("dev1", "US", True, -5.0, 49800)
+        dvg_info = RouterInfo("dvg1", "IN", False, 5.5, 3700)
+        dev_log = minute_log("dev1", (T0, T0 + 30 * DAY))  # no downtime
+        dvg_blocks = [(T0 + d * DAY, T0 + d * DAY + 20 * HOUR)
+                      for d in range(30)]
+        dvg_log = minute_log("dvg1", *dvg_blocks)  # one 4h gap per day
+        return make_data([dev_log, dvg_log],
+                         infos={"dev1": dev_info, "dvg1": dvg_info})
+
+    def test_rate_cdfs_split_by_group(self):
+        data = self.make_two_group_data()
+        dev = av.downtime_rate_cdf(data, developed=True)
+        dvg = av.downtime_rate_cdf(data, developed=False)
+        assert dev.median == 0
+        assert dvg.median == pytest.approx(1.0, rel=0.05)
+
+    def test_duration_cdf(self):
+        data = self.make_two_group_data()
+        dvg = av.downtime_duration_cdf(data, developed=False)
+        assert dvg.median == pytest.approx(4 * HOUR + MINUTE, rel=0.02)
+
+    def test_median_days_between_downtimes(self):
+        data = self.make_two_group_data()
+        assert av.median_days_between_downtimes(data, True) == float("inf")
+        assert av.median_days_between_downtimes(data, False) == \
+            pytest.approx(1.0, rel=0.05)
+
+    def test_min_observation_filter(self):
+        log = minute_log("dev2", (T0, T0 + HOUR))  # under a day observed
+        data = make_data([log])
+        assert av.downtime_rate_cdf(data, developed=True).n == 0
+
+
+class TestCountryJoin:
+    def test_fig5_points(self):
+        infos = {
+            f"IN{i}": RouterInfo(f"IN{i}", "IN", False, 5.5, 3700)
+            for i in range(3)
+        }
+        infos.update({
+            f"US{i}": RouterInfo(f"US{i}", "US", True, -5.0, 49800)
+            for i in range(3)
+        })
+        logs = []
+        for i in range(3):  # IN homes: one downtime/day
+            blocks = [(T0 + d * DAY, T0 + d * DAY + 20 * HOUR)
+                      for d in range(10)]
+            logs.append(minute_log(f"IN{i}", *blocks))
+            logs.append(minute_log(f"US{i}", (T0, T0 + 10 * DAY)))
+        data = make_data(logs, infos=infos)
+        points = av.downtimes_by_country(data, min_routers=3,
+                                         normalize_days=100)
+        assert len(points) == 2
+        by_code = {p.country_code: p for p in points}
+        assert by_code["IN"].median_downtimes == pytest.approx(100, rel=0.15)
+        assert by_code["US"].median_downtimes == 0
+        assert points[0].gdp_ppp_per_capita < points[1].gdp_ppp_per_capita
+
+    def test_min_routers_filter(self):
+        data = self.make_single_home()
+        assert av.downtimes_by_country(data, min_routers=2) == []
+
+    @staticmethod
+    def make_single_home():
+        return make_data([minute_log("US1", (T0, T0 + 5 * DAY))])
+
+    def test_availability_by_country(self):
+        data = self.make_single_home()
+        result = av.median_availability_by_country(data)
+        assert result["US"] == pytest.approx(1.0, abs=0.01)
+
+
+class TestAttribution:
+    def make_data_with_uptime(self, boot_inside_gap):
+        gap = (T0 + DAY, T0 + DAY + 2 * HOUR)
+        log = minute_log("r", (T0, gap[0]), (gap[1], T0 + 2 * DAY))
+        if boot_inside_gap:
+            # Router rebooted during the gap: powered off.
+            report = UptimeReport("r", gap[1] + HOUR,
+                                  uptime_seconds=HOUR + 30 * MINUTE)
+        else:
+            # Uptime spans the gap: the router never lost power.
+            report = UptimeReport("r", gap[1] + HOUR,
+                                  uptime_seconds=3 * DAY)
+        return make_data([log], uptime=[report]), gap
+
+    def test_power_attribution(self):
+        data, gap = self.make_data_with_uptime(boot_inside_gap=True)
+        assert av.classify_downtime(data, "r", gap) == "power"
+
+    def test_network_attribution(self):
+        data, gap = self.make_data_with_uptime(boot_inside_gap=False)
+        assert av.classify_downtime(data, "r", gap) == "network"
+
+    def test_unknown_without_reports(self):
+        data, gap = self.make_data_with_uptime(boot_inside_gap=True)
+        data.uptime_reports = []
+        assert av.classify_downtime(data, "r", gap) == "unknown"
+
+    def test_attribution_counts(self):
+        data, gap = self.make_data_with_uptime(boot_inside_gap=True)
+        counts = av.downtime_attribution(data, "r")
+        assert counts["power"] == 1
+        assert counts["network"] == 0
+
+    def test_attribution_missing_router(self):
+        data, _ = self.make_data_with_uptime(True)
+        counts = av.downtime_attribution(data, "ghost")
+        assert counts == {"power": 0, "network": 0, "unknown": 0}
+
+
+class TestApplianceDetection:
+    def test_detects_daily_cycler(self):
+        blocks = [(T0 + d * DAY + 18 * HOUR, T0 + d * DAY + 22 * HOUR)
+                  for d in range(20)]
+        data = make_data([minute_log("cn", *blocks)])
+        assert av.appliance_mode_routers(data) == ["cn"]
+
+    def test_ignores_always_on(self):
+        data = make_data([minute_log("us", (T0, T0 + 20 * DAY))])
+        assert av.appliance_mode_routers(data) == []
+
+    def test_ignores_rare_long_outage(self):
+        # 60% availability but only one event: not an appliance.
+        log = minute_log("r", (T0, T0 + 6 * DAY), (T0 + 10 * DAY, T0 + 10 * DAY + DAY))
+        data = make_data([log])
+        assert av.appliance_mode_routers(data) == []
+
+
+class TestHighlights:
+    def test_section4_highlights(self):
+        infos = {}
+        logs = []
+        for code, gdp, developed, n in (("US", 49800, True, 3),
+                                        ("IN", 3700, False, 3),
+                                        ("PK", 2700, False, 3)):
+            for i in range(n):
+                rid = f"{code}{i}"
+                infos[rid] = RouterInfo(rid, code, developed,
+                                        0.0, gdp)
+                if developed:
+                    logs.append(minute_log(rid, (T0, T0 + 20 * DAY)))
+                else:
+                    cycles = 2 if code == "PK" else 1
+                    blocks = []
+                    for d in range(20):
+                        day = T0 + d * DAY
+                        if cycles == 1:
+                            blocks.append((day, day + 20 * HOUR))
+                        else:
+                            blocks.append((day, day + 10 * HOUR))
+                            blocks.append((day + 11 * HOUR, day + 20 * HOUR))
+                    logs.append(minute_log(rid, *blocks))
+        data = make_data(logs, infos=infos)
+        highlights = av.section4_highlights(data)
+        assert highlights.median_days_between_downtimes_developed == \
+            float("inf")
+        assert highlights.median_days_between_downtimes_developing < 1.1
+        assert highlights.worst_two_countries_by_downtimes[0] == "PK"

@@ -1,0 +1,165 @@
+"""Tests for the usage-cap tool (meter + dashboard analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core.caps import (
+    cap_forecast,
+    device_usage_table,
+    homes_projected_over_cap,
+)
+from repro.core.datasets import StudyData, ThroughputSeries
+from repro.core.records import FlowRecord, RouterInfo
+from repro.firmware.caps import CapAlert, CapMeter, UsageCapPolicy, meter_throughput
+from repro.simulation.timebase import DAY, MINUTE, StudyWindows, utc
+
+T0 = utc(2013, 4, 1)
+GB = 1e9
+
+
+def info(rid="r"):
+    return RouterInfo(rid, "US", True, -5.0, 49800)
+
+
+def flow(rid, mac, domain, down, up=0.0, ts=T0):
+    return FlowRecord(rid, ts, mac, domain, 0xF0000001, 443, "https",
+                      up, down, 10.0)
+
+
+class TestUsageCapPolicy:
+    def test_thresholds_sorted(self):
+        policy = UsageCapPolicy(10 * GB, alert_thresholds=(1.0, 0.5))
+        assert policy.alert_thresholds == (0.5, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UsageCapPolicy(0)
+        with pytest.raises(ValueError):
+            UsageCapPolicy(1, cycle_days=0)
+        with pytest.raises(ValueError):
+            UsageCapPolicy(1, alert_thresholds=(0.0,))
+
+    def test_cycle_seconds(self):
+        assert UsageCapPolicy(1, cycle_days=30).cycle_seconds == 30 * DAY
+
+
+class TestCapMeter:
+    def make(self, cap=10 * GB):
+        return CapMeter("r", UsageCapPolicy(cap), cycle_start=T0)
+
+    def test_alerts_fire_in_order(self):
+        meter = self.make(cap=1 * GB)
+        assert meter.record(T0 + 1, 0.4 * GB) == []
+        fired = meter.record(T0 + 2, 0.2 * GB)
+        assert [a.threshold for a in fired] == [0.5]
+        fired = meter.record(T0 + 3, 0.5 * GB)
+        assert [a.threshold for a in fired] == [0.9, 1.0]
+        assert fired[-1].over_cap
+
+    def test_each_threshold_fires_once_per_cycle(self):
+        meter = self.make(cap=1 * GB)
+        meter.record(T0 + 1, 0.6 * GB)
+        assert meter.record(T0 + 2, 0.01 * GB) == []
+
+    def test_cycle_rollover_resets(self):
+        meter = self.make(cap=1 * GB)
+        meter.record(T0 + 1, 0.9 * GB)
+        assert meter.used_fraction == pytest.approx(0.9)
+        fired = meter.record(T0 + 31 * DAY, 0.55 * GB)
+        assert meter.used_fraction == pytest.approx(0.55)
+        assert [a.threshold for a in fired] == [0.5]
+
+    def test_multi_cycle_skip(self):
+        meter = self.make()
+        meter.record(T0 + 95 * DAY, 1.0)
+        assert meter.cycle_start == T0 + 90 * DAY
+
+    def test_rejects_bad_input(self):
+        meter = self.make()
+        with pytest.raises(ValueError):
+            meter.record(T0 + 1, -5)
+        with pytest.raises(ValueError):
+            meter.record(T0 - 10, 5)
+
+
+class TestMeterThroughput:
+    def test_bytes_accounted(self):
+        # One day at a constant 2.2 Mbps peak => 1 Mbps mean floor.
+        n = int(DAY / MINUTE)
+        series = ThroughputSeries("r", T0, np.full(n, 1.1e6),
+                                  np.full(n, 1.1e6))
+        policy = UsageCapPolicy(monthly_cap_bytes=100 * GB)
+        meter = meter_throughput(series, policy)
+        expected = 2.2e6 / 2.2 / 8 * DAY  # mean bps / 8 * seconds
+        assert meter.used_bytes == pytest.approx(expected, rel=0.01)
+
+    def test_alerts_from_series(self):
+        n = int(DAY / MINUTE)
+        series = ThroughputSeries("r", T0, np.full(n, 11e6), np.zeros(n))
+        # ~0.54 GB/day mean floor; cap at 0.5 GB should fire everything.
+        policy = UsageCapPolicy(monthly_cap_bytes=0.5 * GB)
+        meter = meter_throughput(series, policy)
+        assert [a.threshold for a in meter.alerts] == [0.5, 0.9, 1.0]
+
+
+class TestDashboard:
+    def make_data(self):
+        flows = [
+            flow("r", "roku", "netflix.com", 6 * GB),
+            flow("r", "imac", "dropbox.com", 1 * GB, up=2 * GB),
+            flow("r", "phone", "facebook.com", 1 * GB),
+        ]
+        minutes = int(2 * DAY / MINUTE)
+        series = ThroughputSeries("r", T0, np.full(minutes, 2.2e6),
+                                  np.full(minutes, 8.8e6))
+        return StudyData(routers={"r": info()}, windows=StudyWindows(),
+                         flows=flows, throughput={"r": series})
+
+    def test_device_table_ordering_and_shares(self):
+        table = device_usage_table(self.make_data(), "r")
+        assert [row.device_mac for row in table] == ["roku", "imac", "phone"]
+        assert table[0].share_of_home == pytest.approx(0.6)
+        assert table[1].bytes_up == pytest.approx(2 * GB)
+        assert table[0].top_domains == ("netflix.com",)
+
+    def test_forecast(self):
+        data = self.make_data()
+        policy = UsageCapPolicy(monthly_cap_bytes=200 * GB, cycle_days=30)
+        forecast = cap_forecast(data, "r", policy)
+        assert forecast is not None
+        # (2.2 + 8.8) Mbps peaks -> 5 Mbps mean floor -> ~54 GB/day.
+        daily = (2.2e6 + 8.8e6) / 2.2 / 8 * DAY
+        assert forecast.used_bytes == pytest.approx(2 * daily, rel=0.02)
+        assert forecast.projected_bytes == pytest.approx(30 * daily, rel=0.05)
+        assert forecast.will_exceed
+        assert forecast.days_until_cap == pytest.approx(
+            (200 * GB - forecast.used_bytes) / daily, rel=0.05)
+
+    def test_forecast_already_over_cap(self):
+        data = self.make_data()
+        policy = UsageCapPolicy(monthly_cap_bytes=10 * GB, cycle_days=30)
+        forecast = cap_forecast(data, "r", policy)
+        assert forecast.days_until_cap == 0.0
+        assert forecast.used_fraction > 1.0
+
+    def test_forecast_quiet_home(self):
+        data = self.make_data()
+        minutes = 100
+        data.throughput["r"] = ThroughputSeries(
+            "r", T0, np.zeros(minutes), np.zeros(minutes))
+        policy = UsageCapPolicy(monthly_cap_bytes=1 * GB)
+        forecast = cap_forecast(data, "r", policy)
+        assert forecast.used_bytes == 0
+        assert forecast.days_until_cap is None
+        assert not forecast.will_exceed
+
+    def test_forecast_missing_home(self):
+        data = self.make_data()
+        assert cap_forecast(data, "ghost", UsageCapPolicy(GB)) is None
+
+    def test_homes_projected_over_cap(self):
+        data = self.make_data()
+        tight = UsageCapPolicy(monthly_cap_bytes=1 * GB)
+        loose = UsageCapPolicy(monthly_cap_bytes=1e6 * GB)
+        assert homes_projected_over_cap(data, tight) == ["r"]
+        assert homes_projected_over_cap(data, loose) == []

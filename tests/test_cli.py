@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+ARGS = ["--seed", "5", "--scale", "0.15", "--duration", "0.02",
+        "--consents", "3"]
+
+
+class TestRunAndSummary:
+    def test_run_exports_archive(self, tmp_path, capsys):
+        out = tmp_path / "archive"
+        assert main(["run", "--out", str(out)] + ARGS) == 0
+        assert (out / "manifest.json").exists()
+        assert (out / "flows.csv").exists()
+        assert "full archive" in capsys.readouterr().out
+
+    def test_run_public_withholds_traffic(self, tmp_path, capsys):
+        out = tmp_path / "public"
+        assert main(["run", "--out", str(out), "--public"] + ARGS) == 0
+        assert not (out / "flows.csv").exists()
+        assert "public" in capsys.readouterr().out
+
+    def test_summary_from_archive(self, tmp_path, capsys):
+        out = tmp_path / "archive"
+        main(["run", "--out", str(out)] + ARGS)
+        capsys.readouterr()
+        assert main(["summary", "--archive", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "Heartbeats" in output and "Traffic" in output
+
+    def test_summary_from_simulation(self, capsys):
+        assert main(["summary"] + ARGS) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestReportAndCaps:
+    @pytest.fixture(scope="class")
+    def archive(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("cli") / "archive"
+        main(["run", "--out", str(out)] + ARGS)
+        return out
+
+    def test_report(self, archive, capsys):
+        assert main(["report", "--archive", str(archive)]) == 0
+        output = capsys.readouterr().out
+        assert "downtimes/day" in output
+        assert "devices per home" in output
+
+    def test_caps(self, archive, capsys):
+        code = main(["caps", "--archive", str(archive), "--cap-gb", "1"])
+        output = capsys.readouterr().out
+        if code == 0:
+            assert "Cap dashboard" in output
+        else:
+            assert "no qualifying" in output
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_run_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["run"])

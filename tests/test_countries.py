@@ -1,0 +1,105 @@
+"""Tests for the Table 1 country metadata."""
+
+import pytest
+
+from repro.simulation.countries import (
+    COUNTRIES,
+    DEPLOYMENT_COUNTS,
+    classify_development,
+    country_by_code,
+    total_routers,
+)
+
+
+class TestTable1:
+    def test_nineteen_countries(self):
+        assert len(COUNTRIES) == 19
+
+    def test_total_126_routers(self):
+        assert sum(c.routers for c in COUNTRIES) == 126
+
+    def test_class_totals(self):
+        assert total_routers(developed=True) == 90
+        assert total_routers(developed=False) == 36
+
+    def test_paper_counts(self):
+        expected = {"US": 63, "GB": 12, "IN": 12, "ZA": 10, "PK": 5,
+                    "NL": 3, "CA": 2, "DE": 2, "IE": 2, "JP": 2, "SG": 2,
+                    "MX": 2, "CN": 2, "BR": 2, "FR": 1, "IT": 1, "MY": 1,
+                    "ID": 1, "TH": 1}
+        assert DEPLOYMENT_COUNTS == expected
+
+    def test_unique_codes(self):
+        codes = [c.code for c in COUNTRIES]
+        assert len(codes) == len(set(codes))
+
+    def test_classification_consistent_with_gdp(self):
+        for country in COUNTRIES:
+            assert classify_development(country.gdp_ppp_per_capita) == \
+                country.developed, country.code
+
+    def test_india_pakistan_poorest(self):
+        ordered = sorted(COUNTRIES, key=lambda c: c.gdp_ppp_per_capita)
+        assert {ordered[0].code, ordered[1].code} == {"IN", "PK"}
+
+
+class TestLookups:
+    def test_country_by_code(self):
+        assert country_by_code("us").name == "United States"
+
+    def test_country_by_code_missing(self):
+        with pytest.raises(KeyError):
+            country_by_code("XX")
+
+    def test_classify_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            classify_development(0)
+
+
+class TestBehaviorProfiles:
+    def test_developing_more_appliance_mode(self):
+        dev = [c.behavior.appliance_probability for c in COUNTRIES
+               if c.developed]
+        dvg = [c.behavior.appliance_probability for c in COUNTRIES
+               if not c.developed]
+        assert max(dev) < min(dvg)
+
+    def test_developing_more_outages(self):
+        dev = max(c.behavior.isp_outage_rate_per_day for c in COUNTRIES
+                  if c.developed)
+        dvg = min(c.behavior.isp_outage_rate_per_day for c in COUNTRIES
+                  if not c.developed)
+        assert dvg > dev
+
+    def test_pakistan_worst_outage_rate(self):
+        pk = country_by_code("PK")
+        assert pk.behavior.isp_outage_rate_per_day == max(
+            c.behavior.isp_outage_rate_per_day for c in COUNTRIES)
+
+    def test_developed_denser_wifi(self):
+        dev = min(c.behavior.neighbor_ap_level for c in COUNTRIES
+                  if c.developed)
+        dvg = max(c.behavior.neighbor_ap_level for c in COUNTRIES
+                  if not c.developed)
+        assert dev > dvg
+
+    def test_developed_faster_links(self):
+        dev = min(c.behavior.downstream_mbps for c in COUNTRIES if c.developed)
+        dvg = max(c.behavior.downstream_mbps for c in COUNTRIES
+                  if not c.developed)
+        assert dev >= dvg
+
+    def test_more_devices_in_developed(self):
+        dev = sum(c.behavior.mean_devices for c in COUNTRIES
+                  if c.developed) / 10
+        dvg = sum(c.behavior.mean_devices for c in COUNTRIES
+                  if not c.developed) / 9
+        assert dev > dvg
+
+    def test_table5_probability_split(self):
+        for country in COUNTRIES:
+            wired = country.behavior.always_wired_probability
+            if country.developed:
+                assert wired > 0.4
+            else:
+                assert wired < 0.4

@@ -1,0 +1,137 @@
+"""Integration tests for the extension subsystems on a real campaign.
+
+The unit tests exercise caps/alerts/longitudinal/channels on synthetic
+inputs; these tests run them over the shared simulated campaign to verify
+the pieces compose with collected data exactly as a downstream user would
+wire them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import longitudinal, usage
+from repro.core.alerts import SecurityMonitor, split_training_window
+from repro.core.caps import cap_forecast, device_usage_table
+from repro.core.paperkit import reproduce_all
+from repro.core.records import Spectrum
+from repro.firmware.caps import UsageCapPolicy, meter_throughput
+from repro.firmware.wifi import full_spectrum_scans
+from repro.simulation.malware import inject_compromise
+
+GB = 1e9
+
+
+class TestCapsOnCampaign:
+    def test_meter_runs_on_every_qualifying_home(self, small_data):
+        policy = UsageCapPolicy(monthly_cap_bytes=1 * GB)
+        qualifying = small_data.qualifying_traffic_routers()
+        if not qualifying:
+            pytest.skip("no qualifying homes in the small fixture")
+        for rid in qualifying:
+            meter = meter_throughput(small_data.throughput[rid], policy)
+            assert meter.used_bytes > 0
+            # Alerts, if any, fired in ascending threshold order.
+            thresholds = [a.threshold for a in meter.alerts]
+            assert thresholds == sorted(thresholds)
+
+    def test_dashboard_consistent_with_flows(self, small_data):
+        qualifying = small_data.qualifying_traffic_routers()
+        if not qualifying:
+            pytest.skip("no qualifying homes")
+        rid = qualifying[0]
+        table = device_usage_table(small_data, rid)
+        assert table
+        shares = sum(row.share_of_home for row in table)
+        assert shares == pytest.approx(1.0)
+        totals = small_data.traffic_bytes_by_router()
+        assert sum(r.bytes_total for r in table) == \
+            pytest.approx(totals[rid])
+
+    def test_forecast_scales_with_cap(self, small_data):
+        qualifying = small_data.qualifying_traffic_routers()
+        if not qualifying:
+            pytest.skip("no qualifying homes")
+        rid = qualifying[0]
+        tight = cap_forecast(small_data, rid, UsageCapPolicy(0.5 * GB))
+        loose = cap_forecast(small_data, rid, UsageCapPolicy(500 * GB))
+        assert tight.used_bytes == loose.used_bytes
+        assert tight.used_fraction > loose.used_fraction
+
+
+class TestAlertsOnCampaign:
+    def test_infection_detected_clean_homes_mostly_quiet(self, small_data):
+        train, scan = split_training_window(small_data.flows, fraction=0.5)
+        monitor = SecurityMonitor()
+        baselined = monitor.fit(train)
+        if baselined < 3:
+            pytest.skip("too little traffic in the small fixture")
+        victim = monitor.baselined_devices[0]
+        scan_start = min(f.timestamp for f in scan)
+        scan_end = max(f.timestamp for f in scan)
+        infected = scan + inject_compromise(
+            np.random.default_rng(0), victim[0], victim[1],
+            (scan_start, scan_end), profile="spambot")
+        alerts = monitor.scan(infected)
+        flagged = {(a.router_id, a.device_mac) for a in alerts}
+        assert victim in flagged
+        # The detector is selective: well under half of devices flagged.
+        assert len(flagged) <= baselined * 0.5
+
+
+class TestLongitudinalOnCampaign:
+    def test_group_trends_computable(self, small_data):
+        from repro.simulation.timebase import DAY
+        dev = longitudinal.group_availability_trend(
+            small_data, developed=True, bucket_seconds=2 * DAY)
+        assert len(dev) >= 1
+        assert np.all(dev.values <= 1.0) and np.all(dev.values >= 0.0)
+
+    def test_traffic_series_matches_meter(self, small_data):
+        qualifying = small_data.qualifying_traffic_routers()
+        if not qualifying:
+            pytest.skip("no qualifying homes")
+        rid = qualifying[0]
+        series = longitudinal.traffic_volume_series(small_data, rid)
+        meter = meter_throughput(small_data.throughput[rid],
+                                 UsageCapPolicy(1e15))
+        assert float(series.values.sum()) == \
+            pytest.approx(meter.used_bytes, rel=0.01)
+
+
+class TestChannelsOnCampaign:
+    def test_sweep_dominates_single_channel(self, small_study):
+        rng = np.random.default_rng(0)
+        epoch = small_study.deployment.windows.wifi[0] + 3600
+        checked = 0
+        for home in small_study.deployment.households:
+            env = home.wireless
+            if env.sparse or env.total_neighbors(Spectrum.GHZ_2_4) < 5:
+                continue
+            sweep = full_spectrum_scans(home, epoch, rng)
+            swept_total = sum(s.neighbor_aps for s in sweep
+                              if s.spectrum is Spectrum.GHZ_2_4)
+            visible = env.base_neighbor_count(Spectrum.GHZ_2_4)
+            assert swept_total >= visible * 0.8  # sweep sees at least as much
+            checked += 1
+            if checked == 5:
+                break
+        assert checked > 0
+
+    def test_best_channel_never_worse(self, small_study):
+        for home in small_study.deployment.households[:20]:
+            env = home.wireless
+            best = env.best_channel(Spectrum.GHZ_2_4)
+            assert env.contention(Spectrum.GHZ_2_4, best) <= \
+                env.contention(Spectrum.GHZ_2_4) + 1e-9
+
+
+class TestPaperkitOnCampaign:
+    def test_usage_by_country_on_campaign(self, small_data):
+        rows = usage.usage_by_country(small_data)
+        if rows:
+            assert rows[0].country_code == "US"  # only US consents here
+            assert all(r.homes >= 1 for r in rows)
+
+    def test_full_report_nonempty(self, small_data):
+        report = reproduce_all(small_data)
+        assert len(report.rows()) >= 10

@@ -1,0 +1,195 @@
+"""Tests for device fingerprinting and the text report renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core import report
+from repro.core.fingerprint import (
+    CATEGORIES,
+    DeviceFingerprinter,
+    category_vector,
+    cosine_similarity,
+    feature_vector,
+    fingerprint_devices,
+)
+from repro.core.datasets import StudyData
+from repro.core.records import OBFUSCATED_DOMAIN, FlowRecord, RouterInfo
+from repro.core.stats import EmpiricalCdf, HourOfDayProfile
+from repro.simulation.timebase import StudyWindows, utc
+
+T0 = utc(2013, 4, 1)
+
+
+def flow(mac, domain, bytes_down, rid="r"):
+    return FlowRecord(rid, T0, mac, domain, 0xF0000001, 443, "https",
+                      0.0, bytes_down, 10.0)
+
+
+class TestCategoryVector:
+    def test_streaming_device(self):
+        flows = [flow("m", "netflix.com", 700.0), flow("m", "hulu.com", 300.0)]
+        vector = category_vector(flows)
+        assert vector[CATEGORIES.index("streaming")] == pytest.approx(1.0)
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_obfuscated_counts_as_other(self):
+        flows = [flow("m", OBFUSCATED_DOMAIN, 500.0),
+                 flow("m", "google.com", 500.0)]
+        vector = category_vector(flows)
+        assert vector[CATEGORIES.index("other")] == pytest.approx(0.5)
+        assert vector[CATEGORIES.index("web")] == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert category_vector([]).sum() == 0
+
+    def test_unknown_domain_is_other(self):
+        vector = category_vector([flow("m", "not-in-universe.example", 1.0)])
+        assert vector[CATEGORIES.index("other")] == 1.0
+
+
+class TestFeatureVector:
+    def test_extends_category_vector(self):
+        flows = [flow("m", "netflix.com", 1e8)]
+        vector = feature_vector(flows)
+        assert vector.shape == (len(CATEGORIES) + 3,)
+        assert vector[CATEGORIES.index("streaming")] == pytest.approx(1.0)
+
+    def test_upstream_fraction_axis(self):
+        heavy_up = FlowRecord("r", T0, "m", "dropbox.com", 1, 443, "https",
+                              9e6, 1e6, 60.0)
+        vector = feature_vector([heavy_up])
+        assert vector[len(CATEGORIES)] == pytest.approx(0.9)
+
+    def test_size_axis_monotone(self):
+        small = feature_vector([flow("m", "google.com", 1e3)])
+        big = feature_vector([flow("m", "netflix.com", 1e8)])
+        assert big[len(CATEGORIES) + 1] > small[len(CATEGORIES) + 1]
+
+    def test_empty_flows(self):
+        vector = feature_vector([])
+        assert vector.shape == (len(CATEGORIES) + 3,)
+        assert vector.sum() == 0
+
+
+class TestCosineSimilarity:
+    def test_identical(self):
+        v = np.array([0.5, 0.5, 0, 0, 0, 0, 0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        a = np.array([1.0, 0, 0, 0, 0, 0, 0])
+        b = np.array([0, 1.0, 0, 0, 0, 0, 0])
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_zero_vector(self):
+        z = np.zeros(7)
+        assert cosine_similarity(z, z) == 0.0
+
+
+class TestDeviceFingerprinter:
+    def train(self):
+        streaming = np.zeros(len(CATEGORIES))
+        streaming[CATEGORIES.index("streaming")] = 1.0
+        cloudy = np.zeros(len(CATEGORIES))
+        cloudy[CATEGORIES.index("cloud")] = 0.7
+        cloudy[CATEGORIES.index("web")] = 0.3
+        clf = DeviceFingerprinter()
+        clf.fit([(streaming, "media_box"), (cloudy, "desktop")])
+        return clf
+
+    def test_classifies_streaming(self):
+        clf = self.train()
+        query = np.zeros(len(CATEGORIES))
+        query[CATEGORIES.index("streaming")] = 0.9
+        query[CATEGORIES.index("web")] = 0.1
+        match = clf.classify(query)
+        assert match.label == "media_box"
+        assert match.similarity > 0.9
+
+    def test_below_floor_returns_none(self):
+        clf = self.train()
+        query = np.zeros(len(CATEGORIES))
+        query[CATEGORIES.index("gaming")] = 1.0
+        assert clf.classify(query) is None
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DeviceFingerprinter().classify(np.zeros(len(CATEGORIES)))
+
+    def test_fit_validates(self):
+        clf = DeviceFingerprinter()
+        with pytest.raises(ValueError):
+            clf.fit([])
+        with pytest.raises(ValueError):
+            clf.fit([(np.zeros(3), "x"), (np.zeros(4), "y")])
+        with pytest.raises(ValueError):
+            clf.fit([(np.zeros((2, 2)), "x")])
+
+    def test_labels(self):
+        assert self.train().labels == ["desktop", "media_box"]
+
+    def test_min_similarity_validation(self):
+        with pytest.raises(ValueError):
+            DeviceFingerprinter(min_similarity=2.0)
+
+    def test_fingerprint_devices_end_to_end(self):
+        flows = [flow("roku", "netflix.com", 5e8),
+                 flow("roku", "hulu.com", 3e8),
+                 flow("imac", "dropbox.com", 4e8),
+                 flow("imac", "google.com", 1e8),
+                 flow("quiet", "google.com", 10.0)]
+        data = StudyData(routers={"r": RouterInfo("r", "US", True, -5, 49800)},
+                         windows=StudyWindows(), flows=flows)
+        clf = self.train()
+        results = fingerprint_devices(data, "r", clf)
+        assert results["roku"].label == "media_box"
+        assert results["imac"].label == "desktop"
+        assert "quiet" not in results  # under the byte floor
+
+
+class TestReportRendering:
+    def test_table_alignment(self):
+        text = report.render_table(["name", "value"],
+                                   [("alpha", 1.0), ("b", 123456.0)],
+                                   title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            report.render_table(["a"], [("x", "y")])
+
+    def test_float_formatting(self):
+        text = report.render_table(["v"], [(float("nan"),), (0.5,),
+                                           (123456.0,), (float("inf"),)])
+        assert "nan" in text and "inf" in text and "0.5" in text
+
+    def test_series_sparkline(self):
+        pairs = [(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]
+        text = report.render_series(pairs, "x", "y")
+        assert "█" in text
+
+    def test_series_downsampling(self):
+        pairs = [(float(i), float(i)) for i in range(100)]
+        text = report.render_series(pairs, max_points=10)
+        assert len(text.splitlines()) <= 13
+
+    def test_empty_series(self):
+        assert "(empty series)" in report.render_series([], title="t")
+
+    def test_render_cdf(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3, 4])
+        text = report.render_cdf(cdf, x_label="downtimes")
+        assert "downtimes" in text and "CDF" in text
+
+    def test_render_profile_skips_nan(self):
+        profile = HourOfDayProfile.from_samples([0, 12], [1.0, 2.0])
+        text = report.render_profile(profile)
+        assert "12" in text
+
+    def test_render_comparison(self):
+        text = report.render_comparison("Fig. 3",
+                                        [("median", ">30 days", 34.2)])
+        assert "paper" in text and "measured" in text and "Fig. 3" in text

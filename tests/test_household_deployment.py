@@ -1,0 +1,168 @@
+"""Tests for household assembly and the deployment builder."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.countries import country_by_code
+from repro.simulation.deployment import DeploymentConfig, build_deployment
+from repro.simulation.household import Household, HouseholdConfig
+from repro.simulation.seeding import SeedHierarchy
+from repro.simulation.timebase import DAY, StudyWindows, utc
+
+SPAN = (utc(2013, 3, 1), utc(2013, 4, 12))
+
+
+def make_household(seed=7, code="US", **kwargs):
+    return Household(SeedHierarchy(seed), HouseholdConfig(
+        router_id=f"{code}900", country=country_by_code(code), span=SPAN,
+        **kwargs))
+
+
+class TestHousehold:
+    def test_online_is_conjunction(self):
+        home = make_household()
+        online = home.online_intervals(*SPAN)
+        power = home.power.up_intervals(*SPAN)
+        link = home.link.up_intervals(*SPAN)
+        assert online == power.intersection(link)
+
+    def test_is_online_pointwise(self):
+        home = make_household()
+        for t in np.linspace(SPAN[0], SPAN[1] - 1, 25):
+            assert home.is_online(t) == (home.power.is_on(t)
+                                         and home.link.is_up(t))
+
+    def test_uptime_at_semantics(self):
+        home = make_household()
+        on_start, on_end = home.power.on_intervals.intervals[0]
+        probe = min(on_start + 3600, (on_start + on_end) / 2)
+        uptime = home.uptime_at(probe)
+        assert uptime == pytest.approx(probe - on_start)
+
+    def test_uptime_none_when_off(self):
+        home = make_household(code="CN", seed=11)
+        gaps = home.power.on_intervals.complement(SPAN)
+        if gaps:
+            gap_start, gap_end = gaps.intervals[0]
+            assert home.uptime_at((gap_start + gap_end) / 2) is None
+
+    def test_info_record(self):
+        home = make_household()
+        info = home.info
+        assert info.router_id == "US900"
+        assert info.country_code == "US"
+        assert info.developed
+        assert info.gdp_ppp_per_capita == 49800
+
+    def test_deterministic_given_seed(self):
+        a = make_household(seed=3)
+        b = make_household(seed=3)
+        assert a.power.on_intervals == b.power.on_intervals
+        assert a.link.up == b.link.up
+        assert [d.mac for d in a.devices] == [d.mac for d in b.devices]
+
+    def test_different_homes_differ(self):
+        seeds = SeedHierarchy(7)
+        a = Household(seeds, HouseholdConfig("US001", country_by_code("US"),
+                                             SPAN))
+        b = Household(seeds, HouseholdConfig("US002", country_by_code("US"),
+                                             SPAN))
+        assert a.link.config.downstream_mbps != b.link.config.downstream_mbps
+
+    def test_traffic_cached(self):
+        home = make_household()
+        window = (SPAN[0], SPAN[0] + DAY)
+        assert home.traffic(*window) is home.traffic(*window)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HouseholdConfig("x", country_by_code("US"), (5.0, 5.0))
+        with pytest.raises(ValueError):
+            HouseholdConfig("x", country_by_code("US"), SPAN,
+                            traffic_intensity=0)
+
+
+class TestDeployment:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        windows = StudyWindows().scaled(0.02)
+        return build_deployment(DeploymentConfig(
+            seed=5, windows=windows, router_scale=0.25,
+            traffic_consents=6, low_activity_consents=1))
+
+    def test_every_country_populated(self, deployment):
+        assert len(deployment.countries) == 19
+
+    def test_router_ids_unique(self, deployment):
+        ids = [h.router_id for h in deployment.households]
+        assert len(ids) == len(set(ids))
+
+    def test_full_scale_counts(self):
+        windows = StudyWindows().scaled(0.01)
+        deployment = build_deployment(DeploymentConfig(
+            seed=1, windows=windows, router_scale=1.0))
+        assert len(deployment) == 126
+        assert len(deployment.routers_in("US")) == 63
+        assert len(deployment.uptime_routers) == 113
+        assert len(deployment.wifi_routers) == 93
+        wifi_countries = {deployment.household(rid).country.code
+                          for rid in deployment.wifi_routers}
+        assert len(wifi_countries) <= 15
+
+    def test_membership_subsets(self, deployment):
+        all_ids = {h.router_id for h in deployment.households}
+        assert deployment.uptime_routers <= all_ids
+        assert deployment.devices_routers == deployment.uptime_routers
+        assert deployment.wifi_routers <= all_ids
+        assert deployment.traffic_routers <= all_ids
+
+    def test_traffic_consents_are_us(self, deployment):
+        for rid in deployment.traffic_routers:
+            assert deployment.household(rid).country.code == "US"
+
+    def test_saturators_among_consents(self, deployment):
+        modes = {h.config.uplink_saturator
+                 for h in deployment.households
+                 if h.config.uplink_saturator is not None}
+        assert modes == {"continuous", "diurnal"}
+        for home in deployment.households:
+            if home.config.uplink_saturator is not None:
+                assert home.config.traffic_consent
+
+    def test_low_activity_homes_exist(self, deployment):
+        quiet = [h for h in deployment.households
+                 if h.config.traffic_intensity < 1.0]
+        assert len(quiet) == 1
+        assert all(h.config.traffic_consent for h in quiet)
+
+    def test_deterministic(self):
+        windows = StudyWindows().scaled(0.02)
+        config = DeploymentConfig(seed=9, windows=windows, router_scale=0.1)
+        a = build_deployment(config)
+        b = build_deployment(config)
+        assert [h.router_id for h in a.households] == \
+            [h.router_id for h in b.households]
+        assert a.wifi_routers == b.wifi_routers
+
+    def test_country_filter(self):
+        windows = StudyWindows().scaled(0.02)
+        deployment = build_deployment(DeploymentConfig(
+            seed=1, windows=windows, countries=("US", "IN")))
+        codes = {h.country.code for h in deployment.households}
+        assert codes == {"US", "IN"}
+
+    def test_rejects_unknown_country_filter(self):
+        with pytest.raises(ValueError):
+            build_deployment(DeploymentConfig(countries=("XX",)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(router_scale=0)
+        with pytest.raises(ValueError):
+            DeploymentConfig(traffic_consents=2, low_activity_consents=3)
+
+    def test_household_lookup(self, deployment):
+        rid = deployment.households[0].router_id
+        assert deployment.household(rid).router_id == rid
+        with pytest.raises(KeyError):
+            deployment.household("nope")

@@ -1,0 +1,99 @@
+"""Tests for the statistical-inference helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import (
+    GroupComparison,
+    bootstrap_median_ci,
+    cliffs_delta,
+    compare_samples,
+    development_divide,
+)
+
+
+class TestCliffsDelta:
+    def test_fully_separated(self):
+        assert cliffs_delta([10, 11, 12], [1, 2, 3]) == 1.0
+        assert cliffs_delta([1, 2, 3], [10, 11, 12]) == -1.0
+
+    def test_identical_distributions(self):
+        assert cliffs_delta([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cliffs_delta([], [1.0])
+
+
+class TestCompareSamples:
+    def test_detects_clear_difference(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10, 1, size=60)
+        b = rng.normal(0, 1, size=60)
+        result = compare_samples("demo", a, b)
+        assert result.significant
+        assert result.ks_pvalue < 1e-6
+        assert result.mw_pvalue < 1e-6
+        assert result.cliffs_delta > 0.95
+        assert result.effect_label == "large"
+        assert result.median_a > result.median_b
+
+    def test_same_distribution_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, size=60)
+        b = rng.normal(0, 1, size=60)
+        result = compare_samples("demo", a, b)
+        assert not result.significant
+        assert result.effect_label in ("negligible", "small")
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            compare_samples("x", [1.0], [1.0, 2.0])
+
+    def test_effect_labels(self):
+        base = dict(quantity="q", n_a=10, n_b=10, median_a=0, median_b=0,
+                    ks_statistic=0, ks_pvalue=1, mw_pvalue=1)
+        assert GroupComparison(**base, cliffs_delta=0.05).effect_label \
+            == "negligible"
+        assert GroupComparison(**base, cliffs_delta=0.2).effect_label \
+            == "small"
+        assert GroupComparison(**base, cliffs_delta=-0.4).effect_label \
+            == "medium"
+        assert GroupComparison(**base, cliffs_delta=0.8).effect_label \
+            == "large"
+
+
+class TestBootstrapCI:
+    def test_interval_contains_true_median(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(5.0, 1.0, size=200)
+        low, high = bootstrap_median_ci(samples)
+        assert low < 5.0 < high
+        assert high - low < 1.0
+
+    def test_deterministic_given_seed(self):
+        samples = list(range(50))
+        assert bootstrap_median_ci(samples, seed=7) == \
+            bootstrap_median_ci(samples, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([1.0], confidence=1.5)
+
+
+class TestDevelopmentDivide:
+    def test_on_campaign(self, small_data):
+        comparisons = development_divide(small_data)
+        assert comparisons, "campaign too small for any comparison"
+        by_quantity = {c.quantity: c for c in comparisons}
+        downtime = next((c for q, c in by_quantity.items()
+                         if q.startswith("downtimes/day")), None)
+        assert downtime is not None
+        # The developing group (A) is stochastically larger.
+        assert downtime.cliffs_delta > 0
+        aps = next((c for q, c in by_quantity.items()
+                    if "neighbor APs" in q), None)
+        if aps is not None:
+            assert aps.cliffs_delta > 0.3  # developed hears far more APs

@@ -1,0 +1,236 @@
+"""Unit tests for the Section 5 infrastructure analysis, on synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.core import infrastructure as infra
+from repro.core.datasets import StudyData
+from repro.core.records import (
+    DeviceCountSample,
+    DeviceRosterEntry,
+    FlowRecord,
+    Medium,
+    RouterInfo,
+    Spectrum,
+    WifiScanSample,
+)
+from repro.simulation.timebase import DAY, StudyWindows, utc
+
+T0 = utc(2013, 3, 6)
+
+
+def info(rid, developed=True):
+    code = "US" if developed else "IN"
+    gdp = 49800 if developed else 3700
+    return RouterInfo(rid, code, developed, -5.0 if developed else 5.5, gdp)
+
+
+def roster_entry(rid, mac, medium=Medium.WIRELESS,
+                 spectrum=Spectrum.GHZ_2_4, always=False):
+    if medium is Medium.WIRED:
+        spectrum = None
+    return DeviceRosterEntry(rid, mac, medium, spectrum, T0, T0 + DAY, always)
+
+
+def base_data(routers, **kwargs):
+    return StudyData(routers={r.router_id: r for r in routers},
+                     windows=StudyWindows(), **kwargs)
+
+
+class TestDevicesPerHome:
+    def test_counts(self):
+        data = base_data([info("a"), info("b")], roster=[
+            roster_entry("a", "3c:07:54:00:00:01"),
+            roster_entry("a", "3c:07:54:00:00:02"),
+            roster_entry("b", "3c:07:54:00:00:03"),
+        ])
+        assert infra.devices_per_home(data) == {"a": 2, "b": 1}
+
+    def test_cdf(self):
+        data = base_data([info("a"), info("b")], roster=[
+            roster_entry("a", f"3c:07:54:00:00:0{i}") for i in range(1, 6)
+        ] + [roster_entry("b", "3c:07:54:00:00:09")])
+        cdf = infra.devices_per_home_cdf(data)
+        assert cdf.n == 2
+        assert cdf.median == 3.0
+
+
+class TestCensusMeans:
+    def make_data(self):
+        samples = []
+        for hour in range(10):
+            samples.append(DeviceCountSample("dev", T0 + hour * 3600, 2, 3, 1))
+            samples.append(DeviceCountSample("dvg", T0 + hour * 3600, 0, 2, 0))
+        return base_data([info("dev", True), info("dvg", False)],
+                         device_counts=samples)
+
+    def test_by_medium(self):
+        data = self.make_data()
+        dev = infra.mean_connected_by_medium(data, developed=True)
+        assert dev["wired"].mean == pytest.approx(2.0)
+        assert dev["wireless"].mean == pytest.approx(4.0)
+        dvg = infra.mean_connected_by_medium(data, developed=False)
+        assert dvg["wired"].mean == pytest.approx(0.0)
+        assert dvg["wireless"].mean == pytest.approx(2.0)
+
+    def test_by_spectrum(self):
+        data = self.make_data()
+        dev = infra.mean_connected_by_spectrum(data, developed=True)
+        assert dev["2.4GHz"].mean == pytest.approx(3.0)
+        assert dev["5GHz"].mean == pytest.approx(1.0)
+
+    def test_empty_group_is_nan(self):
+        data = self.make_data()
+        data.device_counts = [s for s in data.device_counts
+                              if s.router_id == "dev"]
+        result = infra.mean_connected_by_medium(data, developed=False)
+        assert np.isnan(result["wired"].mean)
+
+
+class TestAlwaysConnected:
+    def test_table5_rows(self):
+        data = base_data(
+            [info("a", True), info("b", True), info("c", False)],
+            roster=[
+                roster_entry("a", "b0:a7:37:00:00:01", Medium.WIRED,
+                             always=True),
+                roster_entry("a", "3c:07:54:00:00:02", always=True),
+                roster_entry("b", "3c:07:54:00:00:03"),
+                roster_entry("c", "3c:07:54:00:00:04", always=True),
+            ])
+        rows = {r.group: r for r in infra.always_connected_households(data)}
+        assert rows["developed"].total_households == 2
+        assert rows["developed"].with_always_wired == 1
+        assert rows["developed"].with_always_wireless == 1
+        assert rows["developed"].wired_fraction == 0.5
+        assert rows["developing"].with_always_wired == 0
+        assert rows["developing"].wireless_fraction == 1.0
+
+    def test_empty_group_nan_fractions(self):
+        data = base_data([info("a", True)],
+                         roster=[roster_entry("a", "3c:07:54:00:00:01")])
+        rows = {r.group: r for r in infra.always_connected_households(data)}
+        assert np.isnan(rows["developing"].wired_fraction)
+
+
+class TestSpectrumCdfs:
+    def test_unique_devices_per_spectrum(self):
+        data = base_data([info("a"), info("b")], roster=[
+            roster_entry("a", "3c:07:54:00:00:01", spectrum=Spectrum.GHZ_2_4),
+            roster_entry("a", "3c:07:54:00:00:02", spectrum=Spectrum.GHZ_2_4),
+            roster_entry("a", "3c:07:54:00:00:03", spectrum=Spectrum.GHZ_5),
+            roster_entry("b", "3c:07:54:00:00:04", spectrum=Spectrum.GHZ_2_4),
+            roster_entry("b", "b0:a7:37:00:00:05", Medium.WIRED),
+        ])
+        cdf24 = infra.unique_devices_per_spectrum_cdf(data, Spectrum.GHZ_2_4)
+        cdf5 = infra.unique_devices_per_spectrum_cdf(data, Spectrum.GHZ_5)
+        assert sorted(cdf24.values) == [1, 2]
+        # Home b has zero 5 GHz devices and still contributes a zero.
+        assert sorted(cdf5.values) == [0, 1]
+
+
+class TestPortUsage:
+    def test_statistics(self):
+        samples = [
+            DeviceCountSample("a", T0, 4, 0, 0),
+            DeviceCountSample("a", T0 + 3600, 2, 0, 0),
+            DeviceCountSample("b", T0, 1, 0, 0),
+            DeviceCountSample("b", T0 + 3600, 1, 0, 0),
+        ]
+        data = base_data([info("a"), info("b")], device_counts=samples)
+        usage = infra.ethernet_port_usage(data)
+        assert usage.fraction_all_four_used == 0.5
+        assert usage.fraction_at_most_two_needed == 0.5
+        assert usage.mean_wired_in_use == pytest.approx((3 + 1) / 2)
+
+    def test_empty(self):
+        data = base_data([info("a")])
+        assert np.isnan(infra.ethernet_port_usage(data).mean_wired_in_use)
+
+
+class TestNeighborAps:
+    def make_data(self):
+        scans = []
+        for i in range(20):
+            scans.append(WifiScanSample("dense", T0 + i * 600,
+                                        Spectrum.GHZ_2_4, 20 + (i % 3), 1))
+            scans.append(WifiScanSample("sparse", T0 + i * 600,
+                                        Spectrum.GHZ_2_4, i % 2, 1))
+            scans.append(WifiScanSample("dense", T0 + i * 600,
+                                        Spectrum.GHZ_5, 1, 0))
+        return base_data([info("dense", True), info("sparse", False)],
+                         wifi_scans=scans)
+
+    def test_per_home_quantile(self):
+        data = self.make_data()
+        per_home = infra.neighbor_aps_per_home(data, Spectrum.GHZ_2_4)
+        assert per_home["dense"] >= 20
+        assert per_home["sparse"] <= 1
+
+    def test_group_split(self):
+        data = self.make_data()
+        dev = infra.neighbor_ap_cdf(data, Spectrum.GHZ_2_4, developed=True)
+        dvg = infra.neighbor_ap_cdf(data, Spectrum.GHZ_2_4, developed=False)
+        assert dev.median > dvg.median
+
+    def test_bimodality_metric(self):
+        from repro.core.stats import EmpiricalCdf
+        bimodal = EmpiricalCdf.from_samples([0, 1, 1, 20, 25, 30])
+        flat = EmpiricalCdf.from_samples([4, 5, 6, 7, 8, 9])
+        assert infra.neighbor_ap_bimodality(bimodal) > \
+            infra.neighbor_ap_bimodality(flat)
+
+
+class TestVendorHistogram:
+    def make_data(self):
+        flows = [
+            FlowRecord("a", T0, "3c:07:54:00:00:01", "google.com", 0xF0000001,
+                       443, "https", 1e5, 1e6, 10.0),
+            FlowRecord("a", T0, "b0:a7:37:00:00:02", "netflix.com",
+                       0xF0000002, 443, "https", 1e5, 5e8, 100.0),
+            FlowRecord("a", T0, "00:1b:21:00:00:03", "google.com", 0xF0000001,
+                       443, "https", 10.0, 50.0, 1.0),  # under 100 KB
+        ]
+        roster = [
+            roster_entry("a", "3c:07:54:00:00:01"),                  # Apple
+            roster_entry("a", "b0:a7:37:00:00:02", Medium.WIRED),    # Roku
+            roster_entry("a", "00:1b:21:00:00:03"),                  # Intel
+            roster_entry("a", "20:4e:7f:00:00:04", Medium.WIRED),    # BISmark
+        ]
+        return base_data([info("a")], flows=flows, roster=roster)
+
+    def test_histogram(self):
+        data = self.make_data()
+        histogram = infra.vendor_histogram(data)
+        assert histogram == {"Apple": 1, "InternetTV": 1}
+
+    def test_min_bytes_zero_includes_quiet_devices(self):
+        data = self.make_data()
+        histogram = infra.vendor_histogram(data, min_bytes=0)
+        assert histogram.get("Intel") == 1
+        # The gateway is excluded no matter what.
+        assert "Gateway" not in histogram
+
+    def test_explicit_router_filter(self):
+        data = self.make_data()
+        assert infra.vendor_histogram(data, router_ids=["ghost"]) == {}
+
+
+class TestHighlights:
+    def test_section5_highlights_smoke(self):
+        scans = [WifiScanSample("a", T0, Spectrum.GHZ_2_4, 15, 1)]
+        data = base_data(
+            [info("a", True), info("b", False)],
+            roster=[
+                roster_entry("a", "b0:a7:37:00:00:01", Medium.WIRED,
+                             always=True),
+                roster_entry("a", "3c:07:54:00:00:02"),
+                roster_entry("b", "3c:07:54:00:00:03"),
+            ],
+            wifi_scans=scans)
+        highlights = infra.section5_highlights(data)
+        assert highlights.always_wired_fraction_developed == 1.0
+        assert highlights.always_wired_fraction_developing == 0.0
+        assert highlights.median_devices_2_4ghz == 1.0
+        assert highlights.median_neighbor_aps_developed == 15
+        assert np.isnan(highlights.median_neighbor_aps_developing)

@@ -1,0 +1,223 @@
+"""End-to-end integration tests over one complete simulated campaign.
+
+These tests validate that the *analysis* recovers what the *simulation*
+planted — the closest thing a reproduction has to ground truth — plus
+cross-data-set consistency invariants the real deployment also satisfied.
+"""
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig, run_study
+from repro.core import availability as av
+from repro.core import infrastructure as infra
+from repro.core import usage
+from repro.core.fingerprint import (
+    DeviceFingerprinter,
+    category_vector,
+    fingerprint_devices,
+)
+from repro.core.records import Medium, OBFUSCATED_DOMAIN, Spectrum
+from repro.firmware.anonymize import AnonymizationPolicy
+
+
+class TestCampaignConsistency:
+    def test_every_record_from_registered_router(self, small_data):
+        known = set(small_data.routers)
+        assert set(small_data.heartbeats) <= known
+        for record in (small_data.uptime_reports + small_data.capacity
+                       + small_data.device_counts + small_data.wifi_scans
+                       + small_data.flows + small_data.dns
+                       + small_data.roster):
+            assert record.router_id in known
+
+    def test_records_inside_windows(self, small_data):
+        w = small_data.windows
+        for log in small_data.heartbeats.values():
+            if len(log):
+                assert log.timestamps[0] >= w.heartbeats[0] - 120
+                assert log.timestamps[-1] <= w.heartbeats[1] + 120
+        for r in small_data.uptime_reports:
+            assert w.uptime[0] <= r.timestamp <= w.uptime[1]
+        for m in small_data.capacity:
+            assert w.capacity[0] <= m.timestamp <= w.capacity[1]
+        for s in small_data.wifi_scans:
+            assert w.wifi[0] <= s.timestamp <= w.wifi[1]
+        for f in small_data.flows:
+            assert w.traffic[0] <= f.timestamp <= w.traffic[1]
+
+    def test_heartbeats_only_when_online(self, small_study):
+        data = small_study.data
+        for home in small_study.deployment.households[:10]:
+            log = data.heartbeats[home.router_id]
+            if not len(log):
+                continue
+            online = home.online_intervals(*data.windows.heartbeats)
+            inside = online.contains_many(log.timestamps)
+            # Jitter can push a heartbeat just outside an interval edge.
+            assert inside.mean() > 0.99
+
+    def test_uptime_reports_match_power_ground_truth(self, small_study):
+        data = small_study.data
+        deployment = small_study.deployment
+        for report in data.uptime_reports[:200]:
+            home = deployment.household(report.router_id)
+            assert home.power.is_on(report.timestamp - 1)
+
+    def test_capacity_tracks_link_ground_truth(self, small_study):
+        data = small_study.data
+        for home in small_study.deployment.households:
+            estimates = [m.downstream_mbps for m in data.capacity
+                         if m.router_id == home.router_id]
+            if len(estimates) < 3:
+                continue
+            truth = home.link.config.downstream_mbps
+            assert abs(np.median(estimates) - truth) / truth < 0.1
+
+    def test_traffic_only_from_consenting_homes(self, small_study):
+        data = small_study.data
+        consented = small_study.deployment.traffic_routers
+        assert {f.router_id for f in data.flows} <= consented
+        assert set(data.throughput) <= consented
+
+    def test_no_real_macs_leak(self, small_study):
+        data = small_study.data
+        real = {str(d.mac) for h in small_study.deployment.households
+                for d in h.devices}
+        collected = {f.device_mac for f in data.flows} \
+            | {e.device_mac for e in data.roster}
+        assert not (collected & real)
+
+    def test_only_whitelisted_domains_leak(self, small_study):
+        whitelist = {d.name for d in small_study.deployment.universe
+                     if d.whitelisted}
+        for flow in small_study.data.flows:
+            assert flow.domain == OBFUSCATED_DOMAIN or flow.domain in whitelist
+
+    def test_deterministic_replay(self, small_study):
+        replay = run_study(small_study.config)
+        a, b = small_study.data, replay.data
+        assert set(a.heartbeats) == set(b.heartbeats)
+        for rid in list(a.heartbeats)[:5]:
+            assert np.array_equal(a.heartbeats[rid].timestamps,
+                                  b.heartbeats[rid].timestamps)
+        assert len(a.flows) == len(b.flows)
+        assert a.device_counts == b.device_counts
+
+
+class TestAnalysisRecoversGroundTruth:
+    def test_developing_less_available(self, small_data):
+        dev = av.downtime_rate_cdf(small_data, developed=True)
+        dvg = av.downtime_rate_cdf(small_data, developed=False)
+        assert dvg.median > dev.median
+
+    def test_appliance_detection_matches_power_mode(self, small_study):
+        detected = set(av.appliance_mode_routers(small_study.data))
+        truth = {h.router_id for h in small_study.deployment.households
+                 if h.power.mode == "appliance"}
+        if truth:
+            # Detection from heartbeats alone: most appliance homes found,
+            # few always-on homes mislabeled.
+            assert len(detected & truth) >= len(truth) * 0.5
+        always_on = {h.router_id for h in small_study.deployment.households
+                     if h.power.mode == "always-on"
+                     and h.country.developed}
+        assert len(detected & always_on) <= max(1, len(always_on) * 0.1)
+
+    def test_roster_sizes_match_population(self, small_study):
+        sizes = infra.devices_per_home(small_study.data)
+        for rid, count in list(sizes.items())[:20]:
+            home = small_study.deployment.household(rid)
+            assert count <= len(home.devices)
+            assert count >= 1
+
+    def test_wireless_exceeds_wired(self, small_data):
+        for developed in (True, False):
+            result = infra.mean_connected_by_medium(small_data, developed)
+            if result["wired"].n:
+                assert result["wireless"].mean > result["wired"].mean
+
+    def test_2_4ghz_busier_than_5ghz(self, small_data):
+        result = infra.mean_connected_by_spectrum(small_data, developed=True)
+        assert result["2.4GHz"].mean > result["5GHz"].mean
+
+    def test_neighbor_aps_split(self, small_data):
+        dev = infra.neighbor_ap_cdf(small_data, Spectrum.GHZ_2_4, True)
+        dvg = infra.neighbor_ap_cdf(small_data, Spectrum.GHZ_2_4, False)
+        assert dev.median > dvg.median
+
+    def test_saturators_recovered(self, small_study):
+        data = small_study.data
+        points = usage.link_saturation(data)
+        saturating = set(usage.saturating_uplink_homes(points))
+        planted = {h.router_id for h in small_study.deployment.households
+                   if h.config.uplink_saturator == "continuous"}
+        assert planted <= saturating
+
+    def test_low_activity_homes_filtered(self, small_study):
+        data = small_study.data
+        quiet = {h.router_id for h in small_study.deployment.households
+                 if h.config.traffic_intensity < 1.0}
+        qualifying = set(data.qualifying_traffic_routers())
+        assert not (quiet & qualifying)
+
+    def test_dominant_device_share(self, small_data):
+        shares = usage.mean_device_share(small_data, ranks=2)
+        assert shares[0] > 0.4
+        assert shares[0] > shares[1]
+
+    def test_domain_volume_concentration(self, small_data):
+        summary = usage.domain_share(small_data)
+        assert summary.volume_share_by_rank[0] > 0.2
+        assert 0.3 < summary.whitelist_byte_coverage < 0.95
+        # Volume-top domains hold far fewer connections than bytes.
+        assert summary.connections_of_volume_ranked[0] < \
+            summary.volume_share_by_rank[0]
+
+    def test_streaming_head_dominates_fig18(self, small_data):
+        counts = usage.domain_top_counts(small_data)
+        top_names = list(counts)[:10]
+        head = {"youtube.com", "netflix.com", "hulu.com", "pandora.com",
+                "google.com", "facebook.com", "twitch.tv", "spotify.com",
+                "vimeo.com", "amazon.com", "apple.com", "dropbox.com"}
+        # The small fixture has only a handful of traffic homes, so this is
+        # a loose shape check; the Fig. 18 bench validates at full scale.
+        assert len(set(top_names) & head) >= 2
+
+    def test_fingerprinting_from_ground_truth_labels(self, small_study):
+        data = small_study.data
+        deployment = small_study.deployment
+        whitelist = frozenset(d.name for d in deployment.universe
+                              if d.whitelisted)
+        policy = AnonymizationPolicy(whitelist=whitelist)
+
+        # Build labeled examples from simulator ground truth (the analog of
+        # the paper's six-home user survey).
+        flows_by_key = {}
+        for flow in data.flows:
+            flows_by_key.setdefault((flow.router_id, flow.device_mac),
+                                    []).append(flow)
+        labeled = []
+        for home in deployment.households:
+            if not home.config.traffic_consent:
+                continue
+            for device in home.devices:
+                key = (home.router_id, policy.anonymize_mac(device.mac))
+                flows = flows_by_key.get(key, [])
+                if sum(f.bytes_total for f in flows) < 1e6:
+                    continue
+                labeled.append((category_vector(flows),
+                                device.traits.traffic_profile))
+        if len(labeled) < 8:
+            pytest.skip("too little traffic in the small study")
+        clf = DeviceFingerprinter(min_similarity=0.3)
+        clf.fit(labeled)
+        # Self-classification should beat chance decisively.
+        correct = total = 0
+        for vector, label in labeled:
+            match = clf.classify(vector)
+            if match is not None:
+                total += 1
+                correct += match.label == label
+        assert total > 0
+        assert correct / total > 0.5

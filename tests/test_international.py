@@ -1,0 +1,108 @@
+"""Tests for international Traffic consents and per-country usage."""
+
+import pytest
+
+from repro import StudyConfig, run_study
+from repro.core import usage
+from repro.core.datasets import StudyData
+from repro.core.records import FlowRecord, RouterInfo
+from repro.simulation.deployment import DeploymentConfig, build_deployment
+from repro.simulation.timebase import StudyWindows, utc
+
+T0 = utc(2013, 4, 1)
+
+
+class TestInternationalConsents:
+    def make(self, consents):
+        return build_deployment(DeploymentConfig(
+            seed=4, windows=StudyWindows().scaled(0.02),
+            router_scale=0.3, traffic_consents=4,
+            international_consents=consents))
+
+    def test_default_is_us_only(self):
+        deployment = self.make(0)
+        codes = {deployment.household(rid).country.code
+                 for rid in deployment.traffic_routers}
+        assert codes == {"US"}
+
+    def test_consents_spread_across_countries(self):
+        deployment = self.make(6)
+        codes = {deployment.household(rid).country.code
+                 for rid in deployment.traffic_routers}
+        assert "US" in codes
+        assert len(codes - {"US"}) >= 4  # round-robin hits many countries
+
+    def test_consent_count_honored(self):
+        deployment = self.make(5)
+        non_us = [rid for rid in deployment.traffic_routers
+                  if deployment.household(rid).country.code != "US"]
+        assert len(non_us) == 5
+
+    def test_oversubscription_caps_at_cohort(self):
+        # Requesting more consents than non-US homes exist must not loop.
+        deployment = self.make(10_000)
+        non_us = [rid for rid in deployment.traffic_routers
+                  if deployment.household(rid).country.code != "US"]
+        total_non_us = sum(1 for h in deployment.households
+                           if h.country.code != "US")
+        assert len(non_us) == total_non_us
+
+    def test_pipeline_passes_the_knob(self):
+        result = run_study(StudyConfig(
+            seed=4, router_scale=0.3, duration_scale=0.02,
+            traffic_consents=3, low_activity_consents=0,
+            international_consents=3))
+        codes = {result.data.routers[f.router_id].country_code
+                 for f in result.data.flows}
+        assert codes - {"US"}
+
+
+class TestUsageByCountry:
+    def make_data(self):
+        routers = {
+            "US1": RouterInfo("US1", "US", True, -5, 49800),
+            "US2": RouterInfo("US2", "US", True, -5, 49800),
+            "IN1": RouterInfo("IN1", "IN", False, 5.5, 3700),
+        }
+
+        def flow(rid, mac, domain, down):
+            return FlowRecord(rid, T0, mac, domain, 0xF0000001, 443,
+                              "https", 0.0, down, 10.0)
+
+        flows = [
+            flow("US1", "a", "netflix.com", 8e9),
+            flow("US1", "b", "google.com", 2e9),
+            flow("US2", "c", "youtube.com", 5e9),
+            flow("IN1", "d", "youtube.com", 4e8),
+            flow("IN1", "d", "(obfuscated)", 6e8),
+        ]
+        return StudyData(routers=routers, windows=StudyWindows(),
+                         flows=flows)
+
+    def test_rows_and_ordering(self):
+        rows = usage.usage_by_country(self.make_data())
+        assert [r.country_code for r in rows] == ["US", "IN"]
+        us = rows[0]
+        assert us.homes == 2
+        assert us.total_bytes == pytest.approx(15e9)
+
+    def test_statistics(self):
+        rows = {r.country_code: r for r in
+                usage.usage_by_country(self.make_data())}
+        # US1: device shares 0.8/0.2; US2: 1.0 -> mean top share 0.9.
+        assert rows["US"].top_device_share == pytest.approx(0.9)
+        # IN: whitelist covers 0.4 of the 1 GB.
+        assert rows["IN"].whitelist_byte_coverage == pytest.approx(0.4)
+        assert rows["US"].whitelist_byte_coverage == pytest.approx(1.0)
+
+    def test_min_bytes_filter(self):
+        rows = usage.usage_by_country(self.make_data(), min_bytes=2e9)
+        assert [r.country_code for r in rows] == ["US"]
+
+    def test_daily_normalization(self):
+        data = self.make_data()
+        rows = {r.country_code: r for r in usage.usage_by_country(data)}
+        window_days = (data.windows.traffic[1]
+                       - data.windows.traffic[0]) / 86400
+        assert rows["IN"].mean_daily_bytes_per_home == \
+            pytest.approx(1e9 / window_days)

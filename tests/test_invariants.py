@@ -1,0 +1,190 @@
+"""Cross-cutting invariants: conservation laws and failure injection.
+
+These tests pin down properties that no refactor may break: traffic byte
+conservation between flow records and the gateway's minute counters,
+archive robustness against corruption, and graceful behaviour of every
+analysis function on empty data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import availability, infrastructure, usage
+from repro.core.datasets import StudyData, summarize_datasets
+from repro.core.intervals import IntervalSet
+from repro.core.records import RouterInfo, Spectrum
+from repro.simulation.behavior import ActivitySchedule
+from repro.simulation.device_models import generate_devices
+from repro.simulation.domains import DomainSampler, build_domain_universe
+from repro.simulation.timebase import DAY, StudyCalendar, StudyWindows, utc
+from repro.simulation.traffic_model import TrafficGenerator
+from repro.collection.export import export_study, load_study
+
+T0 = utc(2013, 4, 1)
+WINDOW = (T0, T0 + 2 * DAY)
+CAL = StudyCalendar(-5)
+
+
+def make_traffic(seed, online=None, saturator=None):
+    devices = generate_devices(
+        np.random.default_rng(seed), "rX", WINDOW, CAL,
+        ActivitySchedule.generate(np.random.default_rng(seed)),
+        True, 6.0, 0.3, 0.2)
+    generator = TrafficGenerator(
+        rng=np.random.default_rng(seed + 1),
+        devices=devices,
+        schedule=ActivitySchedule.generate(np.random.default_rng(seed)),
+        calendar=CAL,
+        sampler=DomainSampler(np.random.default_rng(seed),
+                              build_domain_universe()),
+        online=online if online is not None else IntervalSet([WINDOW]),
+        uplink_saturator=saturator,
+        upstream_capacity_bps=2e6,
+    )
+    return generator.generate(*WINDOW)
+
+
+class TestByteConservation:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_flows_match_minute_series_when_always_online(self, seed):
+        """With the home online throughout, every flow byte must appear in
+        the per-minute counters (no leaks, no double counting)."""
+        traffic = make_traffic(seed)
+        flow_bytes = sum(f.bytes_up + f.bytes_down for f in traffic.flows)
+        series_bytes = traffic.total_bytes()
+        # Flows whose duration crosses the window end lose the spill-over
+        # in the series; allow that sliver.
+        assert series_bytes <= flow_bytes * 1.001
+        assert series_bytes >= flow_bytes * 0.95
+
+    def test_offline_bytes_are_dropped_consistently(self):
+        """Offline masking must remove flows and bytes together."""
+        online = IntervalSet([(WINDOW[0], WINDOW[0] + DAY)])
+        traffic = make_traffic(7, online=online)
+        flow_bytes = sum(f.bytes_up + f.bytes_down for f in traffic.flows)
+        # Some flows start online but run past the boundary, so the series
+        # can undercount relative to flows, never overcount much.
+        assert traffic.total_bytes() <= flow_bytes * 1.001
+
+    def test_saturator_adds_up_bytes_and_flows(self):
+        plain = make_traffic(9)
+        loaded = make_traffic(9, saturator="continuous")
+        extra_series = (loaded.minute_up_bytes.sum()
+                        - plain.minute_up_bytes.sum())
+        extra_flows = (sum(f.bytes_up for f in loaded.flows)
+                       - sum(f.bytes_up for f in plain.flows))
+        assert extra_series > 0
+        assert extra_flows > 0
+        # The recorded upload flows account for most of the overlay
+        # (the overlay is ~90% shipped as flow records by design).
+        assert 0.5 <= extra_flows / extra_series <= 1.5
+
+
+class TestArchiveFailureInjection:
+    @pytest.fixture()
+    def archive(self, tmp_path, small_data):
+        return export_study(small_data, tmp_path / "archive")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_study(tmp_path / "nope")
+
+    def test_missing_manifest(self, archive):
+        (archive / "manifest.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_study(archive)
+
+    def test_corrupt_manifest(self, archive):
+        (archive / "manifest.json").write_text("{not json")
+        with pytest.raises(ValueError):
+            load_study(archive)
+
+    def test_corrupt_numeric_field(self, archive):
+        path = archive / "capacity.csv"
+        lines = path.read_text().splitlines()
+        if len(lines) > 1:
+            parts = lines[1].split(",")
+            parts[2] = "not-a-number"
+            lines[1] = ",".join(parts)
+            path.write_text("\n".join(lines) + "\n")
+            with pytest.raises(ValueError):
+                load_study(archive)
+
+    def test_truncated_heartbeats_still_load(self, archive):
+        """Losing rows is data loss, not corruption — loading must work."""
+        path = archive / "heartbeats.csv"
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[: max(len(lines) // 2, 1)]) + "\n")
+        data = load_study(archive)
+        assert data.routers  # metadata intact
+
+    def test_roundtrip_preserves_analysis(self, tmp_path, small_data):
+        """The acid test: analysis on the reloaded archive is identical."""
+        root = export_study(small_data, tmp_path / "full")
+        reloaded = load_study(root)
+        original = availability.downtime_rate_cdf(small_data, True)
+        again = availability.downtime_rate_cdf(reloaded, True)
+        assert original.n == again.n
+        if original.n:
+            assert original.median == pytest.approx(again.median)
+        assert infrastructure.devices_per_home(small_data) == \
+            infrastructure.devices_per_home(reloaded)
+        a = usage.domain_share(small_data)
+        b = usage.domain_share(reloaded)
+        assert np.allclose(a.volume_share_by_rank, b.volume_share_by_rank)
+
+
+class TestEmptyDataGracefully:
+    @pytest.fixture()
+    def empty(self):
+        return StudyData(routers={"r": RouterInfo("r", "US", True, -5,
+                                                  49800)},
+                         windows=StudyWindows())
+
+    def test_availability(self, empty):
+        assert availability.downtime_rate_cdf(empty, True).n == 0
+        assert availability.median_days_between_downtimes(empty, True) is None
+        assert availability.downtimes_by_country(empty) == []
+        assert availability.median_availability_by_country(empty) == {}
+        assert availability.appliance_mode_routers(empty) == []
+
+    def test_infrastructure(self, empty):
+        assert infrastructure.devices_per_home(empty) == {}
+        assert infrastructure.devices_per_home_cdf(empty).n == 0
+        rows = infrastructure.always_connected_households(empty)
+        assert all(r.total_households == 0 for r in rows)
+        assert infrastructure.vendor_histogram(empty) == {}
+        assert infrastructure.neighbor_ap_cdf(empty, Spectrum.GHZ_2_4).n == 0
+
+    def test_usage(self, empty):
+        assert usage.link_saturation(empty) == []
+        assert usage.device_share_per_home(empty) == {}
+        assert usage.domain_top_counts(empty) == {}
+        assert usage.usage_by_country(empty) == []
+        summary = usage.domain_share(empty)
+        assert np.isnan(summary.whitelist_byte_coverage)
+
+    def test_summary(self, empty):
+        rows = summarize_datasets(empty)
+        assert all(row.routers == 0 for row in rows)
+
+
+class TestScheduleProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_schedules_always_valid(self, seed):
+        schedule = ActivitySchedule.generate(np.random.default_rng(seed))
+        for curve in (schedule.presence_weekday, schedule.presence_weekend,
+                      schedule.activity_weekday, schedule.activity_weekend):
+            assert curve.shape == (24,)
+            assert curve.min() >= 0 and curve.max() <= 1
+
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=T0, max_value=T0 + 30 * DAY))
+    @settings(max_examples=30, deadline=None)
+    def test_presence_activity_in_unit_interval(self, seed, epoch):
+        schedule = ActivitySchedule.generate(np.random.default_rng(seed))
+        assert 0 <= schedule.presence(CAL, epoch) <= 1
+        assert 0 <= schedule.activity(CAL, epoch) <= 1

@@ -1,0 +1,172 @@
+"""Tests for the access-link and wireless-neighborhood models."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import Spectrum
+from repro.simulation.link import MBPS, AccessLink, AccessLinkConfig
+from repro.simulation.timebase import utc
+from repro.simulation.wireless import (
+    DEFAULT_CHANNELS,
+    WirelessEnvironment,
+    WirelessEnvironmentConfig,
+)
+
+SPAN = (utc(2013, 3, 1), utc(2013, 4, 12))
+
+
+def make_link(seed=0, **overrides):
+    config = dict(downstream_mbps=20.0, upstream_mbps=2.0,
+                  outage_rate_per_day=0.5, outage_median_seconds=1200.0,
+                  outage_duration_sigma=1.2)
+    config.update(overrides)
+    return AccessLink(np.random.default_rng(seed), SPAN,
+                      AccessLinkConfig(**config))
+
+
+class TestAccessLinkConfig:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            AccessLinkConfig(0, 1, 0.1, 100, 1.0)
+
+    def test_rejects_negative_outage_rate(self):
+        with pytest.raises(ValueError):
+            AccessLinkConfig(1, 1, -0.1, 100, 1.0)
+
+    def test_rejects_negative_overshoot(self):
+        with pytest.raises(ValueError):
+            AccessLinkConfig(1, 1, 0.1, 100, 1.0, bufferbloat_overshoot=-1)
+
+
+class TestOutages:
+    def test_up_plus_outages_partition_span(self):
+        link = make_link()
+        total = link.up.total_duration() + link._outages.total_duration()
+        assert total == pytest.approx(SPAN[1] - SPAN[0], rel=1e-9)
+
+    def test_zero_rate_never_down(self):
+        link = make_link(outage_rate_per_day=0.0,
+                         bad_period_rate_per_day=0.0)
+        assert link.up.total_duration() == SPAN[1] - SPAN[0]
+
+    def test_higher_rate_less_uptime(self):
+        calm = make_link(seed=1, outage_rate_per_day=0.05)
+        stormy = make_link(seed=1, outage_rate_per_day=5.0)
+        assert stormy.up.total_duration() < calm.up.total_duration()
+
+    def test_is_up_matches_intervals(self):
+        link = make_link(seed=2)
+        for t in np.linspace(SPAN[0], SPAN[1] - 1, 50):
+            assert link.is_up(t) == link.up.contains(t)
+
+    def test_deterministic(self):
+        assert make_link(seed=3).up == make_link(seed=3).up
+
+
+class TestCapacityProbe:
+    def test_estimates_near_truth(self):
+        link = make_link(outage_rate_per_day=0.0, bad_period_rate_per_day=0.0)
+        rng = np.random.default_rng(0)
+        downs, ups = [], []
+        for _ in range(200):
+            down, up = link.measure_capacity(SPAN[0] + 100, rng)
+            downs.append(down)
+            ups.append(up)
+        assert np.mean(downs) == pytest.approx(20.0, rel=0.02)
+        assert np.mean(ups) == pytest.approx(2.0, rel=0.02)
+        assert np.std(downs) / 20.0 < 0.06
+
+    def test_probe_fails_during_outage(self):
+        link = make_link(outage_rate_per_day=0.0, bad_period_rate_per_day=0.0)
+        # Monkey-style: pick an instant outside the span (down by clip).
+        assert link.measure_capacity(SPAN[1] + 100, np.random.default_rng(0)) \
+            is None
+
+
+class TestBufferbloat:
+    def test_below_capacity_passthrough(self):
+        link = make_link()
+        rng = np.random.default_rng(0)
+        assert link.shape_uplink_peak(1.0 * MBPS, rng) == 1.0 * MBPS
+
+    def test_transient_spike_clamps_to_capacity(self):
+        link = make_link()
+        rng = np.random.default_rng(0)
+        assert link.shape_uplink_peak(2.1 * MBPS, rng) == link.upstream_bps
+
+    def test_sustained_saturation_overshoots(self):
+        link = make_link()
+        rng = np.random.default_rng(0)
+        peaks = [link.shape_uplink_peak(10 * MBPS, rng) for _ in range(100)]
+        assert max(peaks) > link.upstream_bps
+        assert max(peaks) <= 10 * MBPS
+
+    def test_overshoot_bounded(self):
+        link = make_link()
+        rng = np.random.default_rng(0)
+        cap = link.upstream_bps
+        limit = cap * (1 + link.config.bufferbloat_overshoot)
+        for _ in range(200):
+            assert link.shape_uplink_peak(100 * MBPS, rng) <= limit + 1e-6
+
+    def test_zero_overshoot_disables(self):
+        link = make_link(bufferbloat_overshoot=0.0)
+        rng = np.random.default_rng(0)
+        assert link.shape_uplink_peak(100 * MBPS, rng) == link.upstream_bps
+
+    def test_downlink_caps_at_line_rate(self):
+        link = make_link()
+        assert link.shape_downlink_peak(100 * MBPS) == link.downstream_bps
+        assert link.shape_downlink_peak(1 * MBPS) == 1 * MBPS
+
+    def test_rejects_negative_load(self):
+        link = make_link()
+        with pytest.raises(ValueError):
+            link.shape_uplink_peak(-1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            link.shape_downlink_peak(-1)
+
+
+class TestWirelessEnvironment:
+    def test_default_channels(self):
+        assert DEFAULT_CHANNELS[Spectrum.GHZ_2_4] == 11
+        assert DEFAULT_CHANNELS[Spectrum.GHZ_5] == 36
+
+    def test_dense_homes_hear_many_aps(self):
+        config = WirelessEnvironmentConfig(neighbor_ap_level=20.0,
+                                           sparse_probability=0.0)
+        counts = [WirelessEnvironment(np.random.default_rng(s), config)
+                  .base_neighbor_count(Spectrum.GHZ_2_4) for s in range(30)]
+        assert np.mean(counts) > 12
+
+    def test_sparse_homes_hear_few(self):
+        config = WirelessEnvironmentConfig(neighbor_ap_level=20.0,
+                                           sparse_probability=1.0)
+        counts = [WirelessEnvironment(np.random.default_rng(s), config)
+                  .base_neighbor_count(Spectrum.GHZ_2_4) for s in range(30)]
+        assert np.mean(counts) < 5
+
+    def test_5ghz_emptier_than_2_4(self):
+        config = WirelessEnvironmentConfig(neighbor_ap_level=20.0,
+                                           sparse_probability=0.0)
+        env = WirelessEnvironment(np.random.default_rng(0), config)
+        assert env.base_neighbor_count(Spectrum.GHZ_5) < \
+            env.base_neighbor_count(Spectrum.GHZ_2_4)
+
+    def test_scans_jitter_around_base(self):
+        config = WirelessEnvironmentConfig(neighbor_ap_level=20.0,
+                                           sparse_probability=0.0)
+        env = WirelessEnvironment(np.random.default_rng(1), config)
+        rng = np.random.default_rng(2)
+        base = env.base_neighbor_count(Spectrum.GHZ_2_4)
+        scans = [env.scan_neighbor_count(Spectrum.GHZ_2_4, rng)
+                 for _ in range(300)]
+        assert min(scans) >= 0
+        assert abs(np.mean(scans) - base * 0.85) < 2.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WirelessEnvironmentConfig(neighbor_ap_level=-1)
+        with pytest.raises(ValueError):
+            WirelessEnvironmentConfig(neighbor_ap_level=1,
+                                      sparse_probability=2)

@@ -1,0 +1,180 @@
+"""Tests for the longitudinal (trend) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import HeartbeatLog, StudyData, ThroughputSeries
+from repro.core.longitudinal import (
+    TrendSeries,
+    availability_series,
+    connected_devices_series,
+    degrading_homes,
+    downtime_rate_series,
+    group_availability_trend,
+    traffic_volume_series,
+)
+from repro.core.records import DeviceCountSample, RouterInfo
+from repro.simulation.timebase import DAY, MINUTE, WEEK, StudyWindows, utc
+
+T0 = utc(2012, 10, 1)
+
+
+def minute_log(rid, *blocks):
+    stamps = np.concatenate([np.arange(s, e, MINUTE) for s, e in blocks])
+    return HeartbeatLog(rid, stamps)
+
+
+def info(rid, developed=True):
+    return RouterInfo(rid, "US" if developed else "IN", developed,
+                      -5.0 if developed else 5.5,
+                      49800 if developed else 3700)
+
+
+class TestTrendSeries:
+    def test_from_points_slope(self):
+        points = [(T0 + i * DAY, float(i)) for i in range(10)]
+        series = TrendSeries.from_points("x", points)
+        assert series.slope_per_day == pytest.approx(1.0)
+        assert series.mean == pytest.approx(4.5)
+        assert len(series) == 10
+
+    def test_empty(self):
+        series = TrendSeries.from_points("x", [])
+        assert len(series) == 0
+        assert np.isnan(series.slope_per_day)
+        assert np.isnan(series.mean)
+
+    def test_single_point_has_nan_slope(self):
+        series = TrendSeries.from_points("x", [(T0, 1.0)])
+        assert np.isnan(series.slope_per_day)
+
+
+class TestAvailabilitySeries:
+    def test_flat_home(self):
+        log = minute_log("r", (T0, T0 + 4 * WEEK))
+        series = availability_series(log)
+        assert len(series) >= 3
+        assert all(v > 0.99 for v in series.values)
+        assert abs(series.slope_per_day) < 1e-3
+
+    def test_degrading_home(self):
+        # Week k loses its first k*8 hours (loss at the start keeps the
+        # final heartbeat at the window end, so every bucket is observed).
+        blocks = []
+        for week in range(5):
+            start = T0 + week * WEEK
+            blocks.append((start + week * 8 * 3600, start + WEEK))
+        log = minute_log("r", *blocks)
+        series = availability_series(log)
+        assert series.slope_per_day < -0.002
+        assert series.values[0] > series.values[-1]
+
+    def test_empty_log(self):
+        assert len(availability_series(HeartbeatLog("r", np.empty(0)))) == 0
+
+
+class TestDowntimeRateSeries:
+    def test_counts_per_bucket(self):
+        # One gap per day in week 2 only.
+        blocks = [(T0, T0 + WEEK)]
+        for day in range(7):
+            start = T0 + WEEK + day * DAY
+            blocks.append((start, start + 20 * 3600))
+            blocks.append((start + 21 * 3600, start + DAY))
+        blocks.append((T0 + 2 * WEEK, T0 + 3 * WEEK))
+        log = minute_log("r", *blocks)
+        series = downtime_rate_series(log)
+        assert series.values[0] == pytest.approx(0.0, abs=0.05)
+        assert series.values[1] >= 0.9  # ~one gap per day that week
+
+    def test_worsening_trend_detected(self):
+        blocks = []
+        for week in range(4):
+            for day in range(7):
+                start = T0 + week * WEEK + day * DAY
+                # 'week' downtime events per day, 30 min each.
+                cursor = start
+                for _ in range(week):
+                    blocks.append((cursor, cursor + 2 * 3600))
+                    cursor += 2 * 3600 + 1800
+                blocks.append((cursor, start + DAY))
+        log = minute_log("r", *blocks)
+        series = downtime_rate_series(log)
+        assert series.slope_per_day > 0.05
+
+
+class TestGroupTrend:
+    def test_median_over_group(self):
+        logs = {
+            "a": minute_log("a", (T0, T0 + 3 * WEEK)),
+            "b": minute_log("b", (T0, T0 + 1.5 * WEEK),
+                            (T0 + 2 * WEEK, T0 + 3 * WEEK)),
+        }
+        data = StudyData(routers={rid: info(rid) for rid in logs},
+                         windows=StudyWindows(), heartbeats=logs)
+        series = group_availability_trend(data, developed=True)
+        assert len(series) >= 2
+        assert np.all(series.values <= 1.0)
+
+    def test_group_filter(self):
+        logs = {"a": minute_log("a", (T0, T0 + 3 * WEEK))}
+        data = StudyData(routers={"a": info("a", developed=True)},
+                         windows=StudyWindows(), heartbeats=logs)
+        assert len(group_availability_trend(data, developed=False)) == 0
+
+
+class TestDeviceAndTrafficSeries:
+    def test_connected_devices_series(self):
+        samples = []
+        for week in range(3):
+            for hour in range(0, 7 * 24, 6):
+                samples.append(DeviceCountSample(
+                    "r", T0 + week * WEEK + hour * 3600,
+                    1, 2 + week, 0))
+        data = StudyData(routers={"r": info("r")}, windows=StudyWindows(),
+                         device_counts=samples)
+        series = connected_devices_series(data)
+        assert len(series) == 3
+        assert series.slope_per_day > 0.1  # one device per week
+
+    def test_connected_devices_empty(self):
+        data = StudyData(routers={}, windows=StudyWindows())
+        assert len(connected_devices_series(data)) == 0
+
+    def test_traffic_volume_series(self):
+        minutes = int(3 * DAY / MINUTE)
+        tp = ThroughputSeries("r", T0, np.full(minutes, 2.2e6),
+                              np.zeros(minutes))
+        data = StudyData(routers={"r": info("r")}, windows=StudyWindows(),
+                         throughput={"r": tp})
+        series = traffic_volume_series(data, "r")
+        assert len(series) == 3
+        expected_daily = 2.2e6 / 2.2 / 8 * DAY
+        assert series.values[0] == pytest.approx(expected_daily, rel=0.01)
+
+    def test_traffic_missing_home(self):
+        data = StudyData(routers={}, windows=StudyWindows())
+        assert len(traffic_volume_series(data, "ghost")) == 0
+
+
+class TestDegradingHomes:
+    def test_detects_only_the_degrading_home(self):
+        healthy = minute_log("ok", (T0, T0 + 4 * WEEK))
+        blocks = []
+        for week in range(4):
+            for day in range(7):
+                start = T0 + week * WEEK + day * DAY
+                cursor = start
+                for _ in range(week * 2):
+                    blocks.append((cursor, cursor + 3600))
+                    cursor += 3600 + 1200
+                blocks.append((cursor, start + DAY))
+        sick = minute_log("sick", *blocks)
+        data = StudyData(
+            routers={"ok": info("ok"), "sick": info("sick")},
+            windows=StudyWindows(),
+            heartbeats={"ok": healthy, "sick": sick})
+        result = degrading_homes(data)
+        assert [h.router_id for h in result] == ["sick"]
+        assert result[0].downtime_slope_per_day > 0
+        assert result[0].current_rate_per_day > 1.0

@@ -1,0 +1,89 @@
+"""Unit tests for IPv4 helpers and deterministic obfuscation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netutils.ip import (
+    Ipv4Error,
+    format_ipv4,
+    is_private_ipv4,
+    obfuscate_ipv4,
+    parse_ipv4,
+)
+
+ip_values = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestParseFormat:
+    def test_parse_basic(self):
+        assert parse_ipv4("8.8.8.8") == 0x08080808
+
+    def test_parse_extremes(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == (1 << 32) - 1
+
+    @pytest.mark.parametrize("bad", [
+        "", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "01.2.3.4",
+        "1..3.4",
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(Ipv4Error):
+            parse_ipv4(bad)
+
+    @given(ip_values)
+    def test_roundtrip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(Ipv4Error):
+            format_ipv4(1 << 32)
+
+
+class TestPrivateRanges:
+    @pytest.mark.parametrize("addr", [
+        "10.0.0.1", "10.255.255.255", "172.16.0.1", "172.31.255.254",
+        "192.168.1.1", "127.0.0.1", "169.254.1.1",
+    ])
+    def test_private(self, addr):
+        assert is_private_ipv4(parse_ipv4(addr))
+
+    @pytest.mark.parametrize("addr", [
+        "8.8.8.8", "172.32.0.1", "11.0.0.1", "192.169.0.1", "1.1.1.1",
+    ])
+    def test_public(self, addr):
+        assert not is_private_ipv4(parse_ipv4(addr))
+
+
+class TestObfuscation:
+    def test_private_passes_through(self):
+        addr = parse_ipv4("192.168.1.10")
+        assert obfuscate_ipv4(addr) == addr
+
+    def test_public_changes(self):
+        addr = parse_ipv4("8.8.8.8")
+        assert obfuscate_ipv4(addr) != addr
+
+    @given(ip_values)
+    def test_deterministic(self, value):
+        assert obfuscate_ipv4(value) == obfuscate_ipv4(value)
+
+    @given(ip_values)
+    def test_public_maps_into_reserved_block(self, value):
+        result = obfuscate_ipv4(value)
+        if not is_private_ipv4(value):
+            # 240.0.0.0/4: pseudonyms can never collide with real routes.
+            assert (result >> 28) == 0xF
+
+    def test_salt_isolates_studies(self):
+        addr = parse_ipv4("8.8.8.8")
+        assert obfuscate_ipv4(addr, salt=b"a") != obfuscate_ipv4(addr, salt=b"b")
+
+    def test_stable_aggregation_key(self):
+        # Two flows to the same remote share one pseudonym.
+        addr = parse_ipv4("93.184.216.34")
+        assert obfuscate_ipv4(addr) == obfuscate_ipv4(addr)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(Ipv4Error):
+            obfuscate_ipv4(-5)

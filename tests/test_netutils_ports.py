@@ -1,0 +1,32 @@
+"""Unit tests for application-port naming."""
+
+import pytest
+
+from repro.netutils.ports import APPLICATION_PORTS, port_application, well_known_port
+
+
+def test_http_https():
+    assert port_application(80) == "http"
+    assert port_application(443) == "https"
+
+
+def test_unknown_port_is_other():
+    assert port_application(54321) == "other"
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        port_application(70000)
+    with pytest.raises(ValueError):
+        port_application(-1)
+
+
+def test_well_known_port():
+    assert well_known_port(22)
+    assert not well_known_port(54321)
+
+
+def test_registry_sane():
+    assert all(0 <= port <= 65535 for port in APPLICATION_PORTS)
+    assert all(name == name.lower() for name in APPLICATION_PORTS.values())
+    assert "other" not in APPLICATION_PORTS.values()

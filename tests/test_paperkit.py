@@ -1,0 +1,59 @@
+"""Tests for the one-call paper report generator."""
+
+import pytest
+
+from repro.core.paperkit import (
+    ExperimentRow,
+    PaperReport,
+    render_report,
+    reproduce_all,
+)
+
+
+@pytest.fixture(scope="module")
+def report(small_data):
+    return reproduce_all(small_data)
+
+
+class TestReproduceAll:
+    def test_datasets_present(self, report):
+        assert {row.name for row in report.datasets} == {
+            "Heartbeats", "Capacity", "Uptime", "Devices", "WiFi",
+            "Traffic"}
+
+    def test_every_section_populated(self, report):
+        assert report.section4
+        assert report.section5
+        assert report.section6
+
+    def test_key_experiments_covered(self, report):
+        experiments = set(report.by_experiment())
+        assert {"Fig. 3", "Fig. 7", "Fig. 8", "Table 5",
+                "Fig. 11"} <= experiments
+
+    def test_rows_well_formed(self, report):
+        for row in report.rows():
+            assert isinstance(row, ExperimentRow)
+            assert row.experiment and row.quantity and row.paper
+            assert row.measured is not None
+
+    def test_rows_order(self, report):
+        rows = report.rows()
+        assert rows[:len(report.section4)] == report.section4
+        assert rows[-len(report.section6):] == report.section6
+
+
+class TestRenderReport:
+    def test_render_contains_sections(self, report):
+        text = render_report(report)
+        assert "Table 2" in text
+        assert "Section 4" in text
+        assert "Section 5" in text
+        assert "Section 6" in text
+        assert "paper" in text and "measured" in text
+
+    def test_render_empty_sections_skipped(self, report):
+        empty = PaperReport(datasets=report.datasets)
+        text = render_report(empty)
+        assert "Section 4" not in text
+        assert "Table 2" in text

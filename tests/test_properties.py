@@ -1,0 +1,132 @@
+"""Property-based tests for stateful components (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.longitudinal import TrendSeries
+from repro.core.stats import EmpiricalCdf
+from repro.firmware.caps import CapMeter, UsageCapPolicy
+from repro.simulation.channels import (
+    CHANNELS_2_4,
+    contention_index,
+    interference_weight,
+    least_contended_channel,
+)
+from repro.core.records import Spectrum
+from repro.simulation.timebase import DAY, utc
+
+T0 = utc(2013, 4, 1)
+
+byte_batches = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=30 * DAY),
+              st.floats(min_value=0, max_value=5e9)),
+    min_size=1, max_size=40)
+
+
+class TestCapMeterProperties:
+    @given(byte_batches)
+    @settings(max_examples=60, deadline=None)
+    def test_alert_thresholds_fire_at_most_once_per_cycle(self, batches):
+        policy = UsageCapPolicy(monthly_cap_bytes=10e9, cycle_days=30)
+        meter = CapMeter("r", policy, cycle_start=T0)
+        for offset, byte_count in sorted(batches):
+            meter.record(T0 + offset, byte_count)
+        # Single cycle (all offsets < 30 days): no duplicate thresholds.
+        thresholds = [a.threshold for a in meter.alerts]
+        assert len(thresholds) == len(set(thresholds))
+        # Alerts are time-ordered and threshold-ordered.
+        stamps = [a.timestamp for a in meter.alerts]
+        assert stamps == sorted(stamps)
+        assert thresholds == sorted(thresholds)
+
+    @given(byte_batches)
+    @settings(max_examples=60, deadline=None)
+    def test_usage_equals_sum_of_records(self, batches):
+        policy = UsageCapPolicy(monthly_cap_bytes=1e18, cycle_days=3650)
+        meter = CapMeter("r", policy, cycle_start=T0)
+        total = 0.0
+        for offset, byte_count in sorted(batches):
+            meter.record(T0 + offset, byte_count)
+            total += byte_count
+        assert meter.used_bytes == pytest.approx(total)
+
+    @given(byte_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_alert_iff_threshold_crossed(self, batches):
+        cap = 10e9
+        policy = UsageCapPolicy(monthly_cap_bytes=cap, cycle_days=3650)
+        meter = CapMeter("r", policy, cycle_start=T0)
+        for offset, byte_count in sorted(batches):
+            meter.record(T0 + offset, byte_count)
+        fired = {a.threshold for a in meter.alerts}
+        for threshold in policy.alert_thresholds:
+            assert (threshold in fired) == \
+                (meter.used_bytes / cap >= threshold)
+
+
+class TestTrendSeriesProperties:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=100 * DAY),
+        st.floats(min_value=-1e6, max_value=1e6)), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_slope_sign_matches_endpoint_regression(self, raw):
+        # Deduplicate times: polyfit needs spread.
+        points = sorted({(T0 + t, v) for t, v in raw})
+        if len(points) < 2 or points[-1][0] == points[0][0]:
+            return
+        series = TrendSeries.from_points("x", points)
+        assert np.isfinite(series.slope_per_day)
+        # Constant series => zero slope.
+        flat = TrendSeries.from_points(
+            "flat", [(t, 5.0) for t, _ in points])
+        assert flat.slope_per_day == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_series_recovers_slope(self, slope):
+        points = [(T0 + i * DAY, slope * i) for i in range(10)]
+        series = TrendSeries.from_points("x", points)
+        assert series.slope_per_day == pytest.approx(slope, abs=1e-6)
+
+
+class TestChannelProperties:
+    neighbor_lists = st.lists(st.sampled_from(CHANNELS_2_4), max_size=40)
+
+    @given(neighbor_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_best_channel_is_argmin(self, neighbors):
+        best = least_contended_channel(Spectrum.GHZ_2_4, neighbors)
+        best_score = contention_index(Spectrum.GHZ_2_4, best, neighbors)
+        for channel in CHANNELS_2_4:
+            assert best_score <= contention_index(
+                Spectrum.GHZ_2_4, channel, neighbors) + 1e-9
+
+    @given(neighbor_lists, st.sampled_from(CHANNELS_2_4))
+    @settings(max_examples=60, deadline=None)
+    def test_contention_monotone_in_neighborhood(self, neighbors, channel):
+        base = contention_index(Spectrum.GHZ_2_4, channel, neighbors)
+        more = contention_index(Spectrum.GHZ_2_4, channel,
+                                neighbors + [channel])
+        assert more == pytest.approx(base + 1.0)
+
+    @given(st.sampled_from(CHANNELS_2_4), st.sampled_from(CHANNELS_2_4))
+    def test_interference_bounded(self, a, b):
+        weight = interference_weight(Spectrum.GHZ_2_4, a, b)
+        assert 0.0 <= weight <= 1.0
+        assert (weight == 1.0) == (a == b)
+
+
+class TestCdfProperties:
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1,
+                    max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_fraction_functions_complementary(self, xs):
+        cdf = EmpiricalCdf.from_samples(xs)
+        for probe in (min(xs), max(xs), sorted(xs)[len(xs) // 2]):
+            below_or_eq = cdf.fraction_at_most(probe)
+            strictly_below = 1 - cdf.fraction_at_least(probe)
+            # at_most counts ties; at_least counts them too.
+            assert below_or_eq >= strictly_below - 1e-12
+            assert 0 <= below_or_eq <= 1

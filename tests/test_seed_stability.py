@@ -1,0 +1,67 @@
+"""Cross-seed stability: the paper's qualitative findings are not
+artifacts of one lucky seed.
+
+Each claim here is one of the paper's ordinal findings (who is bigger than
+whom), checked on small campaigns under several seeds.  Magnitudes drift
+with seeds; orderings must not.
+"""
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig, run_study
+from repro.core import availability, infrastructure, usage
+from repro.core.records import Spectrum
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def campaign(request):
+    return run_study(StudyConfig(
+        seed=request.param,
+        router_scale=0.3,
+        duration_scale=0.04,
+        traffic_consents=5,
+        low_activity_consents=1,
+    )).data
+
+
+class TestOrdinalFindings:
+    def test_developing_more_downtime(self, campaign):
+        dev = availability.downtime_rate_cdf(campaign, developed=True)
+        dvg = availability.downtime_rate_cdf(campaign, developed=False)
+        assert dvg.median > dev.median
+
+    def test_us_more_available_than_india(self, campaign):
+        by_country = availability.median_availability_by_country(campaign)
+        assert by_country["US"] > by_country["IN"]
+
+    def test_wireless_beats_wired(self, campaign):
+        result = infrastructure.mean_connected_by_medium(campaign,
+                                                         developed=True)
+        assert result["wireless"].mean > result["wired"].mean
+
+    def test_2_4_busier_than_5(self, campaign):
+        result = infrastructure.mean_connected_by_spectrum(campaign,
+                                                           developed=True)
+        assert result["2.4GHz"].mean > result["5GHz"].mean
+
+    def test_developed_denser_wifi(self, campaign):
+        dev = infrastructure.neighbor_ap_cdf(campaign, Spectrum.GHZ_2_4,
+                                             developed=True)
+        dvg = infrastructure.neighbor_ap_cdf(campaign, Spectrum.GHZ_2_4,
+                                             developed=False)
+        assert dev.median > dvg.median
+
+    def test_dominant_device_dominates(self, campaign):
+        shares = usage.mean_device_share(campaign, ranks=2)
+        if shares[0] > 0:
+            assert shares[0] > shares[1]
+
+    def test_volume_concentrates_more_than_connections(self, campaign):
+        summary = usage.domain_share(campaign)
+        if summary.volume_share_by_rank.size and \
+                summary.volume_share_by_rank[0] > 0:
+            assert summary.connections_of_volume_ranked[0] < \
+                summary.volume_share_by_rank[0]

@@ -1,0 +1,145 @@
+"""Unit tests for the seed hierarchy and the simulated calendar."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.seeding import SeedHierarchy
+from repro.simulation.timebase import (
+    DAY,
+    HOUR,
+    MINUTE,
+    StudyCalendar,
+    StudyWindows,
+    utc,
+)
+
+
+class TestSeedHierarchy:
+    def test_same_path_same_stream(self):
+        seeds = SeedHierarchy(42)
+        a = seeds.generator("x", 1).random(8)
+        b = seeds.generator("x", 1).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_paths_differ(self):
+        seeds = SeedHierarchy(42)
+        a = seeds.generator("x", 1).random(8)
+        b = seeds.generator("x", 2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_study_seeds_differ(self):
+        a = SeedHierarchy(1).generator("x").random(8)
+        b = SeedHierarchy(2).generator("x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_child_scoping(self):
+        seeds = SeedHierarchy(42)
+        direct = seeds.generator("home", 3, "power").random(4)
+        scoped = seeds.child("home", 3).generator("power").random(4)
+        assert np.array_equal(direct, scoped)
+
+    def test_child_does_not_mutate_parent(self):
+        seeds = SeedHierarchy(42)
+        seeds.child("home", 1)
+        assert not hasattr(seeds, "_prefix") or seeds._prefix == ()
+
+    def test_string_int_keys_distinct(self):
+        seeds = SeedHierarchy(42)
+        a = seeds.generator("1").random(4)
+        b = seeds.generator(1).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_integer_helper(self):
+        seeds = SeedHierarchy(42)
+        value = seeds.integer("phase", high=100)
+        assert 0 <= value < 100
+        assert value == seeds.integer("phase", high=100)
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            SeedHierarchy("nope")
+
+
+class TestStudyWindows:
+    def test_defaults_match_table2(self):
+        w = StudyWindows()
+        assert w.heartbeats == (utc(2012, 10, 1), utc(2013, 4, 15))
+        assert w.traffic == (utc(2013, 4, 1), utc(2013, 4, 15))
+        assert w.wifi == (utc(2012, 11, 1), utc(2012, 11, 15))
+
+    def test_heartbeats_cover_traffic(self):
+        w = StudyWindows()
+        assert w.heartbeats[0] <= w.traffic[0]
+        assert w.heartbeats[1] >= w.traffic[1]
+
+    def test_scaled_preserves_start(self):
+        w = StudyWindows().scaled(0.1)
+        assert w.heartbeats[0] == utc(2012, 10, 1)
+        assert w.heartbeats[1] < utc(2013, 4, 15)
+
+    def test_scaled_floor_one_day(self):
+        w = StudyWindows().scaled(0.001)
+        for window in (w.heartbeats, w.traffic, w.wifi):
+            assert window[1] - window[0] >= DAY
+
+    def test_scaled_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            StudyWindows().scaled(0)
+        with pytest.raises(ValueError):
+            StudyWindows().scaled(1.5)
+
+    def test_span(self):
+        start, end = StudyWindows().span
+        assert start == utc(2012, 10, 1)
+        assert end == utc(2013, 4, 15)
+
+
+class TestStudyCalendar:
+    def test_hour_of_day_utc(self):
+        cal = StudyCalendar(0)
+        assert cal.hour_of_day(utc(2013, 4, 1, 13, 30)) == 13
+
+    def test_hour_of_day_offset(self):
+        cal = StudyCalendar(5.5)  # India
+        assert cal.hour_of_day(utc(2013, 4, 1, 13, 30)) == 19
+
+    def test_negative_offset(self):
+        cal = StudyCalendar(-5)  # US East
+        assert cal.hour_of_day(utc(2013, 4, 1, 3, 0)) == 22
+
+    def test_day_of_week(self):
+        cal = StudyCalendar(0)
+        # 2013-04-01 was a Monday.
+        assert cal.day_of_week(utc(2013, 4, 1, 12)) == 0
+        assert cal.day_of_week(utc(2013, 4, 6, 12)) == 5
+
+    def test_is_weekend(self):
+        cal = StudyCalendar(0)
+        assert not cal.is_weekend(utc(2013, 4, 1, 12))
+        assert cal.is_weekend(utc(2013, 4, 6, 12))
+        assert cal.is_weekend(utc(2013, 4, 7, 12))
+
+    def test_weekend_shifts_with_timezone(self):
+        # Friday 23:00 UTC is already Saturday in Japan (+9).
+        instant = utc(2013, 4, 5, 23)
+        assert not StudyCalendar(0).is_weekend(instant)
+        assert StudyCalendar(9).is_weekend(instant)
+
+    def test_local_midnight_before(self):
+        cal = StudyCalendar(5.5)
+        midnight = cal.local_midnight_before(utc(2013, 4, 1, 13, 30))
+        assert cal.hour_of_day(midnight) == 0
+        assert cal.local_seconds(midnight) % DAY == 0
+
+    def test_fraction_of_day(self):
+        cal = StudyCalendar(0)
+        assert cal.fraction_of_day(utc(2013, 4, 1, 12)) == pytest.approx(0.5)
+
+    def test_rejects_implausible_offset(self):
+        with pytest.raises(ValueError):
+            StudyCalendar(25)
+
+    def test_constants(self):
+        assert MINUTE == 60
+        assert HOUR == 3600
+        assert DAY == 86400

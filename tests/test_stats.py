@@ -1,0 +1,163 @@
+"""Unit and property tests for the shared statistics kit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    EmpiricalCdf,
+    HourOfDayProfile,
+    MeanWithSpread,
+    mean_ranked_shares,
+    percentile_by_key,
+    shares,
+)
+
+samples = st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                             allow_nan=False), min_size=1, max_size=100)
+
+
+class TestEmpiricalCdf:
+    def test_basic(self):
+        cdf = EmpiricalCdf.from_samples([3, 1, 2])
+        assert list(cdf.values) == [1, 2, 3]
+        assert cdf.fractions[-1] == 1.0
+        assert cdf.n == 3
+
+    def test_empty(self):
+        cdf = EmpiricalCdf.from_samples([])
+        assert cdf.n == 0
+        with pytest.raises(ValueError):
+            cdf.median
+
+    def test_median(self):
+        assert EmpiricalCdf.from_samples([1, 2, 3]).median == 2
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_fraction_at_most(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3, 4])
+        assert cdf.fraction_at_most(2) == 0.5
+        assert cdf.fraction_at_most(0) == 0.0
+        assert cdf.fraction_at_most(10) == 1.0
+
+    def test_fraction_at_least(self):
+        cdf = EmpiricalCdf.from_samples([1, 2, 3, 4])
+        assert cdf.fraction_at_least(3) == 0.5
+        assert cdf.fraction_at_least(0) == 1.0
+
+    def test_series_downsamples(self):
+        cdf = EmpiricalCdf.from_samples(range(1000))
+        series = cdf.series(points=10)
+        assert len(series) <= 10
+        xs = [x for x, _ in series]
+        assert xs == sorted(xs)
+
+    def test_series_empty(self):
+        assert EmpiricalCdf.from_samples([]).series() == []
+
+    @given(samples)
+    @settings(max_examples=50)
+    def test_fractions_monotone(self, xs):
+        cdf = EmpiricalCdf.from_samples(xs)
+        assert np.all(np.diff(cdf.fractions) >= 0)
+        assert np.all(np.diff(cdf.values) >= 0)
+
+    @given(samples, st.floats(min_value=0, max_value=1))
+    @settings(max_examples=50)
+    def test_quantile_within_range(self, xs, q):
+        cdf = EmpiricalCdf.from_samples(xs)
+        assert min(xs) <= cdf.quantile(q) <= max(xs)
+
+
+class TestMeanWithSpread:
+    def test_basic(self):
+        m = MeanWithSpread.from_samples([1, 2, 3])
+        assert m.mean == 2
+        assert m.n == 3
+        assert m.std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_empty_is_nan(self):
+        m = MeanWithSpread.from_samples([])
+        assert np.isnan(m.mean)
+        assert m.n == 0
+
+
+class TestHourOfDayProfile:
+    def test_basic(self):
+        profile = HourOfDayProfile.from_samples([0, 0, 12], [1.0, 3.0, 5.0])
+        assert profile.means[0] == 2.0
+        assert profile.means[12] == 5.0
+        assert np.isnan(profile.means[5])
+
+    def test_peak_trough_amplitude(self):
+        hours = list(range(24)) * 2
+        values = [h % 24 for h in hours]
+        profile = HourOfDayProfile.from_samples(hours, values)
+        assert profile.peak_hour == 23
+        assert profile.trough_hour == 0
+        assert profile.amplitude() == 23
+
+    def test_rejects_bad_hours(self):
+        with pytest.raises(ValueError):
+            HourOfDayProfile.from_samples([24], [1.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            HourOfDayProfile.from_samples([1, 2], [1.0])
+
+
+class TestShares:
+    def test_sorted_and_normalized(self):
+        result = shares([1, 3, 2])
+        assert list(result) == [0.5, 1 / 3, 1 / 6]
+
+    def test_zero_total(self):
+        assert list(shares([0, 0])) == [0, 0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            shares([-1, 2])
+
+    def test_empty(self):
+        assert shares([]).size == 0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1,
+                    max_size=30))
+    @settings(max_examples=50)
+    def test_sums_to_one_when_nonzero(self, xs):
+        result = shares(xs)
+        if sum(xs) > 0:
+            assert float(result.sum()) == pytest.approx(1.0)
+        assert np.all(np.diff(result) <= 0)
+
+
+class TestMeanRankedShares:
+    def test_padding(self):
+        result = mean_ranked_shares([np.array([0.9, 0.1]), np.array([1.0])],
+                                    ranks=3)
+        assert result[0] == pytest.approx(0.95)
+        assert result[1] == pytest.approx(0.05)
+        assert result[2] == 0.0
+
+    def test_empty_input(self):
+        assert list(mean_ranked_shares([], ranks=2)) == [0, 0]
+
+    def test_rejects_bad_ranks(self):
+        with pytest.raises(ValueError):
+            mean_ranked_shares([], ranks=0)
+
+
+class TestPercentileByKey:
+    def test_groups(self):
+        result = percentile_by_key(
+            [("a", 1.0), ("a", 3.0), ("b", 10.0)], q=50)
+        assert result["a"] == 2.0
+        assert result["b"] == 10.0
+
+    def test_empty(self):
+        assert percentile_by_key([], q=50) == {}

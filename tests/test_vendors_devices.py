@@ -1,0 +1,167 @@
+"""Tests for the OUI registry and device-population generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import Medium, Spectrum
+from repro.netutils.mac import parse_mac
+from repro.simulation.behavior import ActivitySchedule
+from repro.simulation.device_models import (
+    DeviceKind,
+    generate_devices,
+    kind_traits,
+)
+from repro.simulation.timebase import StudyCalendar, utc
+from repro.simulation.vendors import (
+    BISMARK_OUI,
+    CATEGORY_ORDER,
+    VENDORS,
+    allocate_mac,
+    vendor_category,
+    vendor_of_oui,
+)
+
+SPAN = (utc(2013, 3, 6), utc(2013, 4, 15))
+CAL = StudyCalendar(-5)
+
+
+def make_devices(seed=0, developed=True, mean_devices=7.5,
+                 always_wired=0.43, always_wireless=0.20):
+    return generate_devices(
+        np.random.default_rng(seed), f"r{seed}", SPAN, CAL,
+        ActivitySchedule.generate(np.random.default_rng(seed + 1000)),
+        developed, mean_devices, always_wired, always_wireless)
+
+
+class TestVendorRegistry:
+    def test_no_duplicate_ouis(self):
+        ouis = [oui for vendor in VENDORS for oui in vendor.ouis]
+        assert len(ouis) == len(set(ouis))
+
+    def test_all_categories_known(self):
+        assert {v.category for v in VENDORS} <= set(CATEGORY_ORDER)
+
+    def test_every_fig12_bucket_has_a_vendor(self):
+        covered = {v.category for v in VENDORS}
+        assert covered == set(CATEGORY_ORDER)
+
+    def test_vendor_of_oui(self):
+        apple = vendor_of_oui(0x3C0754)
+        assert apple is not None and apple.name == "Apple"
+        assert vendor_of_oui(0x123456) is None
+
+    def test_vendor_category_unknown(self):
+        assert vendor_category(0x123456) == "Unknown"
+
+    def test_bismark_oui_is_netgear_gateway(self):
+        assert vendor_category(BISMARK_OUI) == "Gateway"
+
+    def test_allocate_mac_lands_in_category(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            mac = allocate_mac(rng, "Apple")
+            assert vendor_category(mac.oui) == "Apple"
+
+    def test_allocate_mac_unknown_category(self):
+        with pytest.raises(KeyError):
+            allocate_mac(np.random.default_rng(0), "NotACategory")
+
+
+class TestKindTraits:
+    def test_wired_kinds_have_no_band(self):
+        for kind in (DeviceKind.DESKTOP, DeviceKind.MEDIA_BOX,
+                     DeviceKind.CONSOLE, DeviceKind.PRINTER):
+            traits = kind_traits(kind)
+            assert traits.medium is Medium.WIRED
+            assert traits.dual_band_probability == 0.0
+
+    def test_vendor_mixes_normalizable(self):
+        for kind in DeviceKind:
+            mix = kind_traits(kind).vendor_mix
+            assert sum(w for _, w in mix) > 0
+            assert all(w >= 0 for _, w in mix)
+
+
+class TestGenerateDevices:
+    def test_at_least_one_device(self):
+        devices = make_devices(seed=0, mean_devices=0.1)
+        assert len(devices) >= 1
+
+    def test_mean_count_tracks_parameter(self):
+        counts = [len(make_devices(seed=s, mean_devices=7.5))
+                  for s in range(60)]
+        assert 5.0 < np.mean(counts) < 10.0
+
+    def test_wireless_devices_have_band(self):
+        for device in make_devices(seed=3):
+            if device.medium is Medium.WIRELESS:
+                assert device.spectrum in (Spectrum.GHZ_2_4, Spectrum.GHZ_5)
+            else:
+                assert device.spectrum is None
+
+    def test_more_2_4_than_5(self):
+        bands = [d.spectrum for s in range(40) for d in make_devices(seed=s)
+                 if d.spectrum is not None]
+        n24 = sum(1 for b in bands if b is Spectrum.GHZ_2_4)
+        n5 = sum(1 for b in bands if b is Spectrum.GHZ_5)
+        assert n24 > n5
+
+    def test_always_wired_assignment(self):
+        hits = sum(
+            any(d.always_connected and d.medium is Medium.WIRED
+                for d in make_devices(seed=s, always_wired=1.0,
+                                      always_wireless=0.0))
+            for s in range(20))
+        assert hits == 20
+
+    def test_no_always_devices_when_probability_zero(self):
+        for s in range(10):
+            devices = make_devices(seed=s, always_wired=0.0,
+                                   always_wireless=0.0)
+            assert not any(d.always_connected for d in devices)
+
+    def test_association_within_span(self):
+        for device in make_devices(seed=5):
+            for start, end in device.connected:
+                assert SPAN[0] <= start < end <= SPAN[1] + 3600
+
+    def test_connected_intervals_always_device(self):
+        devices = make_devices(seed=6, always_wired=1.0)
+        always = next(d for d in devices if d.always_connected)
+        window = (SPAN[0] + 86400, SPAN[0] + 2 * 86400)
+        intervals = always.connected_intervals(*window)
+        assert intervals.total_duration() == pytest.approx(86400)
+
+    def test_portables_present_more_in_evening(self):
+        # Aggregate across many homes: phones associate more at 21:00 local
+        # than at 13:00 local on weekdays.
+        evening = afternoon = 0
+        for s in range(40):
+            for d in make_devices(seed=s):
+                if d.kind is not DeviceKind.PHONE or d.always_connected:
+                    continue
+                evening += d.is_connected(utc(2013, 3, 13, 2))   # 21:00 EST-ish
+                afternoon += d.is_connected(utc(2013, 3, 13, 18))  # 13:00
+        assert evening > afternoon
+
+    def test_traffic_weights_positive(self):
+        for device in make_devices(seed=7):
+            assert device.traffic_weight >= 0
+
+    def test_deterministic(self):
+        a = make_devices(seed=8)
+        b = make_devices(seed=8)
+        assert [d.mac for d in a] == [d.mac for d in b]
+        assert [d.connected for d in a] == [d.connected for d in b]
+
+    def test_device_macs_resolve_to_registry(self):
+        for device in make_devices(seed=9):
+            assert vendor_category(device.mac.oui) != "Unknown"
+
+    def test_developed_homes_have_more_wired(self):
+        wired_dev = sum(1 for s in range(40) for d in make_devices(
+            seed=s, developed=True) if d.medium is Medium.WIRED)
+        wired_dvg = sum(1 for s in range(40) for d in make_devices(
+            seed=s, developed=False, mean_devices=5.0)
+            if d.medium is Medium.WIRED)
+        assert wired_dev > wired_dvg
