@@ -1,0 +1,56 @@
+"""Engine scaling bench: serial vs shard-parallel wall-clock at 2× scale.
+
+Runs the same 252-home campaign (``router_scale=2.0``) through the
+campaign engine serially and with four worker processes, asserts the two
+runs are bitwise-identical (the acceptance invariant), and records the
+wall-clock comparison in ``BENCH_engine.json`` at the repo root.  The
+speedup assertion only applies on multi-core runners — on a single core
+the parallel path pays process overhead for nothing.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import StudyConfig, run_study, study_digest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+CONFIG = dict(seed=2013, router_scale=2.0, duration_scale=0.02,
+              traffic_consents=10, low_activity_consents=2)
+WORKERS = 4
+
+
+def test_engine_scaling(emit):
+    t0 = time.perf_counter()
+    serial = run_study(StudyConfig(**CONFIG), workers=1)
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_study(StudyConfig(**CONFIG), workers=WORKERS)
+    parallel_seconds = time.perf_counter() - t0
+
+    digest = study_digest(serial.data)
+    assert study_digest(parallel.data) == digest
+
+    cores = os.cpu_count() or 1
+    payload = {
+        "router_scale": CONFIG["router_scale"],
+        "duration_scale": CONFIG["duration_scale"],
+        "homes": len(serial.data.routers),
+        "workers": WORKERS,
+        "cpu_cores": cores,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 3),
+        "digest": digest,
+    }
+    (ROOT / "BENCH_engine.json").write_text(json.dumps(payload, indent=2)
+                                            + "\n")
+    emit("BENCH_engine", json.dumps(payload, indent=2))
+
+    if cores >= 2:
+        # "Measurably faster" on multi-core hardware; generous margin so
+        # a loaded runner doesn't flake the suite.
+        assert parallel_seconds < serial_seconds * 0.9

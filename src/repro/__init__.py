@@ -27,6 +27,7 @@ from repro.core.datasets import (
     HeartbeatLog,
     StudyData,
     ThroughputSeries,
+    study_digest,
     summarize_datasets,
 )
 from repro.core.intervals import IntervalSet
@@ -56,6 +57,7 @@ __all__ = [
     "HeartbeatLog",
     "StudyData",
     "ThroughputSeries",
+    "study_digest",
     "summarize_datasets",
     "IntervalSet",
     "CapacityMeasurement",

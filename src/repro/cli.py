@@ -44,6 +44,15 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                         help="traffic-consenting US homes")
     parser.add_argument("--international", type=int, default=0,
                         help="traffic-consenting non-US homes")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="engine worker processes (default 1 = serial; "
+                             "results are identical for any worker count)")
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="homes per engine shard (default: engine picks)")
+    parser.add_argument("--store", choices=("memory", "spill"),
+                        default="memory",
+                        help="record store backend (spill = bounded-memory "
+                             "JSONL spill to disk)")
 
 
 def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
@@ -61,6 +70,9 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         traffic_consents=args.consents,
         low_activity_consents=min(3, args.consents),
         international_consents=args.international,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        store_backend=args.store,
     )
 
 

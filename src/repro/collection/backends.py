@@ -1,0 +1,285 @@
+"""Pluggable record-store backends: in-memory lists or disk spill.
+
+The :class:`~repro.collection.storage.RecordStore` owns registration and
+consistency checks; a :class:`StoreBackend` owns where the records live
+between ingest and :meth:`finalize`:
+
+* :class:`MemoryBackend` — the original behaviour: every record in RAM,
+  one sort at finalize time.
+* :class:`SpillBackend` — bounded memory: list-dataset records buffer up
+  to ``max_buffered_records``, then each dataset's buffer is sorted and
+  appended to a JSONL *run* file on disk; finalize k-way merge-sorts the
+  runs.  The two columnar datasets (heartbeat timestamp arrays, per-minute
+  throughput series) spill immediately as per-router ``.npy``/``.npz``
+  files, so peak resident record count stays O(buffer + one upload chunk).
+
+Both backends produce identical, deterministically-ordered contents:
+JSON round-trips floats exactly (shortest-repr encoding), the sort keys
+match the in-memory sort, and ``heapq.merge`` is stable across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import tempfile
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.datasets import HeartbeatLog, ThroughputSeries
+from repro.core.records import (
+    CapacityMeasurement,
+    DeviceCountSample,
+    DeviceRosterEntry,
+    DnsRecord,
+    FlowRecord,
+    Medium,
+    Spectrum,
+    UptimeReport,
+    WifiScanSample,
+)
+
+#: The seven record-list datasets a backend accumulates.
+LIST_DATASETS = ("uptime", "capacity", "device_counts", "roster",
+                 "wifi_scans", "flows", "dns")
+
+#: Sort key per dataset — must match RecordStore.to_study_data ordering.
+SORT_KEYS: Dict[str, Callable] = {
+    "uptime": lambda r: (r.router_id, r.timestamp),
+    "capacity": lambda m: (m.router_id, m.timestamp),
+    "device_counts": lambda s: (s.router_id, s.timestamp),
+    "roster": lambda e: (e.router_id, e.device_mac),
+    "wifi_scans": lambda s: (s.router_id, s.timestamp),
+    "flows": lambda f: (f.router_id, f.timestamp),
+    "dns": lambda d: (d.router_id, d.timestamp),
+}
+
+
+@dataclass
+class StoreContents:
+    """What a backend hands back at finalize time (pre-sorted)."""
+
+    heartbeats: Dict[str, HeartbeatLog] = field(default_factory=dict)
+    throughput: Dict[str, ThroughputSeries] = field(default_factory=dict)
+    lists: Dict[str, List] = field(
+        default_factory=lambda: {name: [] for name in LIST_DATASETS})
+
+
+class StoreBackend(ABC):
+    """Where a RecordStore keeps records between ingest and finalize."""
+
+    @abstractmethod
+    def append(self, dataset: str, records: Sequence) -> None:
+        """Add records to one of the seven list datasets."""
+
+    @abstractmethod
+    def put_heartbeats(self, log: HeartbeatLog) -> None:
+        """Store one router's delivered-heartbeat log (first upload only)."""
+
+    @abstractmethod
+    def put_throughput(self, series: ThroughputSeries) -> None:
+        """Store one router's throughput series (first upload only)."""
+
+    @abstractmethod
+    def finalize(self) -> StoreContents:
+        """Return every stored record, sorted per dataset."""
+
+
+class MemoryBackend(StoreBackend):
+    """Everything in RAM — the original store behaviour."""
+
+    def __init__(self) -> None:
+        self._lists: Dict[str, List] = {name: [] for name in LIST_DATASETS}
+        self._heartbeats: Dict[str, HeartbeatLog] = {}
+        self._throughput: Dict[str, ThroughputSeries] = {}
+
+    def append(self, dataset: str, records: Sequence) -> None:
+        self._lists[dataset].extend(records)
+
+    def put_heartbeats(self, log: HeartbeatLog) -> None:
+        self._heartbeats[log.router_id] = log
+
+    def put_throughput(self, series: ThroughputSeries) -> None:
+        self._throughput[series.router_id] = series
+
+    def finalize(self) -> StoreContents:
+        return StoreContents(
+            heartbeats=dict(self._heartbeats),
+            throughput=dict(self._throughput),
+            lists={name: sorted(records, key=SORT_KEYS[name])
+                   for name, records in self._lists.items()},
+        )
+
+
+# -- JSONL record codec ----------------------------------------------------------
+
+def _encode_record(dataset: str, record) -> list:
+    """Flatten one record into a JSON-able row (numpy scalars cast away)."""
+    if dataset == "uptime":
+        return [record.router_id, float(record.timestamp),
+                float(record.uptime_seconds)]
+    if dataset == "capacity":
+        return [record.router_id, float(record.timestamp),
+                float(record.downstream_mbps), float(record.upstream_mbps)]
+    if dataset == "device_counts":
+        return [record.router_id, float(record.timestamp), int(record.wired),
+                int(record.wireless_2_4), int(record.wireless_5)]
+    if dataset == "roster":
+        return [record.router_id, record.device_mac, record.medium.value,
+                None if record.spectrum is None else record.spectrum.value,
+                float(record.first_seen), float(record.last_seen),
+                bool(record.always_connected)]
+    if dataset == "wifi_scans":
+        return [record.router_id, float(record.timestamp),
+                record.spectrum.value, int(record.neighbor_aps),
+                int(record.associated_clients), int(record.channel)]
+    if dataset == "flows":
+        return [record.router_id, float(record.timestamp), record.device_mac,
+                record.domain, int(record.remote_ip), int(record.port),
+                record.application, float(record.bytes_up),
+                float(record.bytes_down), float(record.duration_seconds)]
+    if dataset == "dns":
+        return [record.router_id, float(record.timestamp), record.device_mac,
+                record.domain, record.record_type,
+                None if record.address is None else int(record.address)]
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+def _decode_record(dataset: str, row: list):
+    """Rebuild the record dataclass from its JSON row."""
+    if dataset == "uptime":
+        return UptimeReport(*row)
+    if dataset == "capacity":
+        return CapacityMeasurement(*row)
+    if dataset == "device_counts":
+        return DeviceCountSample(*row)
+    if dataset == "roster":
+        rid, mac, medium, spectrum, first, last, always = row
+        return DeviceRosterEntry(rid, mac, Medium(medium),
+                                 None if spectrum is None
+                                 else Spectrum(spectrum),
+                                 first, last, always)
+    if dataset == "wifi_scans":
+        rid, ts, spectrum, aps, clients, channel = row
+        return WifiScanSample(rid, ts, Spectrum(spectrum), aps, clients,
+                              channel)
+    if dataset == "flows":
+        return FlowRecord(*row)
+    if dataset == "dns":
+        return DnsRecord(*row)
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+class SpillBackend(StoreBackend):
+    """Bounded-memory backend: sorted JSONL runs on disk, merged lazily.
+
+    *directory* is created (and left in place) when given; omitted, a
+    private temporary directory is used and cleaned up with the backend.
+    ``max_buffered_records`` bounds the total list-dataset records held in
+    RAM before a spill; :attr:`peak_buffered_records` reports the high-water
+    mark so tests can assert the bound held.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None,
+                 max_buffered_records: int = 8192):
+        if max_buffered_records <= 0:
+            raise ValueError("max_buffered_records must be positive")
+        self.max_buffered_records = max_buffered_records
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if directory is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-spill-")
+            self.root = Path(self._tmp.name)
+        else:
+            self.root = Path(directory)
+        for sub in ("runs", "heartbeats", "throughput"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        self._buffers: Dict[str, List] = {name: [] for name in LIST_DATASETS}
+        self._buffered = 0
+        self._runs: Dict[str, List[Path]] = {name: [] for name in LIST_DATASETS}
+        self._n_runs = 0
+        self.peak_buffered_records = 0
+        # Ingest order, so finalize matches MemoryBackend's dict order
+        # (exports iterate these dicts; sorted-glob order would differ).
+        self._heartbeat_order: List[str] = []
+        self._throughput_order: List[str] = []
+
+    # -- ingest ------------------------------------------------------------------
+
+    def append(self, dataset: str, records: Sequence) -> None:
+        # Spill first if this batch would overflow the buffer, so the peak
+        # resident count stays <= max(max_buffered_records, one batch).
+        if self._buffered and \
+                self._buffered + len(records) > self.max_buffered_records:
+            self._spill()
+        self._buffers[dataset].extend(records)
+        self._buffered += len(records)
+        self.peak_buffered_records = max(self.peak_buffered_records,
+                                         self._buffered)
+        if self._buffered >= self.max_buffered_records:
+            self._spill()
+
+    def put_heartbeats(self, log: HeartbeatLog) -> None:
+        self._heartbeat_order.append(log.router_id)
+        np.save(self.root / "heartbeats" / f"{log.router_id}.npy",
+                np.asarray(log.timestamps, dtype=float))
+
+    def put_throughput(self, series: ThroughputSeries) -> None:
+        self._throughput_order.append(series.router_id)
+        # start/interval as 0-d arrays: .item() on load restores the native
+        # Python scalar with its int/float kind intact (a shared meta array
+        # would silently promote an int interval to float).
+        np.savez(self.root / "throughput" / f"{series.router_id}.npz",
+                 up_bps=np.asarray(series.up_bps, dtype=float),
+                 down_bps=np.asarray(series.down_bps, dtype=float),
+                 start=np.array(series.start),
+                 interval=np.array(series.interval_seconds))
+
+    def _spill(self) -> None:
+        for dataset in LIST_DATASETS:
+            buffer = self._buffers[dataset]
+            if not buffer:
+                continue
+            buffer.sort(key=SORT_KEYS[dataset])
+            path = self.root / "runs" / f"{dataset}-{self._n_runs:05d}.jsonl"
+            with path.open("w") as handle:
+                for record in buffer:
+                    handle.write(json.dumps(_encode_record(dataset, record)))
+                    handle.write("\n")
+            self._runs[dataset].append(path)
+            buffer.clear()
+        self._buffered = 0
+        self._n_runs += 1
+
+    # -- finalize ----------------------------------------------------------------
+
+    def _read_run(self, dataset: str, path: Path) -> Iterator:
+        with path.open() as handle:
+            for line in handle:
+                yield _decode_record(dataset, json.loads(line))
+
+    def finalize(self) -> StoreContents:
+        self._spill()
+        contents = StoreContents()
+        for dataset in LIST_DATASETS:
+            runs = [self._read_run(dataset, path)
+                    for path in self._runs[dataset]]
+            contents.lists[dataset] = list(
+                heapq.merge(*runs, key=SORT_KEYS[dataset]))
+        for rid in self._heartbeat_order:
+            path = self.root / "heartbeats" / f"{rid}.npy"
+            contents.heartbeats[rid] = HeartbeatLog(rid, np.load(path))
+        for rid in self._throughput_order:
+            path = self.root / "throughput" / f"{rid}.npz"
+            with np.load(path) as archive:
+                contents.throughput[rid] = ThroughputSeries(
+                    router_id=rid,
+                    start=archive["start"].item(),
+                    up_bps=archive["up_bps"],
+                    down_bps=archive["down_bps"],
+                    interval_seconds=archive["interval"].item(),
+                )
+        return contents

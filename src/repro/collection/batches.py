@@ -1,0 +1,96 @@
+"""Record batches: the wire format between shard workers and the server.
+
+A shard worker does not ship one giant :class:`RouterOutput` per home —
+it splits every collector's records into bounded :class:`RecordBatch`
+chunks so the ingest side can stream them into a store without ever
+holding a whole upload's records beyond the chunk size.  A
+:class:`RouterUpload` bundles one home's registration metadata with its
+batches; uploads cross the process boundary by pickling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Sequence, Tuple
+
+from repro.core.records import RouterInfo
+from repro.firmware.router import RouterOutput
+
+#: Datasets carried as plain record lists (chunkable).
+LIST_DATASETS = ("uptime", "capacity", "device_counts", "roster",
+                 "wifi_scans", "flows", "dns")
+
+#: All batchable datasets, including the two columnar ones.
+DATASETS = ("heartbeats",) + LIST_DATASETS + ("throughput",)
+
+#: Default ceiling on records per list batch.
+DEFAULT_BATCH_RECORDS = 2048
+
+
+@dataclass(frozen=True)
+class RecordBatch:
+    """One chunk of one dataset from one router.
+
+    ``records`` is a list of record dataclasses for the seven list
+    datasets, the raw heartbeat *send-time* array for ``"heartbeats"``
+    (path loss is applied server-side so delivery stays deterministic in
+    ingest order), and a :class:`ThroughputSeries` for ``"throughput"``.
+    """
+
+    dataset: str
+    router_id: str
+    records: Any
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASETS:
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+
+
+@dataclass(frozen=True)
+class RouterUpload:
+    """Everything one router sent: registration metadata plus batches."""
+
+    info: RouterInfo
+    batches: Tuple[RecordBatch, ...]
+
+    @property
+    def router_id(self) -> str:
+        return self.info.router_id
+
+
+def _chunks(records: Sequence, size: int) -> Iterator[Sequence]:
+    for start in range(0, len(records), size):
+        yield records[start:start + size]
+
+
+def router_output_to_batches(
+        output: RouterOutput,
+        max_batch_records: int = DEFAULT_BATCH_RECORDS) -> List[RecordBatch]:
+    """Split one router's output into bounded batches, in dataset order.
+
+    The heartbeat batch is always emitted (even when empty) so every
+    router keeps a heartbeat log entry, matching the monolithic upload
+    path.  Empty list datasets emit no batch, also matching it.
+    """
+    if max_batch_records <= 0:
+        raise ValueError("max_batch_records must be positive")
+    rid = output.router_id
+    batches = [RecordBatch("heartbeats", rid, output.heartbeat_sends)]
+    by_dataset = {
+        "uptime": output.uptime,
+        "capacity": output.capacity,
+        "device_counts": output.device_counts,
+        "roster": output.roster,
+        "wifi_scans": output.wifi_scans,
+        "flows": output.flows,
+        "dns": output.dns,
+    }
+    for dataset in LIST_DATASETS:
+        records = by_dataset[dataset]
+        if not records:
+            continue
+        for chunk in _chunks(records, max_batch_records):
+            batches.append(RecordBatch(dataset, rid, list(chunk)))
+    if output.throughput is not None:
+        batches.append(RecordBatch("throughput", rid, output.throughput))
+    return batches

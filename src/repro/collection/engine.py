@@ -1,0 +1,137 @@
+"""Shard-parallel streaming campaign engine.
+
+The engine turns a cheap :class:`~repro.simulation.deployment.DeploymentPlan`
+into collected :class:`~repro.core.datasets.StudyData` by splitting the
+deployment into contiguous shards, materializing and running each shard's
+households (in worker processes when ``workers > 1``), and streaming the
+resulting record batches into a :class:`CollectionServer`.
+
+Determinism contract
+--------------------
+For a fixed seed the engine produces bitwise-identical ``StudyData``
+regardless of ``workers`` and ``shard_size``:
+
+* every household's models and firmware draws derive only from
+  ``(seed, router_id)`` via :class:`SeedHierarchy`, so *where* a home is
+  materialized cannot change *what* it produces;
+* the only order-sensitive randomness — per-packet heartbeat loss on the
+  shared collection path — is applied at *ingest* time in the parent,
+  and shard results are always ingested in shard order (which equals
+  deployment order), never completion order.
+
+Memory contract: workers hold O(shard_size) households; the parent holds
+a bounded window of un-ingested shard results; with the spill store
+backend, resident record count is bounded too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Deque, List, Optional
+
+from repro.core.datasets import StudyData
+from repro.firmware.anonymize import AnonymizationPolicy
+from repro.firmware.router import BismarkRouter
+from repro.simulation.deployment import DeploymentPlan, materialize_shard
+from repro.simulation.domains import build_domain_universe
+from repro.simulation.seeding import SeedHierarchy
+from repro.collection.batches import RouterUpload, router_output_to_batches
+from repro.collection.path import CollectionPath, PathConfig
+from repro.collection.server import CollectionServer
+from repro.collection.storage import RecordStore
+
+#: Default homes per shard when ``shard_size`` is not given.  Small enough
+#: that worker memory stays modest and shards interleave across workers;
+#: large enough that per-shard overhead (plan pickling, universe build)
+#: stays negligible.
+DEFAULT_SHARD_SIZE = 16
+
+
+def shard_count(n_homes: int, shard_size: Optional[int] = None) -> int:
+    """How many shards a deployment splits into."""
+    size = DEFAULT_SHARD_SIZE if shard_size is None else shard_size
+    if size <= 0:
+        raise ValueError("shard_size must be positive")
+    return max(1, -(-n_homes // size))
+
+
+def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
+              seed: Optional[int] = None) -> List[RouterUpload]:
+    """Materialize and run one shard's routers; return their uploads.
+
+    This is the unit of work shipped to a worker process.  *seed* drives
+    the firmware draws (it defaults to the plan's seed; household models
+    always derive from the plan's own seed).
+    """
+    seeds = SeedHierarchy(plan.seed if seed is None else seed)
+    universe = build_domain_universe()
+    whitelist = frozenset(
+        domain.name for domain in universe if domain.whitelisted)
+    policy = AnonymizationPolicy(whitelist=whitelist)
+    uploads: List[RouterUpload] = []
+    for household in materialize_shard(plan, shard_index, n_shards,
+                                       domain_universe=universe):
+        router = BismarkRouter(
+            household, seeds, policy,
+            collect_uptime=household.router_id in plan.uptime_routers,
+            collect_devices=household.router_id in plan.devices_routers,
+            collect_wifi=household.router_id in plan.wifi_routers,
+            collect_traffic=household.router_id in plan.traffic_routers,
+        )
+        output = router.run(plan.windows)
+        uploads.append(RouterUpload(
+            info=household.info,
+            batches=tuple(router_output_to_batches(output)),
+        ))
+    return uploads
+
+
+def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
+                 path_config: Optional[PathConfig] = None,
+                 store: Optional[RecordStore] = None,
+                 workers: int = 1,
+                 shard_size: Optional[int] = None) -> StudyData:
+    """Collect the full campaign described by *plan*.
+
+    ``workers=1`` runs every shard in-process; ``workers=N`` fans shards
+    out over a :class:`ProcessPoolExecutor`.  Either way the resulting
+    ``StudyData`` is identical (see the module determinism contract).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    seed = plan.seed if seed is None else seed
+    store = store if store is not None else RecordStore(plan.windows)
+    path = CollectionPath(
+        SeedHierarchy(seed).generator("collection-path"),
+        plan.windows.span, path_config or PathConfig())
+    server = CollectionServer(store, path)
+
+    n_shards = shard_count(len(plan), shard_size)
+    if workers == 1 or n_shards == 1:
+        for index in range(n_shards):
+            for upload in run_shard(plan, index, n_shards, seed):
+                server.ingest(upload)
+        return store.to_study_data()
+
+    # Parallel path: a sliding submission window keeps every worker fed
+    # while bounding how many finished-but-not-ingested shard results the
+    # parent holds; results are consumed strictly in shard order.
+    max_workers = min(workers, n_shards)
+    window = 2 * max_workers
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pending: Deque = deque()
+        next_shard = 0
+        while next_shard < n_shards and len(pending) < window:
+            pending.append(
+                pool.submit(run_shard, plan, next_shard, n_shards, seed))
+            next_shard += 1
+        while pending:
+            uploads = pending.popleft().result()
+            while next_shard < n_shards and len(pending) < window:
+                pending.append(
+                    pool.submit(run_shard, plan, next_shard, n_shards, seed))
+                next_shard += 1
+            for upload in uploads:
+                server.ingest(upload)
+    return store.to_study_data()

@@ -1,10 +1,16 @@
-"""The collection server: runs every router and assembles the study.
+"""The collection server: ingests router uploads and assembles the study.
 
-:func:`collect_study` is the measurement campaign in one call — it builds
-the firmware stack for each deployed household (respecting consent tiers
-and data-set membership), pushes heartbeats through the lossy collection
-path, and returns the same :class:`~repro.core.datasets.StudyData` bundle
-the authors analyzed.
+The server is batch-oriented: shard workers (or the in-process serial
+path) submit :class:`~repro.collection.batches.RouterUpload` bundles and
+the server streams each :class:`~repro.collection.batches.RecordBatch`
+into the record store.  Heartbeat batches carry raw *send* times; the
+server applies the lossy collection path at ingest time, so delivery
+randomness depends only on the deterministic ingest order — never on
+which worker produced the batch.
+
+:func:`collect_study` remains the one-call measurement campaign over a
+:class:`~repro.simulation.deployment.Deployment`; it now delegates to the
+shard engine (:mod:`repro.collection.engine`).
 """
 
 from __future__ import annotations
@@ -13,11 +19,14 @@ from typing import Optional
 
 from repro.core.datasets import HeartbeatLog, StudyData
 from repro.simulation.deployment import Deployment
-from repro.simulation.seeding import SeedHierarchy
-from repro.firmware.anonymize import AnonymizationPolicy
-from repro.firmware.router import BismarkRouter, RouterOutput
+from repro.collection.batches import (
+    RecordBatch,
+    RouterUpload,
+    router_output_to_batches,
+)
 from repro.collection.path import CollectionPath, PathConfig
 from repro.collection.storage import RecordStore
+from repro.firmware.router import RouterOutput
 
 
 class CollectionServer:
@@ -27,50 +36,47 @@ class CollectionServer:
         self.store = store
         self.path = path
 
+    def ingest(self, upload: RouterUpload) -> None:
+        """Register one router and stream in all of its batches."""
+        self.store.register_router(upload.info)
+        for batch in upload.batches:
+            self.receive_batch(batch)
+
+    def receive_batch(self, batch: RecordBatch) -> None:
+        """Ingest one dataset chunk, applying path loss to heartbeats."""
+        if batch.dataset == "heartbeats":
+            delivered = self.path.deliver(batch.records)
+            self.store.add_heartbeats(HeartbeatLog(batch.router_id, delivered))
+        elif batch.dataset == "uptime":
+            self.store.add_uptime(batch.records)
+        elif batch.dataset == "capacity":
+            self.store.add_capacity(batch.records)
+        elif batch.dataset == "device_counts":
+            self.store.add_device_counts(batch.records)
+        elif batch.dataset == "roster":
+            self.store.add_roster(batch.records)
+        elif batch.dataset == "wifi_scans":
+            self.store.add_wifi_scans(batch.records)
+        elif batch.dataset == "flows":
+            self.store.add_flows(batch.records)
+        elif batch.dataset == "throughput":
+            self.store.add_throughput(batch.records)
+        elif batch.dataset == "dns":
+            self.store.add_dns(batch.records)
+        else:  # pragma: no cover - RecordBatch validates its dataset
+            raise ValueError(f"unknown dataset {batch.dataset!r}")
+
     def receive(self, output: RouterOutput) -> None:
-        """Ingest one router's upload, applying path loss to heartbeats."""
-        delivered = self.path.deliver(output.heartbeat_sends)
-        self.store.add_heartbeats(HeartbeatLog(output.router_id, delivered))
-        if output.uptime:
-            self.store.add_uptime(output.uptime)
-        if output.capacity:
-            self.store.add_capacity(output.capacity)
-        if output.device_counts:
-            self.store.add_device_counts(output.device_counts)
-        if output.roster:
-            self.store.add_roster(output.roster)
-        if output.wifi_scans:
-            self.store.add_wifi_scans(output.wifi_scans)
-        if output.flows:
-            self.store.add_flows(output.flows)
-        if output.throughput is not None:
-            self.store.add_throughput(output.throughput)
-        if output.dns:
-            self.store.add_dns(output.dns)
+        """Ingest one monolithic router upload (legacy entry point)."""
+        for batch in router_output_to_batches(output):
+            self.receive_batch(batch)
 
 
 def collect_study(deployment: Deployment, seed: int = 2013,
-                  path_config: Optional[PathConfig] = None) -> StudyData:
+                  path_config: Optional[PathConfig] = None,
+                  workers: int = 1,
+                  shard_size: Optional[int] = None) -> StudyData:
     """Run the full measurement campaign over *deployment*."""
-    seeds = SeedHierarchy(seed)
-    windows = deployment.windows
-    store = RecordStore(windows)
-    path = CollectionPath(seeds.generator("collection-path"), windows.span,
-                          path_config or PathConfig())
-    server = CollectionServer(store, path)
-
-    whitelist = frozenset(
-        domain.name for domain in deployment.universe if domain.whitelisted)
-    policy = AnonymizationPolicy(whitelist=whitelist)
-
-    for household in deployment.households:
-        store.register_router(household.info)
-        router = BismarkRouter(
-            household, seeds, policy,
-            collect_uptime=household.router_id in deployment.uptime_routers,
-            collect_devices=household.router_id in deployment.devices_routers,
-            collect_wifi=household.router_id in deployment.wifi_routers,
-            collect_traffic=household.router_id in deployment.traffic_routers,
-        )
-        server.receive(router.run(windows))
-    return store.to_study_data()
+    from repro.collection.engine import run_campaign
+    return run_campaign(deployment.plan, seed=seed, path_config=path_config,
+                        workers=workers, shard_size=shard_size)

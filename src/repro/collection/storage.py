@@ -1,8 +1,17 @@
-"""The server-side record store: accumulates router uploads into StudyData."""
+"""The server-side record store: accumulates router uploads into StudyData.
+
+The store owns *consistency* (router registration, re-upload conflict
+detection) and delegates *residency* to a pluggable
+:class:`~repro.collection.backends.StoreBackend` — in-memory lists by
+default, or a bounded-memory disk-spill backend for large campaigns.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.datasets import HeartbeatLog, StudyData, ThroughputSeries
 from repro.core.records import (
@@ -16,6 +25,13 @@ from repro.core.records import (
     WifiScanSample,
 )
 from repro.simulation.timebase import StudyWindows
+from repro.collection.backends import MemoryBackend, StoreBackend
+
+
+def _array_fingerprint(values: np.ndarray) -> Tuple[int, str]:
+    """Cheap identity for an upload's array payload (size + content hash)."""
+    array = np.ascontiguousarray(np.asarray(values, dtype=float))
+    return int(array.size), hashlib.sha256(array.tobytes()).hexdigest()
 
 
 class RecordStore:
@@ -25,18 +41,16 @@ class RecordStore:
     :meth:`to_study_data` freezes the result for analysis.
     """
 
-    def __init__(self, windows: StudyWindows):
+    def __init__(self, windows: StudyWindows,
+                 backend: Optional[StoreBackend] = None):
         self.windows = windows
+        self.backend = backend if backend is not None else MemoryBackend()
         self._routers: Dict[str, RouterInfo] = {}
-        self._heartbeats: Dict[str, HeartbeatLog] = {}
-        self._uptime: List[UptimeReport] = []
-        self._capacity: List[CapacityMeasurement] = []
-        self._device_counts: List[DeviceCountSample] = []
-        self._roster: List[DeviceRosterEntry] = []
-        self._wifi: List[WifiScanSample] = []
-        self._flows: List[FlowRecord] = []
-        self._throughput: Dict[str, ThroughputSeries] = {}
-        self._dns: List[DnsRecord] = []
+        #: Upload fingerprints for the two one-shot-per-router datasets, so
+        #: a conflicting re-upload is rejected while an identical retry
+        #: (an at-least-once delivery duplicate) is an idempotent no-op.
+        self._heartbeat_uploads: Dict[str, Tuple[int, str]] = {}
+        self._throughput_uploads: Dict[str, Tuple[int, str, float, float]] = {}
 
     def register_router(self, info: RouterInfo) -> None:
         """Record deployment metadata; re-registration must be consistent."""
@@ -51,68 +65,90 @@ class RecordStore:
             raise KeyError(f"router {router_id!r} not registered")
 
     def add_heartbeats(self, log: HeartbeatLog) -> None:
-        """Store delivered heartbeats for one router (replaces prior log)."""
+        """Store delivered heartbeats for one router.
+
+        A second upload with identical timestamps is ignored (duplicate
+        delivery); one with *different* timestamps raises — silently
+        replacing a log would corrupt the availability analysis, matching
+        the :meth:`register_router` consistency contract.
+        """
         self._require_registered(log.router_id)
-        self._heartbeats[log.router_id] = log
+        fingerprint = _array_fingerprint(log.timestamps)
+        existing = self._heartbeat_uploads.get(log.router_id)
+        if existing is not None:
+            if existing != fingerprint:
+                raise ValueError(
+                    "conflicting heartbeat re-upload for router "
+                    f"{log.router_id!r}")
+            return
+        self._heartbeat_uploads[log.router_id] = fingerprint
+        self.backend.put_heartbeats(log)
 
     def add_uptime(self, reports: List[UptimeReport]) -> None:
         for report in reports:
             self._require_registered(report.router_id)
-        self._uptime.extend(reports)
+        self.backend.append("uptime", reports)
 
     def add_capacity(self, measurements: List[CapacityMeasurement]) -> None:
         for measurement in measurements:
             self._require_registered(measurement.router_id)
-        self._capacity.extend(measurements)
+        self.backend.append("capacity", measurements)
 
     def add_device_counts(self, samples: List[DeviceCountSample]) -> None:
         for sample in samples:
             self._require_registered(sample.router_id)
-        self._device_counts.extend(samples)
+        self.backend.append("device_counts", samples)
 
     def add_roster(self, entries: List[DeviceRosterEntry]) -> None:
         for entry in entries:
             self._require_registered(entry.router_id)
-        self._roster.extend(entries)
+        self.backend.append("roster", entries)
 
     def add_wifi_scans(self, samples: List[WifiScanSample]) -> None:
         for sample in samples:
             self._require_registered(sample.router_id)
-        self._wifi.extend(samples)
+        self.backend.append("wifi_scans", samples)
 
     def add_flows(self, flows: List[FlowRecord]) -> None:
         for flow in flows:
             self._require_registered(flow.router_id)
-        self._flows.extend(flows)
+        self.backend.append("flows", flows)
 
     def add_throughput(self, series: ThroughputSeries) -> None:
+        """Store one router's series; conflicting re-upload raises."""
         self._require_registered(series.router_id)
-        self._throughput[series.router_id] = series
+        size, digest = _array_fingerprint(
+            np.concatenate([series.up_bps, series.down_bps]))
+        fingerprint = (size, digest, float(series.start),
+                       float(series.interval_seconds))
+        existing = self._throughput_uploads.get(series.router_id)
+        if existing is not None:
+            if existing != fingerprint:
+                raise ValueError(
+                    "conflicting throughput re-upload for router "
+                    f"{series.router_id!r}")
+            return
+        self._throughput_uploads[series.router_id] = fingerprint
+        self.backend.put_throughput(series)
 
     def add_dns(self, records: List[DnsRecord]) -> None:
         for record in records:
             self._require_registered(record.router_id)
-        self._dns.extend(records)
+        self.backend.append("dns", records)
 
     def to_study_data(self) -> StudyData:
         """Freeze the accumulated records into an analysis-ready bundle."""
+        contents = self.backend.finalize()
         return StudyData(
             routers=dict(self._routers),
             windows=self.windows,
-            heartbeats=dict(self._heartbeats),
-            uptime_reports=sorted(self._uptime,
-                                  key=lambda r: (r.router_id, r.timestamp)),
-            capacity=sorted(self._capacity,
-                            key=lambda m: (m.router_id, m.timestamp)),
-            device_counts=sorted(self._device_counts,
-                                 key=lambda s: (s.router_id, s.timestamp)),
-            roster=sorted(self._roster,
-                          key=lambda e: (e.router_id, e.device_mac)),
-            wifi_scans=sorted(self._wifi,
-                              key=lambda s: (s.router_id, s.timestamp)),
-            flows=sorted(self._flows,
-                         key=lambda f: (f.router_id, f.timestamp)),
-            throughput=dict(self._throughput),
-            dns=sorted(self._dns,
-                       key=lambda d: (d.router_id, d.timestamp)),
+            heartbeats=contents.heartbeats,
+            uptime_reports=contents.lists["uptime"],
+            capacity=contents.lists["capacity"],
+            device_counts=contents.lists["device_counts"],
+            roster=contents.lists["roster"],
+            wifi_scans=contents.lists["wifi_scans"],
+            flows=contents.lists["flows"],
+            throughput=contents.throughput,
+            dns=contents.lists["dns"],
         )

@@ -9,6 +9,7 @@ heartbeat timestamps (:class:`HeartbeatLog`) and per-minute throughput
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -152,6 +153,74 @@ class StudyData:
         totals = self.traffic_bytes_by_router()
         return sorted(rid for rid, total in totals.items()
                       if total >= min_bytes)
+
+
+def study_digest(data: StudyData) -> str:
+    """Canonical SHA-256 digest of everything a study collected.
+
+    Two ``StudyData`` bundles digest identically iff every record, array,
+    and window matches bitwise.  Record lists hash in their stored
+    (deterministically sorted) order; keyed dicts hash in sorted-key
+    order; floats hash via their exact binary representation — so the
+    digest is the engine's determinism oracle: ``workers=1`` vs
+    ``workers=4``, memory vs spill backend, must all agree.
+    """
+    hasher = hashlib.sha256()
+
+    def put(*parts: object) -> None:
+        for part in parts:
+            if isinstance(part, float):
+                hasher.update(np.float64(part).tobytes())
+            else:
+                hasher.update(str(part).encode())
+            hasher.update(b"\x1f")
+        hasher.update(b"\n")
+
+    for name in ("heartbeats", "uptime", "capacity", "devices", "wifi",
+                 "traffic"):
+        window = getattr(data.windows, name)
+        put("window", name, float(window[0]), float(window[1]))
+    for rid in sorted(data.routers):
+        info = data.routers[rid]
+        put("router", rid, info.country_code, int(info.developed),
+            float(info.tz_offset_hours), float(info.gdp_ppp_per_capita))
+    for rid in sorted(data.heartbeats):
+        log = data.heartbeats[rid]
+        put("heartbeats", rid, len(log))
+        hasher.update(np.ascontiguousarray(log.timestamps,
+                                           dtype=float).tobytes())
+    for r in data.uptime_reports:
+        put("uptime", r.router_id, float(r.timestamp),
+            float(r.uptime_seconds))
+    for m in data.capacity:
+        put("capacity", m.router_id, float(m.timestamp),
+            float(m.downstream_mbps), float(m.upstream_mbps))
+    for s in data.device_counts:
+        put("device_counts", s.router_id, float(s.timestamp), int(s.wired),
+            int(s.wireless_2_4), int(s.wireless_5))
+    for e in data.roster:
+        put("roster", e.router_id, e.device_mac, e.medium.value,
+            "" if e.spectrum is None else e.spectrum.value,
+            float(e.first_seen), float(e.last_seen), int(e.always_connected))
+    for s in data.wifi_scans:
+        put("wifi", s.router_id, float(s.timestamp), s.spectrum.value,
+            int(s.neighbor_aps), int(s.associated_clients), int(s.channel))
+    for f in data.flows:
+        put("flow", f.router_id, float(f.timestamp), f.device_mac, f.domain,
+            int(f.remote_ip), int(f.port), f.application, float(f.bytes_up),
+            float(f.bytes_down), float(f.duration_seconds))
+    for rid in sorted(data.throughput):
+        series = data.throughput[rid]
+        put("throughput", rid, float(series.start),
+            float(series.interval_seconds), len(series))
+        hasher.update(np.ascontiguousarray(series.up_bps,
+                                           dtype=float).tobytes())
+        hasher.update(np.ascontiguousarray(series.down_bps,
+                                           dtype=float).tobytes())
+    for d in data.dns:
+        put("dns", d.router_id, float(d.timestamp), d.device_mac, d.domain,
+            d.record_type, "" if d.address is None else int(d.address))
+    return hasher.hexdigest()
 
 
 @dataclass(frozen=True)

@@ -16,18 +16,20 @@ Both default to the paper's full scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.datasets import StudyData
 from repro.simulation.deployment import (
     Deployment,
     DeploymentConfig,
-    build_deployment,
+    build_deployment_plan,
 )
 from repro.simulation.timebase import StudyWindows
+from repro.collection.backends import MemoryBackend, SpillBackend
+from repro.collection.engine import run_campaign
 from repro.collection.path import PathConfig
-from repro.collection.server import collect_study
+from repro.collection.storage import RecordStore
 
 
 @dataclass(frozen=True)
@@ -47,13 +49,32 @@ class StudyConfig:
     #: paper's own Traffic data set is US-only, so the default is 0).
     international_consents: int = 0
     #: Heartbeat path loss / collection outage model.
-    path: PathConfig = PathConfig()
+    path: PathConfig = field(default_factory=PathConfig)
+    #: Worker processes for the campaign engine (1 = in-process serial).
+    workers: int = 1
+    #: Homes per engine shard (None = the engine's default).
+    shard_size: Optional[int] = None
+    #: Record-store backend: ``"memory"`` (everything in RAM) or
+    #: ``"spill"`` (bounded-memory JSONL spill to disk).
+    store_backend: str = "memory"
+    #: Spill directory (None = a private temporary directory).
+    spill_dir: Optional[str] = None
+    #: Resident-record bound for the spill backend.
+    spill_buffer_records: int = 8192
 
     def __post_init__(self) -> None:
         if not 0 < self.duration_scale <= 1:
             raise ValueError("duration_scale must be in (0, 1]")
         if self.router_scale <= 0:
             raise ValueError("router_scale must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError("shard_size must be positive")
+        if self.store_backend not in ("memory", "spill"):
+            raise ValueError("store_backend must be 'memory' or 'spill'")
+        if self.spill_buffer_records < 1:
+            raise ValueError("spill_buffer_records must be positive")
 
     def windows(self) -> StudyWindows:
         """The (possibly shrunk) collection windows."""
@@ -73,6 +94,16 @@ class StudyConfig:
             international_consents=self.international_consents,
         )
 
+    def make_store(self, windows: StudyWindows) -> RecordStore:
+        """Build the record store this config selects."""
+        if self.store_backend == "spill":
+            backend = SpillBackend(
+                directory=self.spill_dir,
+                max_buffered_records=self.spill_buffer_records)
+        else:
+            backend = MemoryBackend()
+        return RecordStore(windows, backend=backend)
+
 
 @dataclass
 class StudyResult:
@@ -88,10 +119,24 @@ class StudyResult:
     data: StudyData
 
 
-def run_study(config: Optional[StudyConfig] = None) -> StudyResult:
-    """Run the full campaign: build homes, run firmware, collect, bundle."""
+def run_study(config: Optional[StudyConfig] = None,
+              workers: Optional[int] = None,
+              shard_size: Optional[int] = None) -> StudyResult:
+    """Run the full campaign: plan homes, run firmware shards, collect.
+
+    *workers* and *shard_size* override the config's engine knobs.  For a
+    fixed seed the result is bitwise-identical for any worker count; the
+    returned :attr:`StudyResult.deployment` is a lazy view that only
+    materializes household ground truth when inspected.
+    """
     config = config or StudyConfig()
-    deployment = build_deployment(config.deployment_config())
-    data = collect_study(deployment, seed=config.seed,
-                         path_config=config.path)
-    return StudyResult(config=config, deployment=deployment, data=data)
+    plan = build_deployment_plan(config.deployment_config())
+    data = run_campaign(
+        plan,
+        seed=config.seed,
+        path_config=config.path,
+        store=config.make_store(plan.windows),
+        workers=config.workers if workers is None else workers,
+        shard_size=config.shard_size if shard_size is None else shard_size,
+    )
+    return StudyResult(config=config, deployment=Deployment(plan), data=data)

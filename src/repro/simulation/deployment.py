@@ -1,8 +1,20 @@
 """The full BISmark deployment: 126 homes, 19 countries, 4 consent tiers.
 
-:func:`build_deployment` instantiates every household of Table 1 (optionally
-scaled down for fast tests) and assigns data-set membership matching
-Table 2 of the paper:
+The deployment is described in two stages so large campaigns can be
+materialized shard-by-shard across worker processes:
+
+* :func:`build_deployment_plan` produces a :class:`DeploymentPlan` — the
+  cheap, picklable description of every home (membership sets, consent
+  tiers, one :class:`HouseholdConfig` per home) with **no** ``Household``
+  objects instantiated;
+* :func:`materialize_shard` instantiates one contiguous slice of the
+  plan's homes, so a worker holds only O(shard) state.
+
+:func:`build_deployment` remains the one-call convenience API and returns
+a :class:`Deployment` — now a thin, lazily-materializing view over the
+plan that keeps the original attribute surface.
+
+Data-set membership matches Table 2 of the paper:
 
 =========  =====================================================
 Heartbeats  all routers
@@ -21,10 +33,17 @@ uplink saturators are always assigned among consenting US homes: one
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.simulation.countries import COUNTRIES, Country
 from repro.simulation.domains import Domain, build_domain_universe
@@ -68,37 +87,124 @@ class DeploymentConfig:
             raise ValueError("low-activity consents cannot exceed consents")
 
 
-class Deployment:
-    """All instantiated households plus per-data-set membership."""
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """Everything the campaign needs to know about a deployment, lazily.
 
-    def __init__(self, households: List[Household],
-                 uptime_routers: Set[str],
-                 devices_routers: Set[str],
-                 wifi_routers: Set[str],
-                 traffic_routers: Set[str],
-                 windows: StudyWindows,
-                 universe: Sequence[Domain]):
-        self.households = households
-        self.uptime_routers = uptime_routers
-        self.devices_routers = devices_routers
-        self.wifi_routers = wifi_routers
-        self.traffic_routers = traffic_routers
-        self.windows = windows
-        self.universe = list(universe)
-        self._by_id: Dict[str, Household] = {
-            home.router_id: home for home in households}
+    A plan is cheap to build (membership RNG draws only), cheap to pickle
+    (per-home configs, no per-home models), and is the unit shipped to
+    shard workers.  ``Household`` objects are instantiated on demand via
+    :func:`materialize_shard`.
+    """
+
+    seed: int
+    windows: StudyWindows
+    household_configs: Tuple[HouseholdConfig, ...]
+    uptime_routers: FrozenSet[str]
+    devices_routers: FrozenSet[str]
+    wifi_routers: FrozenSet[str]
+    traffic_routers: FrozenSet[str]
 
     def __len__(self) -> int:
-        return len(self.households)
+        return len(self.household_configs)
+
+    @property
+    def router_ids(self) -> List[str]:
+        """All router ids in deployment order (no materialization)."""
+        return [config.router_id for config in self.household_configs]
+
+    def shard_bounds(self, shard_index: int, n_shards: int) -> Tuple[int, int]:
+        """Half-open ``[lo, hi)`` slice of homes owned by one shard.
+
+        Shards partition the deployment in order: concatenating the slices
+        for ``shard_index = 0 .. n_shards-1`` reproduces the full home list
+        exactly, which is what makes shard-parallel collection ingestible
+        in a deterministic order.  With ``n_shards > len(plan)`` the excess
+        shards are simply empty.
+        """
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if not 0 <= shard_index < n_shards:
+            raise ValueError(
+                f"shard_index {shard_index} out of range for {n_shards} shards")
+        n = len(self)
+        return (shard_index * n) // n_shards, ((shard_index + 1) * n) // n_shards
+
+    def shard_configs(self, shard_index: int,
+                      n_shards: int) -> Tuple[HouseholdConfig, ...]:
+        """The household configs one shard owns."""
+        lo, hi = self.shard_bounds(shard_index, n_shards)
+        return self.household_configs[lo:hi]
+
+
+def materialize_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
+                      domain_universe: Optional[Sequence[Domain]] = None,
+                      ) -> List[Household]:
+    """Instantiate the households of one shard of *plan*.
+
+    Each household's randomness derives only from ``(plan.seed,
+    router_id)`` via :class:`SeedHierarchy`, so materializing a home inside
+    any shard split — or no split at all — yields bitwise-identical models.
+    Workers may pass a pre-built *domain_universe* to share it across
+    shards within a process; omitted, the deterministic default is built.
+    """
+    universe = (list(domain_universe) if domain_universe is not None
+                else build_domain_universe())
+    seeds = SeedHierarchy(plan.seed)
+    return [Household(seeds, config, domain_universe=universe)
+            for config in plan.shard_configs(shard_index, n_shards)]
+
+
+class Deployment:
+    """Thin view over a :class:`DeploymentPlan` with lazy households.
+
+    Keeps the pre-plan attribute surface (``households``, membership sets,
+    ``household()``, ``countries`` …) but defers ``Household``
+    materialization until ground truth is actually inspected — running a
+    campaign through the engine never touches it.
+    """
+
+    def __init__(self, plan: DeploymentPlan,
+                 households: Optional[List[Household]] = None,
+                 universe: Optional[Sequence[Domain]] = None):
+        self.plan = plan
+        self.windows = plan.windows
+        self.uptime_routers: Set[str] = set(plan.uptime_routers)
+        self.devices_routers: Set[str] = set(plan.devices_routers)
+        self.wifi_routers: Set[str] = set(plan.wifi_routers)
+        self.traffic_routers: Set[str] = set(plan.traffic_routers)
+        self._households = list(households) if households is not None else None
+        self._universe = list(universe) if universe is not None else None
+        self._by_id: Optional[Dict[str, Household]] = None
+
+    @property
+    def universe(self) -> List[Domain]:
+        """The domain universe (deterministic; built on first use)."""
+        if self._universe is None:
+            self._universe = build_domain_universe()
+        return self._universe
+
+    @property
+    def households(self) -> List[Household]:
+        """Every home, materializing the whole plan on first access."""
+        if self._households is None:
+            self._households = materialize_shard(
+                self.plan, 0, 1, domain_universe=self.universe)
+        return self._households
+
+    def __len__(self) -> int:
+        return len(self.plan)
 
     def household(self, router_id: str) -> Household:
         """Look up a household by router id (KeyError if absent)."""
+        if self._by_id is None:
+            self._by_id = {home.router_id: home for home in self.households}
         return self._by_id[router_id]
 
     @property
     def countries(self) -> List[Country]:
         """Distinct countries present, in Table 1 order."""
-        seen = {home.country.code for home in self.households}
+        seen = {config.country.code for config in self.plan.household_configs}
         return [c for c in COUNTRIES if c.code in seen]
 
     def routers_in(self, country_code: str) -> List[Household]:
@@ -108,19 +214,33 @@ class Deployment:
 
 
 def _scaled_count(count: int, scale: float) -> int:
-    """Scale a per-country router count, keeping every country populated."""
+    """Scale a per-country router count, keeping every country populated.
+
+    Rounds half-up explicitly: ``round()`` would round half-to-even
+    (banker's rounding), making e.g. a 10-router cohort at scale 0.25
+    shrink to 2 homes while an 18-router cohort at the same scale keeps
+    its expected 4.5 → 4 — cohort sizes should grow monotonically with
+    the unrounded product instead.
+    """
+    scaled = math.floor(count * scale + 0.5)
     if scale >= 1.0:
-        return int(round(count * scale))
-    return max(1, int(round(count * scale)))
+        return scaled
+    return max(1, scaled)
 
 
-def build_deployment(config: Optional[DeploymentConfig] = None) -> Deployment:
-    """Instantiate the deployment described by *config* (deterministic)."""
+def build_deployment_plan(
+        config: Optional[DeploymentConfig] = None) -> DeploymentPlan:
+    """Draw the deployment described by *config* without materializing it.
+
+    All membership randomness (appliance stratification, Uptime/Devices
+    drops, WiFi subset) is consumed here, in a fixed order, from the
+    ``"membership"`` stream — so the plan is deterministic in the seed and
+    identical no matter how it is later sharded.
+    """
     config = config or DeploymentConfig()
     seeds = SeedHierarchy(config.seed)
     windows = config.windows
     span = windows.span
-    universe = build_domain_universe()
 
     selected = [c for c in COUNTRIES
                 if config.countries is None
@@ -164,7 +284,7 @@ def build_deployment(config: Optional[DeploymentConfig] = None) -> Deployment:
                 break
             round_index += 1
 
-    households: List[Household] = []
+    household_configs: List[HouseholdConfig] = []
     for country in selected:
         count = _scaled_count(country.routers, config.router_scale)
         # Stratify appliance-mode homes: each country gets exactly its
@@ -181,7 +301,7 @@ def build_deployment(config: Optional[DeploymentConfig] = None) -> Deployment:
             is_us = country.code == "US"
             consent = (is_us and index in consent_indices) or \
                 index in international.get(country.code, set())
-            households.append(Household(seeds, HouseholdConfig(
+            household_configs.append(HouseholdConfig(
                 router_id=router_id,
                 country=country,
                 span=span,
@@ -190,35 +310,45 @@ def build_deployment(config: Optional[DeploymentConfig] = None) -> Deployment:
                 traffic_intensity=(0.002 if (is_us and index in low_activity)
                                    else 1.0),
                 appliance_hint=index in appliance_indices,
-            ), domain_universe=universe))
+            ))
 
-    all_ids = [home.router_id for home in households]
+    all_ids = [config_.router_id for config_ in household_configs]
 
     # -- Uptime/Devices: drop ~10% of homes, matching 113-of-126.
     drop_fraction = 13 / 126
     n_drop = int(round(len(all_ids) * drop_fraction))
     dropped = set(membership_rng.choice(all_ids, size=n_drop, replace=False)
                   .tolist()) if n_drop else set()
-    uptime_routers = {rid for rid in all_ids if rid not in dropped}
+    uptime_routers = frozenset(rid for rid in all_ids if rid not in dropped)
 
     # -- WiFi: exclude four countries, then keep ~93/122 of the rest.
-    wifi_candidates = [home.router_id for home in households
-                       if home.country.code not in _WIFI_EXCLUDED_COUNTRIES]
+    wifi_candidates = [config_.router_id for config_ in household_configs
+                       if config_.country.code not in _WIFI_EXCLUDED_COUNTRIES]
     keep_fraction = 93 / 122
     n_keep = max(1, int(round(len(wifi_candidates) * keep_fraction)))
-    wifi_routers = set(membership_rng.choice(
+    wifi_routers = frozenset(membership_rng.choice(
         wifi_candidates, size=min(n_keep, len(wifi_candidates)),
         replace=False).tolist())
 
-    traffic_routers = {home.router_id for home in households
-                       if home.config.traffic_consent}
+    traffic_routers = frozenset(
+        config_.router_id for config_ in household_configs
+        if config_.traffic_consent)
 
-    return Deployment(
-        households=households,
+    return DeploymentPlan(
+        seed=config.seed,
+        windows=windows,
+        household_configs=tuple(household_configs),
         uptime_routers=uptime_routers,
-        devices_routers=set(uptime_routers),
+        devices_routers=uptime_routers,
         wifi_routers=wifi_routers,
         traffic_routers=traffic_routers,
-        windows=windows,
-        universe=universe,
     )
+
+
+def build_deployment(config: Optional[DeploymentConfig] = None) -> Deployment:
+    """Instantiate the deployment described by *config* (deterministic).
+
+    Returns a lazy :class:`Deployment` view; households materialize on
+    first access to :attr:`Deployment.households`.
+    """
+    return Deployment(build_deployment_plan(config))

@@ -105,11 +105,28 @@ class TestRecordStore:
         data = store.to_study_data()
         assert [r.router_id for r in data.uptime_reports] == ["US000", "US001"]
 
-    def test_heartbeats_replace(self):
+    def test_heartbeats_conflicting_reupload_rejected(self):
         store = self.make_store()
         store.add_heartbeats(HeartbeatLog("US001", np.array([1.0])))
+        with pytest.raises(ValueError):
+            store.add_heartbeats(HeartbeatLog("US001", np.array([1.0, 2.0])))
+        assert len(store.to_study_data().heartbeats["US001"]) == 1
+
+    def test_heartbeats_identical_reupload_is_noop(self):
+        store = self.make_store()
+        store.add_heartbeats(HeartbeatLog("US001", np.array([1.0, 2.0])))
         store.add_heartbeats(HeartbeatLog("US001", np.array([1.0, 2.0])))
         assert len(store.to_study_data().heartbeats["US001"]) == 2
+
+    def test_throughput_conflicting_reupload_rejected(self):
+        store = self.make_store()
+        store.add_throughput(ThroughputSeries(
+            "US001", 0.0, np.array([1.0]), np.array([2.0])))
+        with pytest.raises(ValueError):
+            store.add_throughput(ThroughputSeries(
+                "US001", 0.0, np.array([9.0]), np.array([2.0])))
+        store.add_throughput(ThroughputSeries(  # identical retry: no-op
+            "US001", 0.0, np.array([1.0]), np.array([2.0])))
 
 
 class TestExportRoundTrip:

@@ -1,10 +1,17 @@
 """Tests for household assembly and the deployment builder."""
 
+from collections import Counter
+
 import numpy as np
 import pytest
 
 from repro.simulation.countries import country_by_code
-from repro.simulation.deployment import DeploymentConfig, build_deployment
+from repro.simulation.deployment import (
+    DeploymentConfig,
+    _scaled_count,
+    build_deployment,
+    build_deployment_plan,
+)
 from repro.simulation.household import Household, HouseholdConfig
 from repro.simulation.seeding import SeedHierarchy
 from repro.simulation.timebase import DAY, StudyWindows, utc
@@ -166,3 +173,66 @@ class TestDeployment:
         assert deployment.household(rid).router_id == rid
         with pytest.raises(KeyError):
             deployment.household("nope")
+
+
+class TestDeploymentPlan:
+    def test_deployment_is_lazy(self):
+        deployment = build_deployment(DeploymentConfig(
+            seed=4, windows=StudyWindows().scaled(0.02), router_scale=0.1))
+        # Structural queries must not materialize any Household.
+        assert len(deployment) > 0
+        assert len(deployment.countries) == 19
+        assert deployment.uptime_routers
+        assert deployment._households is None
+        homes = deployment.households  # first access materializes
+        assert deployment._households is not None
+        assert [h.router_id for h in homes] == deployment.plan.router_ids
+
+    def test_plan_matches_deployment_view(self):
+        config = DeploymentConfig(
+            seed=4, windows=StudyWindows().scaled(0.02), router_scale=0.1)
+        plan = build_deployment_plan(config)
+        deployment = build_deployment(config)
+        assert deployment.plan.router_ids == plan.router_ids
+        assert set(deployment.wifi_routers) == set(plan.wifi_routers)
+        assert set(deployment.traffic_routers) == set(plan.traffic_routers)
+        assert deployment.devices_routers == deployment.uptime_routers
+
+    def test_plan_deterministic(self):
+        config = DeploymentConfig(
+            seed=8, windows=StudyWindows().scaled(0.02), router_scale=0.1)
+        a, b = build_deployment_plan(config), build_deployment_plan(config)
+        assert a == b
+
+
+class TestScaledCountRounding:
+    def test_explicit_half_up(self):
+        # round() would give 2 for both (half-to-even); cohorts must grow
+        # monotonically with the unrounded product instead.
+        assert _scaled_count(10, 0.25) == 3
+        assert _scaled_count(5, 0.5) == 3
+        assert _scaled_count(63, 1.5) == 95
+        assert _scaled_count(3, 1.5) == 5
+        assert _scaled_count(2, 0.25) == 1
+        assert _scaled_count(1, 0.02) == 1  # countries stay populated
+        assert _scaled_count(63, 1.0) == 63
+
+    @pytest.mark.parametrize("scale,expected", [
+        (0.25, {"US": 16, "GB": 3, "NL": 1, "CA": 1, "DE": 1, "FR": 1,
+                "IE": 1, "IT": 1, "JP": 1, "SG": 1, "IN": 3, "PK": 1,
+                "ZA": 3, "MX": 1, "CN": 1, "BR": 1, "MY": 1, "ID": 1,
+                "TH": 1}),
+        (0.5, {"US": 32, "GB": 6, "NL": 2, "CA": 1, "DE": 1, "FR": 1,
+               "IE": 1, "IT": 1, "JP": 1, "SG": 1, "IN": 6, "PK": 3,
+               "ZA": 5, "MX": 1, "CN": 1, "BR": 1, "MY": 1, "ID": 1,
+               "TH": 1}),
+        (1.0, {"US": 63, "GB": 12, "NL": 3, "CA": 2, "DE": 2, "FR": 1,
+               "IE": 2, "IT": 1, "JP": 2, "SG": 2, "IN": 12, "PK": 5,
+               "ZA": 10, "MX": 2, "CN": 2, "BR": 2, "MY": 1, "ID": 1,
+               "TH": 1}),
+    ])
+    def test_per_country_cohorts_pinned(self, scale, expected):
+        plan = build_deployment_plan(DeploymentConfig(
+            seed=1, windows=StudyWindows().scaled(0.01), router_scale=scale))
+        counts = Counter(c.country.code for c in plan.household_configs)
+        assert dict(counts) == expected
