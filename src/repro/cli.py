@@ -21,6 +21,7 @@ import sys
 from datetime import datetime, timezone
 from typing import List, Optional
 
+from repro import perf
 from repro.core.datasets import StudyData, summarize_datasets
 from repro.core.pipeline import StudyConfig, run_study
 from repro.core import availability, infrastructure, usage
@@ -53,6 +54,10 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                         default="memory",
                         help="record store backend (spill = bounded-memory "
                              "JSONL spill to disk)")
+    parser.add_argument("--profile", action="store_true",
+                        help="time each campaign stage (materialize, "
+                             "heartbeat, traffic, ...) and print a "
+                             "per-stage table to stderr")
 
 
 def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
@@ -76,12 +81,20 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
     )
 
 
+def _simulate(args: argparse.Namespace) -> StudyData:
+    """Run the configured campaign, honoring ``--profile``."""
+    data = run_study(_config_from(args), profile=args.profile).data
+    if args.profile:
+        print(perf.format_table(perf.snapshot()), file=sys.stderr)
+    return data
+
+
 def _load_data(args: argparse.Namespace) -> StudyData:
     if args.archive:
         print(f"loading archive {args.archive} ...", file=sys.stderr)
         return load_study(args.archive)
     print("simulating campaign ...", file=sys.stderr)
-    return run_study(_config_from(args)).data
+    return _simulate(args)
 
 
 def _date(epoch: float) -> str:
@@ -91,7 +104,7 @@ def _date(epoch: float) -> str:
 # -- subcommands -----------------------------------------------------------------
 
 def cmd_run(args: argparse.Namespace) -> int:
-    data = run_study(_config_from(args)).data
+    data = _simulate(args)
     root = export_study(data, args.out,
                         include_pii_datasets=not args.public)
     kind = "public (PII-stripped)" if args.public else "full"

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Tuple, Union
 
+from repro import perf
 from repro.core.datasets import StudyData
 from repro.firmware.anonymize import AnonymizationPolicy
 from repro.firmware.router import BismarkRouter
@@ -57,21 +58,30 @@ def shard_count(n_homes: int, shard_size: Optional[int] = None) -> int:
 
 
 def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
-              seed: Optional[int] = None) -> List[RouterUpload]:
+              seed: Optional[int] = None, collect_perf: bool = False,
+              ) -> Union[List[RouterUpload],
+                         Tuple[List[RouterUpload], dict]]:
     """Materialize and run one shard's routers; return their uploads.
 
     This is the unit of work shipped to a worker process.  *seed* drives
     the firmware draws (it defaults to the plan's seed; household models
-    always derive from the plan's own seed).
+    always derive from the plan's own seed).  With ``collect_perf`` the
+    shard also returns a drained :mod:`repro.perf` snapshot so the parent
+    can aggregate worker stage timings; profiling never touches any RNG,
+    so the uploads are bitwise-identical either way.
     """
+    if collect_perf:
+        perf.enable()
     seeds = SeedHierarchy(plan.seed if seed is None else seed)
     universe = build_domain_universe()
     whitelist = frozenset(
         domain.name for domain in universe if domain.whitelisted)
     policy = AnonymizationPolicy(whitelist=whitelist)
     uploads: List[RouterUpload] = []
-    for household in materialize_shard(plan, shard_index, n_shards,
-                                       domain_universe=universe):
+    with perf.stage("materialize"):
+        households = materialize_shard(plan, shard_index, n_shards,
+                                       domain_universe=universe)
+    for household in households:
         router = BismarkRouter(
             household, seeds, policy,
             collect_uptime=household.router_id in plan.uptime_routers,
@@ -84,6 +94,8 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
             info=household.info,
             batches=tuple(router_output_to_batches(output)),
         ))
+    if collect_perf:
+        return uploads, perf.drain()
     return uploads
 
 
@@ -91,15 +103,24 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                  path_config: Optional[PathConfig] = None,
                  store: Optional[RecordStore] = None,
                  workers: int = 1,
-                 shard_size: Optional[int] = None) -> StudyData:
+                 shard_size: Optional[int] = None,
+                 profile: bool = False) -> StudyData:
     """Collect the full campaign described by *plan*.
 
     ``workers=1`` runs every shard in-process; ``workers=N`` fans shards
     out over a :class:`ProcessPoolExecutor`.  Either way the resulting
     ``StudyData`` is identical (see the module determinism contract).
+
+    ``profile=True`` activates :mod:`repro.perf` so firmware, materialize,
+    and ingest stages are timed (worker stage timings are shipped back and
+    merged); the timings are also recorded when the caller enabled
+    profiling beforehand.  Profiling never perturbs the study RNG.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if profile:
+        perf.enable()
+    profiling = perf.is_enabled()
     seed = plan.seed if seed is None else seed
     store = store if store is not None else RecordStore(plan.windows)
     path = CollectionPath(
@@ -111,7 +132,8 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
     if workers == 1 or n_shards == 1:
         for index in range(n_shards):
             for upload in run_shard(plan, index, n_shards, seed):
-                server.ingest(upload)
+                with perf.stage("ingest"):
+                    server.ingest(upload)
         return store.to_study_data()
 
     # Parallel path: a sliding submission window keeps every worker fed
@@ -124,14 +146,22 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
         next_shard = 0
         while next_shard < n_shards and len(pending) < window:
             pending.append(
-                pool.submit(run_shard, plan, next_shard, n_shards, seed))
+                pool.submit(run_shard, plan, next_shard, n_shards, seed,
+                            profiling))
             next_shard += 1
         while pending:
-            uploads = pending.popleft().result()
+            result = pending.popleft().result()
+            if profiling:
+                uploads, shard_perf = result
+                perf.merge(shard_perf)
+            else:
+                uploads = result
             while next_shard < n_shards and len(pending) < window:
                 pending.append(
-                    pool.submit(run_shard, plan, next_shard, n_shards, seed))
+                    pool.submit(run_shard, plan, next_shard, n_shards, seed,
+                                profiling))
                 next_shard += 1
             for upload in uploads:
-                server.ingest(upload)
+                with perf.stage("ingest"):
+                    server.ingest(upload)
     return store.to_study_data()

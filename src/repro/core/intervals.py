@@ -10,7 +10,9 @@ and total duration.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from bisect import bisect_right
+from math import isfinite
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,21 +25,31 @@ class IntervalSet:
     Normalization sorts the intervals, drops empty ones, and merges any that
     touch or overlap, so two IntervalSets covering the same instants always
     compare equal.
+
+    Point queries are hot (the firmware asks "was X up at tick t" millions
+    of times per campaign), so the start points are kept as a parallel
+    tuple for :func:`bisect.bisect_right` and the interval matrix used by
+    :meth:`contains_many` is built lazily and cached.
     """
 
-    __slots__ = ("_intervals",)
+    __slots__ = ("_intervals", "_starts", "_array")
 
     def __init__(self, intervals: Iterable[Interval] = ()):
         self._intervals: Tuple[Interval, ...] = self._normalize(intervals)
+        self._starts: Tuple[float, ...] = tuple(
+            s for s, _ in self._intervals)
+        self._array: Optional[np.ndarray] = None
 
     @staticmethod
     def _normalize(intervals: Iterable[Interval]) -> Tuple[Interval, ...]:
         cleaned: List[Interval] = []
         for start, end in intervals:
-            if not (np.isfinite(start) and np.isfinite(end)):
+            start = float(start)
+            end = float(end)
+            if not (isfinite(start) and isfinite(end)):
                 raise ValueError(f"non-finite interval ({start!r}, {end!r})")
             if end > start:
-                cleaned.append((float(start), float(end)))
+                cleaned.append((start, end))
         cleaned.sort()
         merged: List[Interval] = []
         for start, end in cleaned:
@@ -47,6 +59,22 @@ class IntervalSet:
             else:
                 merged.append((start, end))
         return tuple(merged)
+
+    def _as_array(self) -> np.ndarray:
+        """The (n, 2) interval matrix, built once and cached."""
+        if self._array is None:
+            self._array = np.asarray(self._intervals, dtype=float)
+        return self._array
+
+    # -- pickling (skip the lazy cache, rebuild derived state) ---------------
+
+    def __getstate__(self) -> Tuple[Interval, ...]:
+        return self._intervals
+
+    def __setstate__(self, intervals: Tuple[Interval, ...]) -> None:
+        self._intervals = intervals
+        self._starts = tuple(s for s, _ in intervals)
+        self._array = None
 
     # -- basic container protocol -------------------------------------------
 
@@ -94,15 +122,14 @@ class IntervalSet:
         """Lengths of each interval, in order."""
         if not self._intervals:
             return np.empty(0)
-        arr = np.asarray(self._intervals)
+        arr = self._as_array()
         return arr[:, 1] - arr[:, 0]
 
     # -- point and set queries ----------------------------------------------
 
     def contains(self, instant: float) -> bool:
         """True when *instant* falls inside some interval."""
-        starts = [s for s, _ in self._intervals]
-        idx = np.searchsorted(starts, instant, side="right") - 1
+        idx = bisect_right(self._starts, instant) - 1
         if idx < 0:
             return False
         start, end = self._intervals[idx]
@@ -113,7 +140,7 @@ class IntervalSet:
         instants = np.asarray(instants, dtype=float)
         if not self._intervals:
             return np.zeros(instants.shape, dtype=bool)
-        arr = np.asarray(self._intervals)
+        arr = self._as_array()
         idx = np.searchsorted(arr[:, 0], instants, side="right") - 1
         valid = idx >= 0
         result = np.zeros(instants.shape, dtype=bool)

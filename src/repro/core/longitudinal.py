@@ -48,8 +48,14 @@ class TrendSeries:
             times = np.empty(0)
             values = np.empty(0)
         if times.size >= 2 and np.ptp(times) > 0:
-            slope = float(np.polyfit((times - times[0]) / DAY,
-                                     values, deg=1)[0])
+            # Closed-form OLS slope on centered data: identical to the
+            # polyfit slope analytically, but a constant series yields an
+            # exactly-zero numerator instead of lstsq rounding noise
+            # amplified by a tiny time spread.
+            days = (times - times[0]) / DAY
+            dx = days - days.mean()
+            dy = values - values.mean()
+            slope = float(np.dot(dx, dy) / np.dot(dx, dx))
         else:
             slope = float("nan")
         return cls(label=label, times=times, values=values,

@@ -121,13 +121,18 @@ class StudyResult:
 
 def run_study(config: Optional[StudyConfig] = None,
               workers: Optional[int] = None,
-              shard_size: Optional[int] = None) -> StudyResult:
+              shard_size: Optional[int] = None,
+              profile: bool = False) -> StudyResult:
     """Run the full campaign: plan homes, run firmware shards, collect.
 
     *workers* and *shard_size* override the config's engine knobs.  For a
     fixed seed the result is bitwise-identical for any worker count; the
     returned :attr:`StudyResult.deployment` is a lazy view that only
     materializes household ground truth when inspected.
+
+    ``profile=True`` records per-stage timings via :mod:`repro.perf`
+    (inspect them with ``repro.perf.snapshot()`` after the call, or use the
+    CLI's ``--profile``).  Profiling does not change the collected data.
     """
     config = config or StudyConfig()
     plan = build_deployment_plan(config.deployment_config())
@@ -138,5 +143,6 @@ def run_study(config: Optional[StudyConfig] = None,
         store=config.make_store(plan.windows),
         workers=config.workers if workers is None else workers,
         shard_size=config.shard_size if shard_size is None else shard_size,
+        profile=profile,
     )
     return StudyResult(config=config, deployment=Deployment(plan), data=data)

@@ -15,7 +15,7 @@ pseudonyms are stable within a study but unlinkable across studies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable
+from typing import Dict, FrozenSet, Iterable
 
 from repro.core.records import OBFUSCATED_DOMAIN
 from repro.netutils.ip import obfuscate_ipv4
@@ -29,6 +29,15 @@ class AnonymizationPolicy:
     ``whitelist`` holds the domains allowed through by name; users may add
     their own via the router's web interface (the paper's usage-cap UI), so
     the set is per-home.
+
+    Every transform is a pure function of ``(whitelist, salt)`` plus its
+    input, so results are memoized in per-instance caches: a campaign
+    applies the same few hundred domains and addresses across millions of
+    flow records, and the SHA-256 per record was a measured hot spot.
+    Caches live on the instance — never shared between policies — so two
+    policies with different salts (or whitelists) can never leak each
+    other's pseudonyms.  The caches are not dataclass fields: equality,
+    hashing, and pickling semantics of the policy are unchanged.
     """
 
     whitelist: FrozenSet[str]
@@ -37,6 +46,12 @@ class AnonymizationPolicy:
     def __post_init__(self) -> None:
         if not isinstance(self.whitelist, frozenset):
             object.__setattr__(self, "whitelist", frozenset(self.whitelist))
+        # Intern the per-flow lookup state: the coerced frozenset is what
+        # the memoized lookups consult, and each transform gets a private
+        # cache bound to this policy instance.
+        object.__setattr__(self, "_domain_cache", {})
+        object.__setattr__(self, "_ip_cache", {})
+        object.__setattr__(self, "_mac_cache", {})
 
     @classmethod
     def for_whitelist(cls, domains: Iterable[str],
@@ -46,12 +61,27 @@ class AnonymizationPolicy:
 
     def anonymize_mac(self, mac: MacAddress) -> str:
         """Hash the NIC-specific bits, keep the OUI, render as text."""
-        return str(hash_lower24(mac, salt=self.salt))
+        cache: Dict[MacAddress, str] = self._mac_cache
+        rendered = cache.get(mac)
+        if rendered is None:
+            rendered = str(hash_lower24(mac, salt=self.salt))
+            cache[mac] = rendered
+        return rendered
 
     def filter_domain(self, domain: str) -> str:
         """Pass whitelisted names; everything else becomes the sentinel."""
-        return domain if domain in self.whitelist else OBFUSCATED_DOMAIN
+        cache: Dict[str, str] = self._domain_cache
+        filtered = cache.get(domain)
+        if filtered is None:
+            filtered = domain if domain in self.whitelist else OBFUSCATED_DOMAIN
+            cache[domain] = filtered
+        return filtered
 
     def anonymize_ip(self, address: int) -> int:
         """Stable pseudonym for a remote address."""
-        return obfuscate_ipv4(address, salt=self.salt)
+        cache: Dict[int, int] = self._ip_cache
+        pseudonym = cache.get(address)
+        if pseudonym is None:
+            pseudonym = obfuscate_ipv4(address, salt=self.salt)
+            cache[address] = pseudonym
+        return pseudonym

@@ -33,36 +33,75 @@ def _associated_clients(household: Household, epoch: float,
     )
 
 
+def _client_counts(household: Household, spectrum: Spectrum,
+                   ticks: np.ndarray) -> np.ndarray:
+    """Associated-client counts on one band for every tick at once.
+
+    Element-wise identical to calling :func:`_associated_clients` per tick
+    — the per-spectrum wireless device list is collected once and each
+    device contributes its association mask in one vectorized query
+    instead of a per-tick scan over all devices.
+    """
+    counts = np.zeros(ticks.size, dtype=np.int64)
+    for device in household.devices:
+        if device.medium is not Medium.WIRELESS or device.spectrum is not spectrum:
+            continue
+        if device.always_connected:
+            counts += 1
+        else:
+            counts += device.connected.contains_many(ticks)
+    return counts
+
+
 def wifi_scans(household: Household, start: float, end: float,
                rng: np.random.Generator,
                interval: float = SCAN_INTERVAL,
                backoff_factor: int = BACKOFF_FACTOR) -> List[WifiScanSample]:
-    """Collect the neighbor-AP scans one router ran in ``[start, end)``."""
+    """Collect the neighbor-AP scans one router ran in ``[start, end)``.
+
+    The per-tick work (router powered? clients on band?) is precomputed
+    with vectorized interval queries; the remaining loop only builds the
+    samples that actually scan, drawing the neighbor-count RNG in exactly
+    the original tick/spectrum order.
+    """
     if interval <= 0:
         raise ValueError("scan interval must be positive")
     if backoff_factor < 1:
         raise ValueError("backoff factor must be at least 1")
     samples: List[WifiScanSample] = []
     phase = float(rng.uniform(0, interval))
+    # Accumulate ticks exactly as the original `tick += interval` loop did
+    # (np.arange would multiply instead and can differ in the last ulp).
+    tick_list: List[float] = []
     tick = start + phase
-    counter = 0
     while tick < end:
-        if household.power.is_on(tick):
-            for spectrum in (Spectrum.GHZ_2_4, Spectrum.GHZ_5):
-                clients = _associated_clients(household, tick, spectrum)
-                if clients > 0 and counter % backoff_factor != 0:
-                    continue
-                samples.append(WifiScanSample(
-                    router_id=household.router_id,
-                    timestamp=tick,
-                    spectrum=spectrum,
-                    neighbor_aps=household.wireless.scan_neighbor_count(
-                        spectrum, rng),
-                    associated_clients=clients,
-                    channel=household.wireless.channels[spectrum],
-                ))
-        counter += 1
+        tick_list.append(tick)
         tick += interval
+    if not tick_list:
+        return samples
+    ticks = np.asarray(tick_list)
+    powered = household.power.on_intervals.contains_many(ticks)
+    clients_by_spectrum = {
+        spectrum: _client_counts(household, spectrum, ticks).tolist()
+        for spectrum in (Spectrum.GHZ_2_4, Spectrum.GHZ_5)
+    }
+    wireless = household.wireless
+    for index, tick in enumerate(tick_list):
+        if not powered[index]:
+            continue
+        backed_off = index % backoff_factor != 0
+        for spectrum in (Spectrum.GHZ_2_4, Spectrum.GHZ_5):
+            clients = clients_by_spectrum[spectrum][index]
+            if clients > 0 and backed_off:
+                continue
+            samples.append(WifiScanSample(
+                router_id=household.router_id,
+                timestamp=tick,
+                spectrum=spectrum,
+                neighbor_aps=wireless.scan_neighbor_count(spectrum, rng),
+                associated_clients=clients,
+                channel=wireless.channels[spectrum],
+            ))
     return samples
 
 

@@ -1,0 +1,207 @@
+"""Lightweight stage timers and counters for the campaign hot path.
+
+The engine's PR-1 bench showed the serial hot path dominating wall time,
+but nothing in the repo could say *where* a campaign spends its seconds.
+``repro.perf`` fills that hole: a process-global recorder that firmware
+collectors, the campaign engine, and ingest wrap their stages with.
+
+Design constraints:
+
+* **Near-zero overhead when disabled.**  :func:`stage` returns a shared
+  no-op context manager when no recorder is active — one global read and
+  one comparison per call, no allocation.  The tier-1 suite asserts the
+  disabled path costs <2% on an instrumented loop.
+* **Deterministic data flow.**  The recorder holds plain dicts and never
+  touches any RNG; profiling a run cannot perturb ``study_digest``.
+* **Multiprocessing-friendly.**  Worker processes enable their own
+  recorder, :func:`drain` a picklable snapshot per shard, and the parent
+  :func:`merge`\\ s snapshots into its recorder, so ``--profile`` shows
+  per-stage totals across every worker.
+
+Usage::
+
+    from repro import perf
+
+    perf.enable()
+    with perf.stage("traffic"):
+        ...
+    perf.count("flows", len(flows))
+    print(perf.format_table(perf.snapshot()))
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+#: Stage names the firmware + engine wire up, in reporting order.
+ENGINE_STAGES = ("materialize", "heartbeat", "capacity", "uptime",
+                 "devices", "wifi", "traffic", "ingest")
+
+
+class PerfRecorder:
+    """Accumulates per-stage wall time, call counts, and event counters."""
+
+    __slots__ = ("seconds", "calls", "counters")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+
+    def record(self, name: str, elapsed: float) -> None:
+        """Add one timed stage invocation."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump an event counter (records ingested, flows generated, ...)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def merge(self, snapshot: Dict[str, Dict[str, float]]) -> None:
+        """Fold a :func:`snapshot`/:func:`drain` dict into this recorder."""
+        for name, secs in snapshot.get("seconds", {}).items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + secs
+        for name, n in snapshot.get("calls", {}).items():
+            self.calls[name] = self.calls.get(name, 0) + int(n)
+        for name, n in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A picklable copy of everything recorded so far."""
+        return {"seconds": dict(self.seconds),
+                "calls": dict(self.calls),
+                "counters": dict(self.counters)}
+
+    def clear(self) -> None:
+        """Forget everything recorded (the recorder stays usable)."""
+        self.seconds.clear()
+        self.calls.clear()
+        self.counters.clear()
+
+
+class _NullStage:
+    """The shared do-nothing context manager handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+class _Stage:
+    """One live stage timing; records into the recorder active at entry."""
+
+    __slots__ = ("_recorder", "_name", "_t0")
+
+    def __init__(self, recorder: PerfRecorder, name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> "_Stage":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._recorder.record(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+_NULL_STAGE = _NullStage()
+_ACTIVE: Optional[PerfRecorder] = None
+
+
+def enable() -> PerfRecorder:
+    """Activate profiling (idempotent); returns the active recorder."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = PerfRecorder()
+    return _ACTIVE
+
+
+def disable() -> Optional[PerfRecorder]:
+    """Deactivate profiling; returns the recorder that was active."""
+    global _ACTIVE
+    recorder, _ACTIVE = _ACTIVE, None
+    return recorder
+
+
+def is_enabled() -> bool:
+    """True while a recorder is active in this process."""
+    return _ACTIVE is not None
+
+
+def active() -> Optional[PerfRecorder]:
+    """The active recorder, or None when profiling is disabled."""
+    return _ACTIVE
+
+
+def stage(name: str):
+    """Context manager timing one stage; free when profiling is disabled."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return _NULL_STAGE
+    return _Stage(recorder, name)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the active recorder (no-op when disabled)."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.count(name, n)
+
+
+def snapshot() -> Dict[str, Dict[str, float]]:
+    """Picklable copy of the active recorder's data ({} when disabled)."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return {"seconds": {}, "calls": {}, "counters": {}}
+    return recorder.snapshot()
+
+
+def drain() -> Dict[str, Dict[str, float]]:
+    """Snapshot the active recorder and clear it (for per-shard shipping)."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return {"seconds": {}, "calls": {}, "counters": {}}
+    snap = recorder.snapshot()
+    recorder.clear()
+    return snap
+
+
+def merge(snap: Dict[str, Dict[str, float]]) -> None:
+    """Fold a worker snapshot into the active recorder (no-op if disabled)."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.merge(snap)
+
+
+def format_table(snap: Dict[str, Dict[str, float]],
+                 title: str = "Per-stage profile") -> str:
+    """Render a snapshot as the CLI's per-stage table."""
+    from repro.core.report import render_table  # local: keep perf a leaf
+
+    seconds = snap.get("seconds", {})
+    calls = snap.get("calls", {})
+    counters = snap.get("counters", {})
+    total = sum(seconds.values())
+    ordered = [name for name in ENGINE_STAGES if name in seconds]
+    ordered += sorted(name for name in seconds if name not in ENGINE_STAGES)
+    rows = []
+    for name in ordered:
+        secs = seconds[name]
+        n = calls.get(name, 0)
+        per_call = secs / n * 1000 if n else 0.0
+        share = secs / total if total > 0 else 0.0
+        rows.append((name, f"{secs:.3f}", n, f"{per_call:.2f}",
+                     f"{share:.1%}"))
+    table = render_table(["stage", "seconds", "calls", "ms/call", "share"],
+                         rows, title=title)
+    if counters:
+        counter_rows = [(name, counters[name]) for name in sorted(counters)]
+        table += "\n" + render_table(["counter", "events"], counter_rows,
+                                     title="Counters")
+    return table

@@ -174,24 +174,39 @@ def _markov_association(rng: np.random.Generator,
     hours = int(np.ceil((end - start) / HOUR))
     if hours <= 0:
         return IntervalSet()
+    # One uniform draw per hour, exactly as the scalar loop consumed them:
+    # Generator.random(n) produces the same stream as n scalar .random()
+    # calls, so pre-drawing is bitwise-neutral (the digest-pin test holds
+    # this invariant).  The schedule levels and transition probabilities
+    # are pure arithmetic, so they vectorize bitwise-identically too; only
+    # the state recursion (inherently sequential) stays a Python loop, now
+    # over precomputed scalars.
+    epochs = start + np.arange(hours) * HOUR
+    if follows_presence:
+        levels = schedule.presence_many(calendar, epochs)
+    else:
+        levels = schedule.activity_many(calendar, epochs)
+    target = np.minimum(levels * scale, 1.0)
+    stay = (1 - persistence) * target
+    floor = 0.02 * target
+    ceiling = 1 - 0.02 * (1 - target)
+    # Transition probability given the previous state, pre-clamped.
+    prob_off = np.minimum(np.maximum(stay + persistence * 0.0, floor),
+                          ceiling).tolist()
+    prob_on = np.minimum(np.maximum(stay + persistence * 1.0, floor),
+                         ceiling).tolist()
+    draws = rng.random(hours).tolist()
+    epoch_list = epochs.tolist()
+
     connected: List[Tuple[float, float]] = []
     state = False
     run_start = 0.0
     for idx in range(hours):
-        epoch = start + idx * HOUR
-        if follows_presence:
-            level = schedule.presence(calendar, epoch)
-        else:
-            level = schedule.activity(calendar, epoch)
-        target = min(level * scale, 1.0)
-        prob = (1 - persistence) * target + persistence * (1.0 if state else 0.0)
-        # Keep a floor/ceiling so the chain can always escape either state.
-        prob = min(max(prob, 0.02 * target), 1 - 0.02 * (1 - target))
-        new_state = bool(rng.random() < prob)
+        new_state = draws[idx] < (prob_on[idx] if state else prob_off[idx])
         if new_state and not state:
-            run_start = epoch
+            run_start = epoch_list[idx]
         elif state and not new_state:
-            connected.append((run_start, epoch))
+            connected.append((run_start, epoch_list[idx]))
         state = new_state
     if state:
         connected.append((run_start, start + hours * HOUR))

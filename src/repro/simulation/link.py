@@ -183,3 +183,38 @@ class AccessLink:
         if offered_bps < 0:
             raise ValueError("offered load cannot be negative")
         return min(offered_bps, self.downstream_bps)
+
+    # -- vectorized shaping ------------------------------------------------------
+    #
+    # Array equivalents of the two scalar shapers, used by the traffic
+    # monitor's per-minute series.  Both preserve the scalar semantics
+    # element-wise, and `shape_uplink_peak_many` consumes the RNG exactly
+    # as the scalar loop would: one uniform draw per minute whose offered
+    # load reaches the bufferbloat region, in minute order, and none
+    # elsewhere — so a vectorized caller stays bitwise-identical.
+
+    def shape_uplink_peak_many(self, offered_bps: "np.ndarray",
+                               rng: np.random.Generator) -> "np.ndarray":
+        """Vectorized :meth:`shape_uplink_peak` over a minute series."""
+        offered = np.asarray(offered_bps, dtype=float)
+        if np.any(offered < 0):
+            raise ValueError("offered load cannot be negative")
+        capacity = self.upstream_bps
+        peaks = offered.copy()
+        spike = (offered >= capacity) & (offered < 1.15 * capacity)
+        peaks[spike] = capacity
+        backlog = offered >= 1.15 * capacity
+        n_backlog = int(np.count_nonzero(backlog))
+        if n_backlog:
+            draws = rng.uniform(0.3, 1.0, size=n_backlog)
+            factor = 1.0 + self.config.bufferbloat_overshoot * draws
+            peaks[backlog] = np.minimum(offered[backlog], capacity * factor)
+        return peaks
+
+    def shape_downlink_peak_many(self,
+                                 offered_bps: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`shape_downlink_peak` over a minute series."""
+        offered = np.asarray(offered_bps, dtype=float)
+        if np.any(offered < 0):
+            raise ValueError("offered load cannot be negative")
+        return np.minimum(offered, self.downstream_bps)

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from typing import Tuple
 
+import numpy as np
+
 MINUTE = 60
 HOUR = 3600
 DAY = 86400
@@ -112,6 +114,17 @@ class StudyCalendar:
     def is_weekend(self, epoch: float) -> bool:
         """True on local Saturday or Sunday."""
         return self.day_of_week(epoch) >= 5
+
+    def hour_of_day_many(self, epochs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`hour_of_day` (same values element-wise)."""
+        local = np.asarray(epochs, dtype=np.float64) + self._offset
+        return (local % DAY // HOUR).astype(np.int64)
+
+    def is_weekend_many(self, epochs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_weekend` returning a boolean array."""
+        local = np.asarray(epochs, dtype=np.float64) + self._offset
+        days = (local // DAY).astype(np.int64)
+        return (days + _EPOCH_WEEKDAY) % 7 >= 5
 
     def local_midnight_before(self, epoch: float) -> float:
         """Epoch of the most recent local midnight at or before *epoch*."""

@@ -110,6 +110,7 @@ class TrafficGenerator:
         up = np.zeros(n_minutes)
         down = np.zeros(n_minutes)
         flows: List[SimFlow] = []
+        spreads: List[Tuple[int, int, float, float]] = []
 
         for index, device in enumerate(self.devices):
             for hour_start, hour_end in device.connected_intervals(start, end):
@@ -117,14 +118,23 @@ class TrafficGenerator:
                 while cursor < hour_end:
                     slot_end = min(cursor + HOUR, hour_end)
                     self._device_hour(index, device, cursor, slot_end,
-                                      start, up, down, flows)
+                                      start, up, flows, spreads)
                     cursor = slot_end
+
+        # Flush every connection's bin spread in one pass, before the
+        # saturator overlay touches the series (as the incremental adds
+        # used to happen before it).
+        self._flush_spreads(spreads, up, down)
 
         if self.uplink_saturator is not None:
             self._add_saturator_upload(start, end, up, flows)
 
         self._mask_offline(start, up, down)
-        flows = [f for f in flows if self.online.contains(f.timestamp)]
+        if flows:
+            timestamps = np.fromiter((f.timestamp for f in flows),
+                                     dtype=np.float64, count=len(flows))
+            keep = self.online.contains_many(timestamps)
+            flows = [f for f, k in zip(flows, keep) if k]
         flows.sort(key=lambda f: f.timestamp)
         return HomeTraffic(window=(start, end), flows=flows,
                            minute_up_bytes=up, minute_down_bytes=down)
@@ -134,8 +144,8 @@ class TrafficGenerator:
     def _device_hour(self, index: int, device: SimDevice,
                      slot_start: float, slot_end: float,
                      window_start: float,
-                     up: np.ndarray, down: np.ndarray,
-                     flows: List[SimFlow]) -> None:
+                     up: np.ndarray, flows: List[SimFlow],
+                     spreads: List[Tuple[int, int, float, float]]) -> None:
         """Generate the sessions one device opens during one hour slot."""
         activity = self.schedule.activity(self.calendar, slot_start)
         mean_sessions = (device.traffic_weight * activity
@@ -149,24 +159,30 @@ class TrafficGenerator:
         for domain in domains:
             session_start = float(self.rng.uniform(slot_start, slot_end))
             self._expand_session(index, domain, session_start,
-                                 window_start, up, down, flows)
+                                 window_start, up, flows, spreads)
 
     def _expand_session(self, device_index: int, domain: Domain,
                         session_start: float, window_start: float,
-                        up: np.ndarray, down: np.ndarray,
-                        flows: List[SimFlow]) -> None:
-        """Expand one session into connections and account their bytes."""
+                        up: np.ndarray, flows: List[SimFlow],
+                        spreads: List[Tuple[int, int, float, float]]) -> None:
+        """Expand one session into connections and account their bytes.
+
+        The RNG draws stay scalar and in the original per-connection order
+        (the digest contract); only the RNG-free work is batched — the log
+        of the profile means is hoisted out of the connection loop and the
+        bin spreads are recorded for one vectorized flush.
+        """
         profile = domain.profile
         n_conns = 1 + int(self.rng.poisson(
             max(profile.connections_per_session - 1, 0)))
+        log_bytes = np.log(profile.bytes_per_connection)
+        log_duration = np.log(profile.duration_seconds)
         for conn in range(n_conns):
             conn_start = session_start + conn * float(self.rng.uniform(0.5, 10.0))
-            total = float(self.rng.lognormal(
-                np.log(profile.bytes_per_connection), profile.bytes_sigma))
+            total = float(self.rng.lognormal(log_bytes, profile.bytes_sigma))
             bytes_up = total * profile.upstream_fraction
             bytes_down = total - bytes_up
-            duration = max(float(self.rng.lognormal(
-                np.log(profile.duration_seconds), 0.6)), 1.0)
+            duration = max(float(self.rng.lognormal(log_duration, 0.6)), 1.0)
             flows.append(SimFlow(
                 timestamp=conn_start,
                 device_index=device_index,
@@ -176,23 +192,50 @@ class TrafficGenerator:
                 duration_seconds=duration,
             ))
             self._accumulate(conn_start, duration, bytes_up, bytes_down,
-                             window_start, up, down)
+                             window_start, up.size, spreads)
 
-    def _accumulate(self, conn_start: float, duration: float,
+    @staticmethod
+    def _accumulate(conn_start: float, duration: float,
                     bytes_up: float, bytes_down: float,
-                    window_start: float,
-                    up: np.ndarray, down: np.ndarray) -> None:
-        """Spread a connection's bytes across the minute bins it spans."""
-        n_minutes = up.size
+                    window_start: float, n_minutes: int,
+                    spreads: List[Tuple[int, int, float, float]]) -> None:
+        """Record which minute bins a connection's bytes spread across."""
         first = int((conn_start - window_start) // MINUTE)
         last = int((conn_start + duration - window_start) // MINUTE)
         first = max(first, 0)
         last = min(max(last, first), n_minutes - 1)
         if first >= n_minutes:
             return
-        span = last - first + 1
-        up[first:last + 1] += bytes_up / span
-        down[first:last + 1] += bytes_down / span
+        spreads.append((first, last - first + 1, bytes_up, bytes_down))
+
+    @staticmethod
+    def _flush_spreads(spreads: List[Tuple[int, int, float, float]],
+                       up: np.ndarray, down: np.ndarray) -> None:
+        """Apply all recorded bin spreads in one vectorized pass.
+
+        ``np.add.at`` applies repeated-index contributions in index-array
+        order, and the index array concatenates each connection's bins in
+        connection order — so every bin receives exactly the additions the
+        per-connection slice adds performed, in the same order, keeping
+        the float accumulation bitwise identical.
+        """
+        if not spreads:
+            return
+        count = len(spreads)
+        firsts = np.fromiter((s[0] for s in spreads), dtype=np.int64,
+                             count=count)
+        spans = np.fromiter((s[1] for s in spreads), dtype=np.int64,
+                            count=count)
+        bytes_up = np.fromiter((s[2] for s in spreads), dtype=np.float64,
+                               count=count)
+        bytes_down = np.fromiter((s[3] for s in spreads), dtype=np.float64,
+                                 count=count)
+        total = int(spans.sum())
+        # Concatenated aranges: for each connection, first .. first+span-1.
+        resets = np.repeat(np.cumsum(spans) - spans, spans)
+        indices = np.repeat(firsts, spans) + np.arange(total) - resets
+        np.add.at(up, indices, np.repeat(bytes_up / spans, spans))
+        np.add.at(down, indices, np.repeat(bytes_down / spans, spans))
 
     def _add_saturator_upload(self, start: float, end: float,
                               up: np.ndarray,

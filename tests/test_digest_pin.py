@@ -1,0 +1,51 @@
+"""Pinned study digests: the cross-PR bitwise-determinism contract.
+
+Every optimization PR must leave ``study_digest`` bitwise-identical for a
+fixed :class:`StudyConfig`.  These pins were captured before the PR-2
+hot-path vectorization and must never change without an explicit,
+documented decision to break the determinism contract (bump the pins in
+the same commit that changes the simulation, and say why in CHANGES.md).
+
+``BENCH_PIN`` is the digest of the full bench configuration recorded in
+``BENCH_engine.json``; the engine-scaling bench and the CI perf smoke job
+assert it.  The tier-1 pins below use smaller configs so the suite stays
+fast.
+"""
+
+from repro import StudyConfig, perf, run_study, study_digest
+
+#: seed 2013, router_scale=2.0, duration_scale=0.02, traffic_consents=10,
+#: low_activity_consents=2 — asserted by benchmarks/test_engine_scaling.py.
+BENCH_PIN = "cd4a9b8740c634a18b2915acc793f42993b42e6b285bc99fe131370a2f54c0c8"
+
+TINY = dict(seed=2013, router_scale=0.1, duration_scale=0.02,
+            traffic_consents=2, low_activity_consents=0)
+TINY_PIN = "9a925616da8ec32902b4593e5ba687e003e9020d64d21cc233bfe8b7375f0515"
+
+SMALL = dict(seed=2013, router_scale=0.25, duration_scale=0.02,
+             traffic_consents=4, low_activity_consents=1)
+SMALL_PIN = "d4b25e1c0f63b30017d4f96573e2f8d6fcb4d1a9bbb7c05cf741e4c50bcbe08d"
+
+
+def test_tiny_config_digest_pin():
+    data = run_study(StudyConfig(**TINY)).data
+    assert study_digest(data) == TINY_PIN
+
+
+def test_small_config_digest_pin():
+    data = run_study(StudyConfig(**SMALL)).data
+    assert study_digest(data) == SMALL_PIN
+
+
+def test_profiling_does_not_perturb_digest():
+    """--profile must be an observer: same records, same digest."""
+    try:
+        data = run_study(StudyConfig(**TINY), profile=True).data
+    finally:
+        perf.disable()
+    assert study_digest(data) == TINY_PIN
+
+
+def test_parallel_execution_matches_pin():
+    data = run_study(StudyConfig(**TINY, workers=2)).data
+    assert study_digest(data) == TINY_PIN

@@ -71,6 +71,64 @@ class TestAnonymizationPolicy:
         assert policy.filter_domain("b.com") == "b.com"
 
 
+class TestPolicyMemoization:
+    """The per-instance caches must never leak between policies — two
+    studies with different salts (or whitelists) produce unlinkable
+    pseudonyms, cached or not."""
+
+    def test_caches_are_per_instance(self):
+        a = AnonymizationPolicy(whitelist=frozenset({"a.com"}))
+        b = AnonymizationPolicy(whitelist=frozenset({"a.com"}))
+        assert a._domain_cache is not b._domain_cache
+        assert a._ip_cache is not b._ip_cache
+        assert a._mac_cache is not b._mac_cache
+
+    def test_different_salts_never_share_ip_pseudonyms(self):
+        wl = frozenset({"a.com"})
+        first = AnonymizationPolicy(whitelist=wl, salt=b"study-one")
+        second = AnonymizationPolicy(whitelist=wl, salt=b"study-two")
+        address = 0x08080808
+        # Warm both caches, in both orders, then cross-check.
+        one = first.anonymize_ip(address)
+        two = second.anonymize_ip(address)
+        assert one != two
+        assert first.anonymize_ip(address) == one
+        assert second.anonymize_ip(address) == two
+
+    def test_different_salts_never_share_mac_pseudonyms(self):
+        mac = parse_mac("3c:07:54:01:02:03")
+        wl = frozenset({"a.com"})
+        first = AnonymizationPolicy(whitelist=wl, salt=b"study-one")
+        second = AnonymizationPolicy(whitelist=wl, salt=b"study-two")
+        assert first.anonymize_mac(mac) != second.anonymize_mac(mac)
+        assert first.anonymize_mac(mac) == first.anonymize_mac(mac)
+
+    def test_different_whitelists_never_share_domain_filtering(self):
+        allow = AnonymizationPolicy(whitelist=frozenset({"a.com"}))
+        deny = AnonymizationPolicy(whitelist=frozenset({"b.com"}))
+        assert allow.filter_domain("a.com") == "a.com"
+        assert deny.filter_domain("a.com") == OBFUSCATED_DOMAIN
+        # Re-query after both caches are warm: still isolated.
+        assert allow.filter_domain("a.com") == "a.com"
+
+    def test_cached_values_match_uncached(self):
+        policy = AnonymizationPolicy(whitelist=frozenset({"a.com"}))
+        fresh = AnonymizationPolicy(whitelist=frozenset({"a.com"}))
+        address = 0x01020304
+        mac = parse_mac("f8:1a:67:aa:bb:cc")
+        for _ in range(3):  # repeated hits serve from cache
+            assert policy.anonymize_ip(address) == fresh.anonymize_ip(address)
+            assert policy.anonymize_mac(mac) == fresh.anonymize_mac(mac)
+            assert policy.filter_domain("other.net") == OBFUSCATED_DOMAIN
+
+    def test_policy_equality_ignores_caches(self):
+        a = AnonymizationPolicy(whitelist=frozenset({"a.com"}))
+        b = AnonymizationPolicy(whitelist=frozenset({"a.com"}))
+        a.anonymize_ip(0x08080808)  # warm one cache only
+        assert a == b
+        assert hash(a) == hash(b)
+
+
 class TestHeartbeat:
     def test_roughly_one_per_minute_while_online(self, us_home):
         rng = np.random.default_rng(0)

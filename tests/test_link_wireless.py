@@ -127,6 +127,63 @@ class TestBufferbloat:
             link.shape_downlink_peak(-1)
 
 
+class TestVectorizedShapers:
+    """shape_*_peak_many must equal the scalar shapers element-wise,
+    including their RNG consumption — the traffic monitor's digest
+    stability rides on this."""
+
+    def _offered(self, seed, size=512):
+        # Loads spanning every branch: idle minutes, sub-capacity,
+        # the transient-spike band [cap, 1.15 cap), and deep bufferbloat.
+        rng = np.random.default_rng(seed)
+        cap = 2.0 * MBPS
+        return rng.uniform(0.0, 3.0 * cap, size=size)
+
+    @pytest.mark.parametrize("seed", [1, 7, 2013])
+    def test_uplink_matches_scalar_loop_bitwise(self, seed):
+        link = make_link()
+        offered = self._offered(seed)
+        scalar_rng = np.random.default_rng(99)
+        many_rng = np.random.default_rng(99)
+        expected = np.array([link.shape_uplink_peak(float(x), scalar_rng)
+                             for x in offered])
+        got = link.shape_uplink_peak_many(offered, many_rng)
+        assert np.array_equal(got, expected)  # bitwise, not approx
+        # Both consumed the same number of draws, in the same order.
+        assert scalar_rng.random() == many_rng.random()
+
+    def test_uplink_overshoot_branch_exercised(self):
+        link = make_link()
+        offered = self._offered(5)
+        assert np.count_nonzero(offered >= 1.15 * link.upstream_bps) > 0
+        got = link.shape_uplink_peak_many(offered, np.random.default_rng(3))
+        assert got.max() > link.upstream_bps  # bufferbloat overshoot fired
+
+    def test_uplink_no_draws_without_backlog(self):
+        link = make_link()
+        offered = np.linspace(0, 0.9, 64) * link.upstream_bps
+        rng = np.random.default_rng(42)
+        link.shape_uplink_peak_many(offered, rng)
+        assert rng.random() == np.random.default_rng(42).random()
+
+    @pytest.mark.parametrize("seed", [1, 7, 2013])
+    def test_downlink_matches_scalar_loop_bitwise(self, seed):
+        link = make_link()
+        offered = self._offered(seed)
+        expected = np.array([link.shape_downlink_peak(float(x))
+                             for x in offered])
+        got = link.shape_downlink_peak_many(offered)
+        assert np.array_equal(got, expected)
+
+    def test_many_rejects_negative_load(self):
+        link = make_link()
+        bad = np.array([1.0, -0.5, 2.0])
+        with pytest.raises(ValueError):
+            link.shape_uplink_peak_many(bad, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            link.shape_downlink_peak_many(bad)
+
+
 class TestWirelessEnvironment:
     def test_default_channels(self):
         assert DEFAULT_CHANNELS[Spectrum.GHZ_2_4] == 11

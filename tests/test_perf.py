@@ -1,0 +1,183 @@
+"""Tests for the repro.perf instrumentation layer.
+
+Two contracts matter: profiling must be essentially free when disabled
+(the firmware hot path is littered with ``perf.stage`` calls), and an
+enabled recorder must capture every engine stage without perturbing the
+simulation (``study_digest`` equality is checked in test_digest_pin.py).
+"""
+
+import time
+
+import pytest
+
+from repro import StudyConfig, perf, run_study
+from repro.perf import ENGINE_STAGES, PerfRecorder
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    """Never leak an active recorder into (or out of) a test."""
+    perf.disable()
+    yield
+    perf.disable()
+
+
+class TestPerfRecorder:
+    def test_record_accumulates(self):
+        rec = PerfRecorder()
+        rec.record("traffic", 0.5)
+        rec.record("traffic", 0.25)
+        rec.record("wifi", 1.0)
+        assert rec.seconds["traffic"] == 0.75
+        assert rec.calls["traffic"] == 2
+        assert rec.calls["wifi"] == 1
+
+    def test_counters(self):
+        rec = PerfRecorder()
+        rec.count("flows", 10)
+        rec.count("flows", 5)
+        rec.count("routers")
+        assert rec.counters == {"flows": 15, "routers": 1}
+
+    def test_snapshot_is_a_copy(self):
+        rec = PerfRecorder()
+        rec.record("ingest", 1.0)
+        snap = rec.snapshot()
+        rec.record("ingest", 1.0)
+        assert snap["seconds"]["ingest"] == 1.0
+        assert rec.seconds["ingest"] == 2.0
+
+    def test_merge_folds_worker_snapshots(self):
+        parent = PerfRecorder()
+        parent.record("traffic", 1.0)
+        worker = PerfRecorder()
+        worker.record("traffic", 2.0)
+        worker.count("flows", 7)
+        parent.merge(worker.snapshot())
+        assert parent.seconds["traffic"] == 3.0
+        assert parent.calls["traffic"] == 2
+        assert parent.counters["flows"] == 7
+
+    def test_clear(self):
+        rec = PerfRecorder()
+        rec.record("wifi", 1.0)
+        rec.count("x")
+        rec.clear()
+        assert rec.snapshot() == {"seconds": {}, "calls": {}, "counters": {}}
+
+
+class TestModuleApi:
+    def test_enable_disable_cycle(self):
+        assert not perf.is_enabled()
+        rec = perf.enable()
+        assert perf.is_enabled()
+        assert perf.enable() is rec  # idempotent
+        assert perf.disable() is rec
+        assert not perf.is_enabled()
+
+    def test_stage_records_when_enabled(self):
+        perf.enable()
+        with perf.stage("traffic"):
+            time.sleep(0.01)
+        snap = perf.snapshot()
+        assert snap["seconds"]["traffic"] >= 0.01
+        assert snap["calls"]["traffic"] == 1
+
+    def test_stage_records_on_exception(self):
+        perf.enable()
+        with pytest.raises(RuntimeError):
+            with perf.stage("traffic"):
+                raise RuntimeError("boom")
+        assert perf.snapshot()["calls"]["traffic"] == 1
+
+    def test_disabled_stage_is_shared_noop(self):
+        # The no-allocation guarantee: every disabled call hands back the
+        # same singleton, so the hot path never pays for instrumentation.
+        assert perf.stage("a") is perf.stage("b")
+        with perf.stage("a"):
+            pass
+        assert perf.snapshot() == {"seconds": {}, "calls": {},
+                                   "counters": {}}
+
+    def test_count_noop_when_disabled(self):
+        perf.count("flows", 100)
+        assert perf.snapshot()["counters"] == {}
+
+    def test_drain_clears(self):
+        perf.enable()
+        perf.count("flows", 3)
+        snap = perf.drain()
+        assert snap["counters"]["flows"] == 3
+        assert perf.snapshot()["counters"] == {}
+
+    def test_merge_into_active(self):
+        perf.enable()
+        perf.merge({"seconds": {"wifi": 1.5}, "calls": {"wifi": 4},
+                    "counters": {"routers": 2}})
+        snap = perf.snapshot()
+        assert snap["seconds"]["wifi"] == 1.5
+        assert snap["counters"]["routers"] == 2
+
+    def test_disabled_overhead_is_small(self):
+        """The disabled path must cost well under 2% on an instrumented
+        loop whose body does real (if modest) work."""
+        def body():
+            return sum(range(2000))
+
+        def bare(n):
+            for _ in range(n):
+                body()
+
+        def instrumented(n):
+            for _ in range(n):
+                with perf.stage("hot"):
+                    body()
+
+        n = 2000
+        bare(n), instrumented(n)  # warm up
+        t_bare = min(_timed(bare, n) for _ in range(5))
+        t_inst = min(_timed(instrumented, n) for _ in range(5))
+        # 2% is the design target; allow generous noise headroom in CI.
+        assert t_inst <= t_bare * 1.25
+
+
+def _timed(fn, n):
+    t0 = time.perf_counter()
+    fn(n)
+    return time.perf_counter() - t0
+
+
+class TestFormatTable:
+    def test_table_orders_engine_stages_first(self):
+        snap = {"seconds": {"zebra": 0.1, "traffic": 2.0, "heartbeat": 0.5},
+                "calls": {"zebra": 1, "traffic": 10, "heartbeat": 5},
+                "counters": {"flows": 123}}
+        table = perf.format_table(snap)
+        assert table.index("heartbeat") < table.index("traffic")
+        assert table.index("traffic") < table.index("zebra")
+        assert "flows" in table and "123" in table
+
+    def test_empty_snapshot_renders(self):
+        table = perf.format_table({"seconds": {}, "calls": {},
+                                   "counters": {}})
+        assert "stage" in table
+
+
+class TestEngineIntegration:
+    CONFIG = dict(seed=2013, router_scale=0.1, duration_scale=0.02,
+                  traffic_consents=2, low_activity_consents=0)
+
+    def test_profile_covers_every_engine_stage(self):
+        run_study(StudyConfig(**self.CONFIG), profile=True)
+        snap = perf.snapshot()
+        for name in ENGINE_STAGES:
+            assert name in snap["seconds"], name
+            assert snap["calls"][name] > 0, name
+        assert snap["counters"]["routers"] > 0
+        assert snap["counters"]["flows"] > 0
+
+    def test_parallel_profile_merges_worker_stages(self):
+        run_study(StudyConfig(**self.CONFIG, workers=2), profile=True)
+        snap = perf.snapshot()
+        for name in ENGINE_STAGES:
+            assert name in snap["seconds"], name
