@@ -9,7 +9,9 @@ The package rebuilds the paper's entire system from scratch:
 * :mod:`repro.collection` — the central server, the lossy heartbeat path,
   and CSV/JSON archive round-trips;
 * :mod:`repro.core` — the paper's contribution: the analysis pipeline that
-  turns the six data sets into every figure and table of Sections 4-6.
+  turns the six data sets into every figure and table of Sections 4-6;
+* :mod:`repro.telemetry` — campaign observability: metrics registry,
+  JSONL event log, run manifests, and deployment-health reports.
 
 Quickstart::
 
@@ -19,7 +21,15 @@ Quickstart::
     result = run_study(StudyConfig(router_scale=0.3, duration_scale=0.1))
     cdf = availability.downtime_rate_cdf(result.data, developed=True)
     print(cdf.median, "downtimes/day (median developed home)")
+
+The package logs through stdlib :mod:`logging` under the ``"repro"``
+namespace and installs only a ``NullHandler`` — attach your own handler
+(or use the CLI's ``-v``/``-vv``) to see engine and telemetry progress.
 """
+
+import logging as _logging
+
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 from repro.core.pipeline import StudyConfig, StudyResult, run_study
 from repro.core.datasets import (

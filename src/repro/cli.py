@@ -2,21 +2,30 @@
 
 Usage::
 
-    python -m repro run     --out DIR [--seed N] [--scale F] [--duration F]
-                            [--public]
+    python -m repro [-v|-q] run     --out DIR [--seed N] [--scale F]
+                                    [--duration F] [--public]
+                                    [--telemetry-dir DIR]
     python -m repro summary (--archive DIR | --seed N ...)
     python -m repro report  (--archive DIR | --seed N ...)
     python -m repro caps    (--archive DIR | --seed N ...) [--cap-gb G]
+    python -m repro health  (--archive DIR | --seed N ...)
 
 ``run`` simulates a campaign and writes the CSV/JSON archive (optionally
 the PII-stripped public variant).  ``summary`` prints Table 2 for a
 campaign or archive; ``report`` prints the Section 4/5/6 headline numbers;
-``caps`` prints the usage-cap dashboard.
+``caps`` prints the usage-cap dashboard; ``health`` prints the
+deployment-health report (cohort coverage, dead/flapping routers,
+per-dataset loss).  ``--telemetry-dir`` on any campaign-running command
+writes the full telemetry artifact set (Prometheus + JSON metrics, JSONL
+event log, run manifest, health report).  ``-v``/``-vv`` raise the
+logging level (INFO/DEBUG on stderr); ``-q`` silences everything below
+ERROR.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from datetime import datetime, timezone
 from typing import List, Optional
@@ -58,6 +67,10 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                         help="time each campaign stage (materialize, "
                              "heartbeat, traffic, ...) and print a "
                              "per-stage table to stderr")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="write campaign telemetry artifacts "
+                             "(metrics.prom, metrics.json, events.jsonl, "
+                             "manifest.json, health report) to DIR")
 
 
 def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
@@ -83,9 +96,13 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
 
 def _simulate(args: argparse.Namespace) -> StudyData:
     """Run the configured campaign, honoring ``--profile``."""
-    data = run_study(_config_from(args), profile=args.profile).data
+    data = run_study(_config_from(args), profile=args.profile,
+                     telemetry_dir=args.telemetry_dir).data
     if args.profile:
         print(perf.format_table(perf.snapshot()), file=sys.stderr)
+    if args.telemetry_dir:
+        print(f"wrote telemetry artifacts to {args.telemetry_dir}",
+              file=sys.stderr)
     return data
 
 
@@ -180,10 +197,44 @@ def cmd_caps(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    from repro.telemetry import build_health_report, format_health_report
+
+    data = _load_data(args)
+    report = build_health_report(data)
+    print(format_health_report(report))
+    print(f"\n{len(report.dead_routers)} dead, "
+          f"{len(report.flapping_routers)} flapping, "
+          f"{len(report.routers)} deployed")
+    return 0
+
+
+def _configure_logging(verbosity: int, quiet: bool) -> None:
+    """Point the package logger at stderr per ``-v``/``-q``."""
+    if quiet:
+        level = logging.ERROR
+    else:
+        level = (logging.WARNING, logging.INFO,
+                 logging.DEBUG)[min(verbosity, 2)]
+    package = logging.getLogger("repro")
+    package.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler)
+               for h in package.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S"))
+        package.addHandler(handler)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Peeking Behind the NAT — reproduction toolkit")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress to stderr (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only log errors")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="simulate and export a campaign")
@@ -207,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_source_arguments(caps_parser)
     caps_parser.add_argument("--cap-gb", type=float, default=50.0)
     caps_parser.set_defaults(func=cmd_caps)
+
+    health_parser = sub.add_parser(
+        "health", help="print the deployment-health report")
+    _add_source_arguments(health_parser)
+    health_parser.set_defaults(func=cmd_health)
     return parser
 
 
@@ -214,6 +270,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     return args.func(args)
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import logging
 import tempfile
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -42,6 +43,9 @@ from repro.core.records import (
     UptimeReport,
     WifiScanSample,
 )
+from repro.telemetry import events, metrics
+
+logger = logging.getLogger(__name__)
 
 #: The seven record-list datasets a backend accumulates.
 LIST_DATASETS = ("uptime", "capacity", "device_counts", "roster",
@@ -239,6 +243,7 @@ class SpillBackend(StoreBackend):
                  interval=np.array(series.interval_seconds))
 
     def _spill(self) -> None:
+        spilled = self._buffered
         for dataset in LIST_DATASETS:
             buffer = self._buffers[dataset]
             if not buffer:
@@ -253,6 +258,12 @@ class SpillBackend(StoreBackend):
             buffer.clear()
         self._buffered = 0
         self._n_runs += 1
+        if spilled:
+            logger.debug("spilled %d records (run %d)", spilled,
+                         self._n_runs - 1)
+            metrics.inc("store_spills_total")
+            metrics.inc("spilled_records_total", spilled)
+            events.emit("store_spill", run=self._n_runs - 1, records=spilled)
 
     # -- finalize ----------------------------------------------------------------
 

@@ -26,11 +26,14 @@ backend, resident record count is bounded too.
 
 from __future__ import annotations
 
+import logging
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Deque, List, Optional, Tuple, Union
 
 from repro import perf
+from repro.telemetry import events, metrics
 from repro.core.datasets import StudyData
 from repro.firmware.anonymize import AnonymizationPolicy
 from repro.firmware.router import BismarkRouter
@@ -41,6 +44,8 @@ from repro.collection.batches import RouterUpload, router_output_to_batches
 from repro.collection.path import CollectionPath, PathConfig
 from repro.collection.server import CollectionServer
 from repro.collection.storage import RecordStore
+
+logger = logging.getLogger(__name__)
 
 #: Default homes per shard when ``shard_size`` is not given.  Small enough
 #: that worker memory stays modest and shards interleave across workers;
@@ -59,19 +64,27 @@ def shard_count(n_homes: int, shard_size: Optional[int] = None) -> int:
 
 def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
               seed: Optional[int] = None, collect_perf: bool = False,
+              collect_metrics: bool = False,
               ) -> Union[List[RouterUpload],
                          Tuple[List[RouterUpload], dict]]:
     """Materialize and run one shard's routers; return their uploads.
 
     This is the unit of work shipped to a worker process.  *seed* drives
     the firmware draws (it defaults to the plan's seed; household models
-    always derive from the plan's own seed).  With ``collect_perf`` the
-    shard also returns a drained :mod:`repro.perf` snapshot so the parent
-    can aggregate worker stage timings; profiling never touches any RNG,
-    so the uploads are bitwise-identical either way.
+    always derive from the plan's own seed).  With ``collect_perf`` /
+    ``collect_metrics`` the shard instead returns ``(uploads, extras)``
+    where ``extras`` holds the drained :mod:`repro.perf` and/or
+    :mod:`repro.telemetry.metrics` snapshots for the parent to merge.
+    ``collect_metrics`` resets the process-local registry first, so a
+    forked worker never re-ships counts inherited from its parent.
+    Neither collector touches any RNG, so the uploads are
+    bitwise-identical with or without them.
     """
     if collect_perf:
         perf.enable()
+    if collect_metrics:
+        metrics.enable().clear()
+    t0 = time.perf_counter()
     seeds = SeedHierarchy(plan.seed if seed is None else seed)
     universe = build_domain_universe()
     whitelist = frozenset(
@@ -94,8 +107,16 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
             info=household.info,
             batches=tuple(router_output_to_batches(output)),
         ))
-    if collect_perf:
-        return uploads, perf.drain()
+    metrics.inc("routers_simulated_total", len(households))
+    metrics.inc("shards_completed_total")
+    metrics.observe("shard_seconds", time.perf_counter() - t0)
+    if collect_perf or collect_metrics:
+        extras = {}
+        if collect_perf:
+            extras["perf"] = perf.drain()
+        if collect_metrics:
+            extras["metrics"] = metrics.drain()
+        return uploads, extras
     return uploads
 
 
@@ -114,13 +135,17 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
     ``profile=True`` activates :mod:`repro.perf` so firmware, materialize,
     and ingest stages are timed (worker stage timings are shipped back and
     merged); the timings are also recorded when the caller enabled
-    profiling beforehand.  Profiling never perturbs the study RNG.
+    profiling beforehand.  When a :mod:`repro.telemetry` metrics registry
+    or event log is active, the engine likewise records campaign metrics
+    (worker snapshots are drained per shard and merged) and emits
+    lifecycle events.  Neither observer perturbs the study RNG.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if profile:
         perf.enable()
     profiling = perf.is_enabled()
+    telemetring = metrics.is_enabled()
     seed = plan.seed if seed is None else seed
     store = store if store is not None else RecordStore(plan.windows)
     path = CollectionPath(
@@ -129,9 +154,16 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
     server = CollectionServer(store, path)
 
     n_shards = shard_count(len(plan), shard_size)
+    logger.info("campaign: %d homes in %d shard(s), workers=%d, seed=%d",
+                len(plan), n_shards, workers, seed)
+    events.emit("campaign_started", homes=len(plan), shards=n_shards,
+                workers=workers, seed=seed)
     if workers == 1 or n_shards == 1:
         for index in range(n_shards):
-            for upload in run_shard(plan, index, n_shards, seed):
+            events.emit("shard_started", shard=index)
+            uploads = run_shard(plan, index, n_shards, seed)
+            events.emit("shard_finished", shard=index, routers=len(uploads))
+            for upload in uploads:
                 with perf.stage("ingest"):
                     server.ingest(upload)
         return store.to_study_data()
@@ -141,25 +173,37 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
     # parent holds; results are consumed strictly in shard order.
     max_workers = min(workers, n_shards)
     window = 2 * max_workers
+    collect = profiling or telemetring
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         pending: Deque = deque()
         next_shard = 0
+
+        def submit(index: int):
+            events.emit("shard_started", shard=index)
+            return pool.submit(run_shard, plan, index, n_shards, seed,
+                               profiling, telemetring)
+
         while next_shard < n_shards and len(pending) < window:
-            pending.append(
-                pool.submit(run_shard, plan, next_shard, n_shards, seed,
-                            profiling))
+            pending.append(submit(next_shard))
             next_shard += 1
+        ingest_shard = 0
         while pending:
             result = pending.popleft().result()
-            if profiling:
-                uploads, shard_perf = result
-                perf.merge(shard_perf)
+            if collect:
+                uploads, extras = result
+                if "perf" in extras:
+                    perf.merge(extras["perf"])
+                if "metrics" in extras:
+                    metrics.merge(extras["metrics"])
             else:
                 uploads = result
+            events.emit("shard_finished", shard=ingest_shard,
+                        routers=len(uploads))
+            logger.debug("shard %d/%d finished (%d routers)",
+                         ingest_shard + 1, n_shards, len(uploads))
+            ingest_shard += 1
             while next_shard < n_shards and len(pending) < window:
-                pending.append(
-                    pool.submit(run_shard, plan, next_shard, n_shards, seed,
-                                profiling))
+                pending.append(submit(next_shard))
                 next_shard += 1
             for upload in uploads:
                 with perf.stage("ingest"):

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import json
+import logging
 from pathlib import Path
 from typing import Dict, Union
 
@@ -29,6 +30,8 @@ from repro.core.records import (
     WifiScanSample,
 )
 from repro.simulation.timebase import StudyWindows
+
+logger = logging.getLogger(__name__)
 
 _PathLike = Union[str, Path]
 
@@ -72,6 +75,13 @@ def export_study(data: StudyData, directory: _PathLike,
                ((log.router_id, f"{t:.3f}")
                 for log in data.heartbeats.values()
                 for t in log.timestamps))
+
+    if data.heartbeat_delivery:
+        _write_csv(root / "heartbeat_delivery.csv",
+                   ["router_id", "sent", "delivered"],
+                   ((rid, sent, delivered)
+                    for rid, (sent, delivered)
+                    in data.heartbeat_delivery.items()))
 
     _write_csv(root / "uptime.csv",
                ["router_id", "timestamp", "uptime_seconds"],
@@ -131,6 +141,8 @@ def export_study(data: StudyData, directory: _PathLike,
                      d.domain, d.record_type,
                      "" if d.address is None else d.address)
                     for d in data.dns))
+    logger.info("exported %s archive to %s",
+                "full" if include_pii_datasets else "public", root)
     return root
 
 
@@ -156,6 +168,13 @@ def load_study(directory: _PathLike) -> StudyData:
     for row in _read_csv(root / "heartbeats.csv"):
         heartbeats.setdefault(row["router_id"], []).append(
             float(row["timestamp"]))
+
+    delivery = {}
+    if (root / "heartbeat_delivery.csv").exists():
+        delivery = {
+            row["router_id"]: (int(row["sent"]), int(row["delivered"]))
+            for row in _read_csv(root / "heartbeat_delivery.csv")
+        }
 
     data = StudyData(
         routers=routers,
@@ -199,6 +218,7 @@ def load_study(directory: _PathLike) -> StudyData:
                            int(row.get("channel", 0) or 0))
             for row in _read_csv(root / "wifi.csv")
         ],
+        heartbeat_delivery=delivery,
     )
 
     if manifest.get("includes_traffic") and (root / "flows.csv").exists():

@@ -15,6 +15,7 @@ shard engine (:mod:`repro.collection.engine`).
 
 from __future__ import annotations
 
+import logging
 from typing import Optional
 
 from repro.core.datasets import HeartbeatLog, StudyData
@@ -27,6 +28,9 @@ from repro.collection.batches import (
 from repro.collection.path import CollectionPath, PathConfig
 from repro.collection.storage import RecordStore
 from repro.firmware.router import RouterOutput
+from repro.telemetry import events, metrics
+
+logger = logging.getLogger(__name__)
 
 
 class CollectionServer:
@@ -41,12 +45,35 @@ class CollectionServer:
         self.store.register_router(upload.info)
         for batch in upload.batches:
             self.receive_batch(batch)
+        metrics.inc("routers_ingested_total")
+        events.emit("router_ingested", router=upload.router_id,
+                    batches=len(upload.batches))
+        logger.debug("ingested router %s (%d batches)",
+                     upload.router_id, len(upload.batches))
 
     def receive_batch(self, batch: RecordBatch) -> None:
-        """Ingest one dataset chunk, applying path loss to heartbeats."""
+        """Ingest one dataset chunk, applying path loss to heartbeats.
+
+        Heartbeats are the one lossy dataset: the batch carries raw
+        *send* times and the path model decides delivery here.  The
+        sent-vs-delivered difference is accounted on the store (per
+        router) and the metrics registry (aggregate) so undelivered
+        heartbeats are measured, never silently discarded.
+        """
         if batch.dataset == "heartbeats":
+            sent = len(batch.records)
             delivered = self.path.deliver(batch.records)
-            self.store.add_heartbeats(HeartbeatLog(batch.router_id, delivered))
+            stored = self.store.add_heartbeats(
+                HeartbeatLog(batch.router_id, delivered))
+            if stored:
+                self.store.record_heartbeat_delivery(
+                    batch.router_id, sent, len(delivered))
+                metrics.inc("heartbeats_sent_total", sent)
+                metrics.inc("heartbeats_delivered_total", len(delivered))
+                metrics.inc("heartbeats_dropped_total",
+                            sent - len(delivered))
+                metrics.inc("records_ingested_total", len(delivered),
+                            dataset="heartbeats")
         elif batch.dataset == "uptime":
             self.store.add_uptime(batch.records)
         elif batch.dataset == "capacity":
@@ -61,10 +88,15 @@ class CollectionServer:
             self.store.add_flows(batch.records)
         elif batch.dataset == "throughput":
             self.store.add_throughput(batch.records)
+            metrics.inc("records_ingested_total", len(batch.records),
+                        dataset="throughput")
         elif batch.dataset == "dns":
             self.store.add_dns(batch.records)
         else:  # pragma: no cover - RecordBatch validates its dataset
             raise ValueError(f"unknown dataset {batch.dataset!r}")
+        if batch.dataset not in ("heartbeats", "throughput"):
+            metrics.inc("records_ingested_total", len(batch.records),
+                        dataset=batch.dataset)
 
     def receive(self, output: RouterOutput) -> None:
         """Ingest one monolithic router upload (legacy entry point)."""

@@ -9,6 +9,7 @@ default, or a bounded-memory disk-spill backend for large campaigns.
 from __future__ import annotations
 
 import hashlib
+import logging
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -26,6 +27,9 @@ from repro.core.records import (
 )
 from repro.simulation.timebase import StudyWindows
 from repro.collection.backends import MemoryBackend, StoreBackend
+from repro.telemetry import events, metrics
+
+logger = logging.getLogger(__name__)
 
 
 def _array_fingerprint(values: np.ndarray) -> Tuple[int, str]:
@@ -51,6 +55,10 @@ class RecordStore:
         #: (an at-least-once delivery duplicate) is an idempotent no-op.
         self._heartbeat_uploads: Dict[str, Tuple[int, str]] = {}
         self._throughput_uploads: Dict[str, Tuple[int, str, float, float]] = {}
+        #: Heartbeat loss accounting: router_id -> (sent, delivered), fed
+        #: by the collection server so the health report can attribute
+        #: missing heartbeats to the path instead of guessing.
+        self.heartbeat_delivery: Dict[str, Tuple[int, int]] = {}
 
     def register_router(self, info: RouterInfo) -> None:
         """Record deployment metadata; re-registration must be consistent."""
@@ -64,25 +72,46 @@ class RecordStore:
         if router_id not in self._routers:
             raise KeyError(f"router {router_id!r} not registered")
 
-    def add_heartbeats(self, log: HeartbeatLog) -> None:
+    def add_heartbeats(self, log: HeartbeatLog) -> bool:
         """Store delivered heartbeats for one router.
 
         A second upload with identical timestamps is ignored (duplicate
         delivery); one with *different* timestamps raises — silently
         replacing a log would corrupt the availability analysis, matching
-        the :meth:`register_router` consistency contract.
+        the :meth:`register_router` consistency contract.  Returns True
+        when the log was stored, False for an idempotent duplicate (so
+        the server does not double-count delivery tallies).
         """
         self._require_registered(log.router_id)
         fingerprint = _array_fingerprint(log.timestamps)
         existing = self._heartbeat_uploads.get(log.router_id)
         if existing is not None:
             if existing != fingerprint:
+                self._reject("heartbeats", log.router_id)
                 raise ValueError(
                     "conflicting heartbeat re-upload for router "
                     f"{log.router_id!r}")
-            return
+            return False
         self._heartbeat_uploads[log.router_id] = fingerprint
         self.backend.put_heartbeats(log)
+        return True
+
+    def record_heartbeat_delivery(self, router_id: str, sent: int,
+                                  delivered: int) -> None:
+        """Account one upload's sent-vs-delivered heartbeat counts."""
+        if delivered > sent:
+            raise ValueError("delivered heartbeats cannot exceed sent")
+        prev_sent, prev_delivered = self.heartbeat_delivery.get(
+            router_id, (0, 0))
+        self.heartbeat_delivery[router_id] = (prev_sent + sent,
+                                              prev_delivered + delivered)
+
+    def _reject(self, dataset: str, router_id: str) -> None:
+        """Instrument one consistency rejection (caller raises)."""
+        logger.warning("rejected conflicting %s re-upload from %s",
+                       dataset, router_id)
+        metrics.inc("ingest_rejections_total", dataset=dataset)
+        events.emit("ingest_rejected", dataset=dataset, router=router_id)
 
     def add_uptime(self, reports: List[UptimeReport]) -> None:
         for report in reports:
@@ -124,6 +153,7 @@ class RecordStore:
         existing = self._throughput_uploads.get(series.router_id)
         if existing is not None:
             if existing != fingerprint:
+                self._reject("throughput", series.router_id)
                 raise ValueError(
                     "conflicting throughput re-upload for router "
                     f"{series.router_id!r}")
@@ -151,4 +181,5 @@ class RecordStore:
             flows=contents.lists["flows"],
             throughput=contents.throughput,
             dns=contents.lists["dns"],
+            heartbeat_delivery=dict(self.heartbeat_delivery),
         )

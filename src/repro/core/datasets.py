@@ -111,6 +111,13 @@ class StudyData:
     flows: List[FlowRecord] = field(default_factory=list)
     throughput: Dict[str, ThroughputSeries] = field(default_factory=dict)
     dns: List[DnsRecord] = field(default_factory=list)
+    #: Per-router heartbeat delivery tally ``{router_id: (sent, delivered)}``
+    #: from the collection server's loss accounting.  Operational metadata,
+    #: not collected data: it feeds the deployment-health report and is
+    #: deliberately excluded from :func:`study_digest` (the digest covers
+    #: what was *collected*, and older archives lack the tally).
+    heartbeat_delivery: Dict[str, Tuple[int, int]] = field(
+        default_factory=dict)
 
     # -- router helpers --------------------------------------------------------
 

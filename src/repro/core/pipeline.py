@@ -16,8 +16,10 @@ Both default to the paper's full scale.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.core.datasets import StudyData
 from repro.simulation.deployment import (
@@ -30,6 +32,8 @@ from repro.collection.backends import MemoryBackend, SpillBackend
 from repro.collection.engine import run_campaign
 from repro.collection.path import PathConfig
 from repro.collection.storage import RecordStore
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -122,7 +126,8 @@ class StudyResult:
 def run_study(config: Optional[StudyConfig] = None,
               workers: Optional[int] = None,
               shard_size: Optional[int] = None,
-              profile: bool = False) -> StudyResult:
+              profile: bool = False,
+              telemetry_dir: Union[str, Path, None] = None) -> StudyResult:
     """Run the full campaign: plan homes, run firmware shards, collect.
 
     *workers* and *shard_size* override the config's engine knobs.  For a
@@ -132,17 +137,34 @@ def run_study(config: Optional[StudyConfig] = None,
 
     ``profile=True`` records per-stage timings via :mod:`repro.perf`
     (inspect them with ``repro.perf.snapshot()`` after the call, or use the
-    CLI's ``--profile``).  Profiling does not change the collected data.
+    CLI's ``--profile``).  *telemetry_dir* activates the full
+    :mod:`repro.telemetry` subsystem for this run and writes its artifacts
+    (Prometheus/JSON metrics, JSONL event log, run manifest,
+    deployment-health report) to that directory.  Neither observer
+    changes the collected data — ``study_digest`` is pinned identical
+    with telemetry on and off.
     """
     config = config or StudyConfig()
-    plan = build_deployment_plan(config.deployment_config())
-    data = run_campaign(
-        plan,
-        seed=config.seed,
-        path_config=config.path,
-        store=config.make_store(plan.windows),
-        workers=config.workers if workers is None else workers,
-        shard_size=config.shard_size if shard_size is None else shard_size,
-        profile=profile,
-    )
+    session = None
+    if telemetry_dir is not None:
+        from repro.telemetry import TelemetrySession
+        session = TelemetrySession(telemetry_dir)
+    effective_workers = config.workers if workers is None else workers
+    try:
+        plan = build_deployment_plan(config.deployment_config())
+        data = run_campaign(
+            plan,
+            seed=config.seed,
+            path_config=config.path,
+            store=config.make_store(plan.windows),
+            workers=effective_workers,
+            shard_size=(config.shard_size if shard_size is None
+                        else shard_size),
+            profile=profile,
+        )
+        if session is not None:
+            session.finalize(config, data, workers=effective_workers)
+    finally:
+        if session is not None:
+            session.close()
     return StudyResult(config=config, deployment=Deployment(plan), data=data)

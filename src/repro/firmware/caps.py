@@ -88,8 +88,13 @@ class CapMeter:
         self.alerts: List[CapAlert] = []
 
     def _roll_cycle(self, epoch: float) -> None:
+        # Strictly-greater: a record landing exactly on the boundary bills
+        # to the closing cycle.  With >= a record a hair under the
+        # boundary could round up to it in float arithmetic, roll the
+        # cycle early, and re-fire thresholds that already alerted this
+        # cycle — the alert-storm the once-per-cycle contract forbids.
         cycle = self.policy.cycle_seconds
-        while epoch >= self.cycle_start + cycle:
+        while epoch > self.cycle_start + cycle:
             self.cycle_start += cycle
             self.used_bytes = 0.0
             self._fired.clear()

@@ -1,0 +1,170 @@
+"""repro.telemetry — the campaign observability subsystem.
+
+The original BISmark deployment lived or died by its heartbeat dashboard;
+this package is our equivalent for simulated campaigns at scale.  Five
+pieces, one activation model (mirroring :mod:`repro.perf`: process-global,
+near-free when disabled, never touching RNG state):
+
+* :mod:`repro.telemetry.metrics` — counters/gauges/histograms registry
+  with per-shard drain/merge across worker processes;
+* :mod:`repro.telemetry.events` — structured JSONL campaign event log;
+* :mod:`repro.telemetry.manifest` — the run manifest that makes any
+  artifact directory reproducible (config, seed, versions, git rev,
+  wall time, final digest);
+* :mod:`repro.telemetry.health` — deployment-health report: cohort
+  coverage, dead/flapping routers, per-dataset loss accounting;
+* :mod:`repro.telemetry.export` — Prometheus textfile + JSON exporters.
+
+:class:`TelemetrySession` ties them together for one run::
+
+    from repro import StudyConfig, run_study
+
+    result = run_study(StudyConfig(router_scale=0.2, duration_scale=0.05),
+                       telemetry_dir="artifacts/run-1")
+    # artifacts/run-1/ now holds metrics.prom, metrics.json,
+    # events.jsonl, manifest.json, health.json, health.txt
+
+Determinism guarantee: a telemetry-enabled run collects bitwise-identical
+data to a telemetry-off run (``study_digest``-pinned in the tier-1
+suite).  Telemetry observes the campaign; it never steers it.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro import perf
+from repro.telemetry import events, metrics
+from repro.telemetry.export import (
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+    write_metric_files,
+)
+from repro.telemetry.health import (
+    HealthReport,
+    build_health_report,
+    format_health_report,
+)
+from repro.telemetry.manifest import (
+    ManifestError,
+    RunManifest,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "TelemetrySession",
+    "MetricsRegistry",
+    "HealthReport",
+    "build_health_report",
+    "format_health_report",
+    "RunManifest",
+    "ManifestError",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "validate_manifest",
+    "render_prometheus",
+    "render_json",
+    "parse_prometheus",
+    "write_metric_files",
+    "events",
+    "metrics",
+]
+
+
+class TelemetrySession:
+    """One campaign's telemetry: activates the sinks, writes the artifacts.
+
+    Creating a session enables the metrics registry, opens the JSONL
+    event log under *directory*, and enables :mod:`repro.perf` so stage
+    timers flow into the shared sink.  :meth:`finalize` drains everything
+    into the artifact directory; :meth:`close` deactivates the sinks
+    (perf is left enabled so an outer ``--profile`` can still read it).
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._started = time.time()
+        self._t0 = time.perf_counter()
+        self.registry = metrics.enable()
+        self.event_log = events.enable(self.directory / "events.jsonl")
+        perf.enable()
+        self.manifest: Optional[RunManifest] = None
+        self.health: Optional[HealthReport] = None
+        logger.info("telemetry session started: %s", self.directory)
+
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds since the session started."""
+        return time.perf_counter() - self._t0
+
+    def finalize(self, config, data, workers: int = 1) -> RunManifest:
+        """Write every artifact for a finished campaign.
+
+        *config* is the :class:`~repro.core.pipeline.StudyConfig` (or any
+        dataclass/dict) that produced *data*.  Computes the final
+        ``study_digest`` — the one part of telemetry that is not free,
+        and the reason it runs once here rather than during collection.
+        """
+        from repro.core.datasets import study_digest
+
+        wall = self.wall_seconds()
+        digest = study_digest(data)
+
+        metrics.merge_perf(perf.snapshot())
+        metrics.set_gauge("campaign_routers", len(data.routers))
+        metrics.set_gauge("campaign_wall_seconds", round(wall, 6))
+        written: List[Path] = write_metric_files(
+            self.directory, metrics.snapshot())
+
+        self.health = build_health_report(data)
+        health_json = self.directory / "health.json"
+        health_json.write_text(self.health.to_json())
+        health_txt = self.directory / "health.txt"
+        health_txt.write_text(format_health_report(self.health) + "\n")
+        written += [health_json, health_txt]
+
+        events.emit("campaign_finished", routers=len(data.routers),
+                    digest=digest, wall_seconds=round(wall, 3),
+                    dead_routers=len(self.health.dead_routers))
+        self.event_log.flush()
+        written.append(self.directory / "events.jsonl")
+
+        seed = getattr(config, "seed", 0)
+        self.manifest = build_manifest(
+            config=config, seed=seed, digest=digest,
+            routers=len(data.routers), wall_seconds=wall, workers=workers,
+            artifacts=sorted(p.name for p in written))
+        write_manifest(self.directory / "manifest.json", self.manifest)
+        logger.info("telemetry artifacts written to %s (digest %s)",
+                    self.directory, digest[:16])
+        return self.manifest
+
+    def close(self) -> None:
+        """Deactivate the event log and metrics registry.
+
+        Only sinks this session activated are torn down; ``repro.perf``
+        stays enabled because ``--profile`` owns its lifecycle.
+        """
+        if events.active() is self.event_log:
+            events.disable()
+        else:  # pragma: no cover - a nested session replaced the log
+            self.event_log.close()
+        if metrics.active() is self.registry:
+            metrics.disable()
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

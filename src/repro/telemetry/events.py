@@ -1,0 +1,130 @@
+"""Structured JSONL event log for campaign lifecycle events.
+
+Events are the narrative companion to the metrics registry: *what
+happened when* (campaign started, shard finished, router ingested, store
+spilled, ingest rejected) rather than aggregate totals.  Each event is
+one JSON object per line::
+
+    {"ts": 1364774400.123, "event": "shard_finished", "shard": 3, ...}
+
+Design constraints, mirroring :mod:`repro.perf` / the metrics registry:
+
+* **Near-free disabled path** — :func:`emit` is one global read and one
+  comparison when no log is active; the campaign engine can emit
+  unconditionally.
+* **Determinism** — emitting an event reads the wall clock but never any
+  RNG, so an event-logged run collects bitwise-identical data
+  (``study_digest``-pinned in the tier-1 suite).
+* **Fork safety** — shard workers inherit the parent's open log on
+  ``fork``; :class:`EventLog` remembers the PID that opened it and
+  silently drops writes from any other process, so worker events can
+  never interleave bytes into the parent's file.  (Worker-side activity
+  reaches the parent as drained metric snapshots instead.)
+
+Every emit is also forwarded to the ``repro.telemetry.events`` stdlib
+logger at DEBUG, so ``-vv`` tails the event stream without a file.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from pathlib import Path
+from typing import IO, Optional, Union
+
+logger = logging.getLogger(__name__)
+
+#: Event types the engine and collection layer emit, for reference and
+#: validation in tests (emitting an unlisted type is allowed).
+KNOWN_EVENTS = (
+    "campaign_started",
+    "shard_started",
+    "shard_finished",
+    "router_ingested",
+    "store_spill",
+    "ingest_rejected",
+    "campaign_finished",
+)
+
+
+class EventLog:
+    """An append-only JSONL event stream bound to one file and process."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = self.path.open("a")
+        self._pid = os.getpid()
+        self.emitted = 0
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Append one event (dropped silently in forked children)."""
+        handle = self._handle
+        if handle is None or os.getpid() != self._pid:
+            return
+        record = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        handle.write(json.dumps(record, default=str))
+        handle.write("\n")
+        self.emitted += 1
+        logger.debug("event %s %s", event, fields)
+
+    def flush(self) -> None:
+        if self._handle is not None and os.getpid() == self._pid:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None and os.getpid() == self._pid:
+            self._handle.close()
+        self._handle = None
+
+
+_ACTIVE: Optional[EventLog] = None
+
+
+def enable(path: Union[str, Path]) -> EventLog:
+    """Open *path* as the process's event log (closing any previous one)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = EventLog(path)
+    return _ACTIVE
+
+
+def disable() -> Optional[EventLog]:
+    """Close and deactivate the event log; returns it (already closed)."""
+    global _ACTIVE
+    log, _ACTIVE = _ACTIVE, None
+    if log is not None:
+        log.close()
+    return log
+
+
+def is_enabled() -> bool:
+    """True while an event log is active in this process."""
+    return _ACTIVE is not None
+
+
+def active() -> Optional[EventLog]:
+    """The active event log, or None when disabled."""
+    return _ACTIVE
+
+
+def emit(event: str, **fields: object) -> None:
+    """Emit one event to the active log (no-op when disabled)."""
+    log = _ACTIVE
+    if log is not None:
+        log.emit(event, **fields)
+
+
+def read_events(path: Union[str, Path]) -> list:
+    """Parse a JSONL event file back into dicts (for tests and tooling)."""
+    events = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

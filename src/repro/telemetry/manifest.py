@@ -1,0 +1,171 @@
+"""Run manifests: everything needed to reproduce a campaign artifact.
+
+The original study's datasets are only usable because each release
+recorded *how* it was produced; our engine's determinism contract makes
+that cheap — a run is fully described by its config + seed + code
+revision.  :class:`RunManifest` captures exactly that, plus the wall
+times and the final ``study_digest`` so an artifact directory is
+self-certifying: re-running the recorded config must reproduce the
+recorded digest bit for bit.
+
+The manifest is plain JSON (``manifest.json`` in the telemetry
+directory); :func:`validate_manifest` is the schema check CI's telemetry
+smoke job runs against fresh artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Bump when manifest fields change incompatibly.
+MANIFEST_SCHEMA = 1
+
+#: Required top-level keys and their types (validation contract).
+_REQUIRED: Dict[str, type] = {
+    "schema": int,
+    "tool": str,
+    "created_utc": str,
+    "seed": int,
+    "config": dict,
+    "versions": dict,
+    "wall_seconds": float,
+    "digest": str,
+    "routers": int,
+}
+
+
+class ManifestError(ValueError):
+    """A manifest failed validation; ``problems`` lists every issue."""
+
+    def __init__(self, problems: List[str]):
+        super().__init__("; ".join(problems))
+        self.problems = problems
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """One campaign run's reproducibility record."""
+
+    seed: int
+    config: Dict[str, Any]
+    digest: str
+    routers: int
+    wall_seconds: float
+    versions: Dict[str, str] = field(default_factory=dict)
+    git_rev: Optional[str] = None
+    platform: str = ""
+    created_utc: str = ""
+    workers: int = 1
+    artifacts: List[str] = field(default_factory=list)
+    schema: int = MANIFEST_SCHEMA
+    tool: str = "repro"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunManifest":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+def collect_versions() -> Dict[str, str]:
+    """Interpreter and package versions that could change the output."""
+    import numpy
+
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "repro": __version__,
+    }
+
+
+def git_revision(cwd: Union[str, Path, None] = None) -> Optional[str]:
+    """The repo's HEAD commit, or None outside a git checkout."""
+    where = Path(cwd) if cwd is not None else Path(__file__).parent
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=where,
+            capture_output=True, text=True, timeout=5, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def config_to_dict(config: Any) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.core.pipeline.StudyConfig` to plain JSON."""
+    if dataclasses.is_dataclass(config):
+        return json.loads(json.dumps(dataclasses.asdict(config),
+                                     default=str))
+    return dict(config)
+
+
+def build_manifest(config: Any, seed: int, digest: str, routers: int,
+                   wall_seconds: float, workers: int = 1,
+                   artifacts: Optional[List[str]] = None) -> RunManifest:
+    """Assemble the manifest for one finished run."""
+    return RunManifest(
+        seed=seed,
+        config=config_to_dict(config),
+        digest=digest,
+        routers=routers,
+        wall_seconds=float(wall_seconds),
+        versions=collect_versions(),
+        git_rev=git_revision(),
+        platform=f"{platform.system()}-{platform.machine()}"
+                 f"-py{sys.version_info.major}.{sys.version_info.minor}",
+        created_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        workers=workers,
+        artifacts=list(artifacts or []),
+    )
+
+
+def write_manifest(path: Union[str, Path], manifest: RunManifest) -> Path:
+    """Write *manifest* as indented JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+def load_manifest(path: Union[str, Path]) -> RunManifest:
+    """Load and validate a manifest written by :func:`write_manifest`."""
+    payload = json.loads(Path(path).read_text())
+    validate_manifest(payload)
+    return RunManifest.from_dict(payload)
+
+
+def validate_manifest(payload: Dict[str, Any]) -> None:
+    """Raise :class:`ManifestError` unless *payload* is a valid manifest."""
+    problems: List[str] = []
+    for key, kind in _REQUIRED.items():
+        if key not in payload:
+            problems.append(f"missing key {key!r}")
+        elif kind is float and isinstance(payload[key], int):
+            continue  # JSON round-trips whole floats as ints; accept both
+        elif not isinstance(payload[key], kind):
+            problems.append(
+                f"key {key!r} must be {kind.__name__}, "
+                f"got {type(payload[key]).__name__}")
+    if not problems:
+        if payload["schema"] > MANIFEST_SCHEMA:
+            problems.append(
+                f"schema {payload['schema']} is newer than supported "
+                f"{MANIFEST_SCHEMA}")
+        if len(payload["digest"]) != 64:
+            problems.append("digest must be a 64-hex-char sha256")
+        if payload["routers"] < 0 or payload["wall_seconds"] < 0:
+            problems.append("routers and wall_seconds must be >= 0")
+    if problems:
+        raise ManifestError(problems)

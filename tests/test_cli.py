@@ -64,3 +64,58 @@ class TestReportAndCaps:
     def test_run_requires_out(self):
         with pytest.raises(SystemExit):
             main(["run"])
+
+
+class TestHealthAndTelemetry:
+    def test_health_from_simulation(self, capsys):
+        assert main(["health"] + ARGS) == 0
+        output = capsys.readouterr().out
+        assert "Cohort coverage" in output
+        assert "Dataset accounting" in output
+        assert "deployed" in output
+
+    def test_health_from_archive(self, tmp_path, capsys):
+        out = tmp_path / "archive"
+        main(["run", "--out", str(out)] + ARGS)
+        capsys.readouterr()
+        assert main(["health", "--archive", str(out)]) == 0
+        assert "Cohort coverage" in capsys.readouterr().out
+
+    def test_telemetry_dir_writes_artifacts(self, tmp_path, capsys):
+        from repro.telemetry import load_manifest, parse_prometheus
+
+        out = tmp_path / "archive"
+        telemetry = tmp_path / "telemetry"
+        assert main(["run", "--out", str(out),
+                     "--telemetry-dir", str(telemetry)] + ARGS) == 0
+        assert "wrote telemetry artifacts" in capsys.readouterr().err
+        samples = parse_prometheus((telemetry / "metrics.prom").read_text())
+        assert samples[("shards_completed_total", ())] >= 1
+        manifest = load_manifest(telemetry / "manifest.json")
+        assert manifest.seed == 5
+        assert (telemetry / "events.jsonl").stat().st_size > 0
+
+    @pytest.fixture()
+    def repro_logger(self):
+        """Snapshot/restore the package logger the CLI configures."""
+        import logging
+
+        package = logging.getLogger("repro")
+        level, handlers = package.level, list(package.handlers)
+        yield package
+        package.level = level
+        package.handlers = handlers
+
+    def test_verbose_flag_logs_progress(self, repro_logger, caplog):
+        import logging
+
+        assert main(["-v", "summary"] + ARGS) == 0
+        assert repro_logger.level == logging.INFO
+        assert any(r.name.startswith("repro") and r.levelno == logging.INFO
+                   for r in caplog.records)
+
+    def test_quiet_flag_raises_threshold(self, repro_logger):
+        import logging
+
+        assert main(["-q", "summary"] + ARGS) == 0
+        assert repro_logger.level == logging.ERROR

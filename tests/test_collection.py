@@ -128,6 +128,65 @@ class TestRecordStore:
         store.add_throughput(ThroughputSeries(  # identical retry: no-op
             "US001", 0.0, np.array([1.0]), np.array([2.0])))
 
+    def test_heartbeat_delivery_tally_accumulates(self):
+        store = self.make_store()
+        store.record_heartbeat_delivery("US001", 10, 9)
+        store.record_heartbeat_delivery("US001", 5, 5)
+        assert store.heartbeat_delivery["US001"] == (15, 14)
+        assert store.to_study_data().heartbeat_delivery == {"US001": (15, 14)}
+        with pytest.raises(ValueError):
+            store.record_heartbeat_delivery("US001", 1, 2)
+
+    def test_rejection_is_counted(self):
+        from repro.telemetry import metrics
+
+        store = self.make_store()
+        store.add_heartbeats(HeartbeatLog("US001", np.array([1.0])))
+        registry = metrics.enable()
+        registry.clear()
+        try:
+            with pytest.raises(ValueError):
+                store.add_heartbeats(HeartbeatLog("US001",
+                                                  np.array([1.0, 2.0])))
+            key = ("ingest_rejections_total", (("dataset", "heartbeats"),))
+            assert registry.counters[key] == 1
+        finally:
+            metrics.disable()
+
+
+class TestServerLossAccounting:
+    def _server(self, loss):
+        from repro.collection.path import CollectionPath
+        from repro.collection.server import CollectionServer
+
+        store = RecordStore(StudyWindows())
+        store.register_router(make_info())
+        path = CollectionPath(np.random.default_rng(7), SPAN,
+                              PathConfig(packet_loss=loss,
+                                         outage_rate_per_day=0.0))
+        return CollectionServer(store, path)
+
+    def test_sent_vs_delivered_tally(self):
+        from repro.collection.batches import RecordBatch
+
+        server = self._server(loss=0.2)
+        sends = np.linspace(SPAN[0], SPAN[1] - 1, 5000)
+        server.receive_batch(RecordBatch("heartbeats", "US001", sends))
+        sent, delivered = server.store.heartbeat_delivery["US001"]
+        assert sent == 5000
+        assert delivered == len(server.store.to_study_data()
+                                .heartbeats["US001"])
+        assert 0 < delivered < sent
+
+    def test_duplicate_upload_does_not_double_count(self):
+        from repro.collection.batches import RecordBatch
+
+        server = self._server(loss=0.0)
+        sends = np.linspace(SPAN[0], SPAN[1] - 1, 100)
+        server.receive_batch(RecordBatch("heartbeats", "US001", sends))
+        server.receive_batch(RecordBatch("heartbeats", "US001", sends))
+        assert server.store.heartbeat_delivery["US001"] == (100, 100)
+
 
 class TestExportRoundTrip:
     @pytest.fixture()
@@ -157,6 +216,7 @@ class TestExportRoundTrip:
                                  "google.com", "A", 0xF0000001),
                        DnsRecord("US001", t0 + 6, "3c:07:54:aa:bb:cc",
                                  "google.com", "CNAME", None)])
+        store.record_heartbeat_delivery("US001", 4, 3)
         return store.to_study_data()
 
     def test_full_round_trip(self, study, tmp_path):
@@ -177,6 +237,7 @@ class TestExportRoundTrip:
         assert loaded.dns[0].address == 0xF0000001
         assert loaded.dns[1].address is None
         assert loaded.windows.heartbeats == study.windows.heartbeats
+        assert loaded.heartbeat_delivery == {"US001": (4, 3)}
 
     def test_public_release_withholds_traffic(self, study, tmp_path):
         root = export_study(study, tmp_path / "public",

@@ -49,3 +49,13 @@ def test_profiling_does_not_perturb_digest():
 def test_parallel_execution_matches_pin():
     data = run_study(StudyConfig(**TINY, workers=2)).data
     assert study_digest(data) == TINY_PIN
+
+
+def test_telemetry_does_not_perturb_digest(tmp_path):
+    """Full telemetry (metrics + events + manifest) is an observer too."""
+    try:
+        data = run_study(StudyConfig(**TINY),
+                         telemetry_dir=tmp_path / "telemetry").data
+    finally:
+        perf.disable()
+    assert study_digest(data) == TINY_PIN

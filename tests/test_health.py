@@ -1,0 +1,146 @@
+"""Tests for the deployment-health report (repro.telemetry.health)."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import HeartbeatLog, StudyData
+from repro.core.records import RouterInfo
+from repro.simulation.timebase import DAY, MINUTE, StudyWindows, utc
+from repro.telemetry import build_health_report, format_health_report
+
+T0 = utc(2013, 3, 1)
+SPAN = 10 * DAY
+WINDOW = (T0, T0 + SPAN)
+
+
+def _info(rid, country="US"):
+    return RouterInfo(rid, country, True, -5.0, 49800)
+
+
+def _steady(start, end, period=5 * MINUTE):
+    return np.arange(start, end, period)
+
+
+@pytest.fixture()
+def synthetic():
+    """Four routers: healthy, flapping, silent-tail dead, never-reported."""
+    healthy = _steady(T0, T0 + SPAN)
+    # A ≥10-minute gap every hour: two beats, then 55 quiet minutes.
+    hours = np.arange(T0, T0 + SPAN, 60 * MINUTE)
+    flappy = np.sort(np.concatenate([hours, hours + 5 * MINUTE]))
+    # Reported steadily, then went silent half-way through the window.
+    died = _steady(T0, T0 + SPAN / 2)
+    data = StudyData(
+        routers={"US000": _info("US000"), "US001": _info("US001"),
+                 "BR000": _info("BR000", "BR"), "BR001": _info("BR001", "BR")},
+        windows=StudyWindows(heartbeats=WINDOW),
+        heartbeats={
+            "US000": HeartbeatLog("US000", healthy),
+            "US001": HeartbeatLog("US001", flappy),
+            "BR000": HeartbeatLog("BR000", died),
+        },
+        heartbeat_delivery={"US000": (len(healthy) + 100, len(healthy)),
+                            "US001": (len(flappy), len(flappy)),
+                            "BR000": (len(died), len(died)),
+                            "BR001": (0, 0)},
+    )
+    return data
+
+
+class TestSyntheticClassification:
+    def test_statuses(self, synthetic):
+        report = build_health_report(synthetic)
+        by_id = {r.router_id: r for r in report.routers}
+        assert by_id["US000"].status == "ok"
+        assert by_id["US001"].status == "flapping"
+        assert by_id["BR000"].status == "dead"     # silent through the tail
+        assert by_id["BR001"].status == "dead"     # never delivered a beat
+        assert report.dead_routers == ["BR000", "BR001"]
+        assert report.flapping_routers == ["US001"]
+
+    def test_flapping_rate_exceeds_threshold(self, synthetic):
+        report = build_health_report(synthetic)
+        flappy = next(r for r in report.routers if r.router_id == "US001")
+        assert flappy.downtimes_per_day >= 3.0
+        assert flappy.last_seen == pytest.approx(
+            synthetic.heartbeats["US001"].timestamps[-1])
+
+    def test_loss_accounting(self, synthetic):
+        report = build_health_report(synthetic)
+        by_id = {r.router_id: r for r in report.routers}
+        healthy = by_id["US000"]
+        assert healthy.heartbeats_sent == healthy.heartbeats_delivered + 100
+        assert healthy.loss_rate == pytest.approx(
+            100 / healthy.heartbeats_sent)
+        assert by_id["US001"].loss_rate == 0.0
+        assert by_id["BR001"].loss_rate == 0.0  # sent nothing, lost nothing
+        sent = sum(s for s, _ in synthetic.heartbeat_delivery.values())
+        delivered = sum(d for _, d in synthetic.heartbeat_delivery.values())
+        assert report.heartbeat_loss_rate == pytest.approx(
+            1 - delivered / sent)
+
+    def test_loss_rate_none_without_tally(self, synthetic):
+        synthetic.heartbeat_delivery = {}
+        report = build_health_report(synthetic)
+        assert report.heartbeat_loss_rate is None
+        assert all(r.loss_rate is None or r.heartbeats_delivered == 0
+                   for r in report.routers)
+
+    def test_country_coverage(self, synthetic):
+        report = build_health_report(synthetic)
+        coverage = {c.country_code: c for c in report.countries}
+        assert coverage["US"].deployed == 2
+        assert coverage["US"].reporting == 2
+        assert coverage["US"].coverage == 1.0
+        assert coverage["BR"].deployed == 2
+        assert coverage["BR"].reporting == 1  # BR000 reported, then died
+        assert coverage["BR"].coverage == 0.5
+
+    def test_tunable_thresholds(self, synthetic):
+        lax = build_health_report(synthetic, dead_tail_fraction=0.6,
+                                  flapping_rate_per_day=1000.0)
+        by_id = {r.router_id: r for r in lax.routers}
+        assert by_id["BR000"].status == "ok"   # tail now reaches its beats
+        assert by_id["US001"].status == "ok"   # threshold out of reach
+        with pytest.raises(ValueError):
+            build_health_report(synthetic, dead_tail_fraction=1.5)
+
+    def test_to_dict_and_json(self, synthetic):
+        payload = build_health_report(synthetic).to_dict()
+        assert payload["window"] == list(WINDOW)
+        assert payload["dead_routers"] == ["BR000", "BR001"]
+        assert len(payload["routers"]) == 4
+
+    def test_format_sections(self, synthetic):
+        text = format_health_report(build_health_report(synthetic))
+        assert "Cohort coverage" in text
+        assert "2 dead, 1 flapping" in text
+        assert "Dataset accounting" in text
+        assert "US001" in text and "BR001" in text
+
+
+class TestSeededCampaign:
+    def test_report_matches_campaign(self, small_data):
+        report = build_health_report(small_data)
+        assert sum(c.deployed for c in report.countries) == \
+            len(small_data.routers)
+        assert len(report.routers) == len(small_data.routers)
+        assert {r.status for r in report.routers} <= {"ok", "dead",
+                                                      "flapping"}
+        # The simulated path drops a few percent of heartbeats, never most.
+        assert 0.0 < report.heartbeat_loss_rate < 0.5
+        assert report.dataset_records["flows"] == len(small_data.flows)
+        assert report.dataset_records["heartbeats"] == \
+            sum(len(log) for log in small_data.heartbeats.values())
+
+    def test_per_router_tally_covers_every_reporter(self, small_data):
+        report = build_health_report(small_data)
+        for health in report.routers:
+            if health.heartbeats_delivered:
+                assert health.heartbeats_sent is not None
+                assert health.heartbeats_sent >= health.heartbeats_delivered
+
+    def test_format_renders(self, small_data):
+        text = format_health_report(build_health_report(small_data))
+        assert "Cohort coverage" in text
+        assert "Dataset accounting" in text

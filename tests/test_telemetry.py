@@ -1,0 +1,343 @@
+"""Tests for the campaign telemetry subsystem (repro.telemetry)."""
+
+import json
+import math
+
+import pytest
+
+from repro import StudyConfig, perf, run_study
+from repro.telemetry import (
+    ManifestError,
+    build_manifest,
+    events,
+    load_manifest,
+    metrics,
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+    validate_manifest,
+    write_manifest,
+)
+from repro.telemetry.events import EventLog, read_events
+from repro.telemetry.manifest import MANIFEST_SCHEMA, RunManifest
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_sinks():
+    """Every test starts and ends with telemetry deactivated."""
+    metrics.disable()
+    events.disable()
+    yield
+    metrics.disable()
+    events.disable()
+    perf.disable()
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("records_ingested_total", 5, dataset="flows")
+        reg.inc("records_ingested_total", 3, dataset="flows")
+        reg.inc("records_ingested_total", 2, dataset="dns")
+        snap = reg.snapshot()
+        key = ("records_ingested_total", (("dataset", "flows"),))
+        assert snap["counters"][key] == 8
+        assert snap["counters"][
+            ("records_ingested_total", (("dataset", "dns"),))] == 2
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 1, b="2", a="1")
+        reg.inc("x", 1, a="1", b="2")
+        assert reg.counters[("x", (("a", "1"), ("b", "2")))] == 2
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("campaign_routers", 10)
+        reg.set_gauge("campaign_routers", 126)
+        assert reg.gauges[("campaign_routers", ())] == 126
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        bounds = (1.0, 2.0, 4.0)
+        for value in (0.5, 1.5, 3.0, 100.0):
+            reg.observe("shard_seconds", value, buckets=bounds)
+        hist = reg.histograms[("shard_seconds", ())]
+        assert hist["bounds"] == bounds
+        assert hist["counts"] == [1, 1, 1, 1]  # last slot is +Inf
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(105.0)
+
+    def test_histogram_boundary_lands_in_le_bucket(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 2.0, buckets=(1.0, 2.0, 4.0))
+        assert reg.histograms[("h", ())]["counts"] == [0, 1, 0, 0]
+
+    def test_histogram_conflicting_bounds_rejected(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0, buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="conflicting"):
+            reg.observe("h", 1.0, buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="increase"):
+            reg.observe("h2", 1.0, buckets=(2.0, 1.0))
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.observe("h", 0.5, buckets=(1.0,))
+        snap = reg.snapshot()
+        reg.inc("x")
+        reg.observe("h", 0.5, buckets=(1.0,))
+        assert snap["counters"][("x", ())] == 1
+        assert snap["histograms"][("h", ())]["count"] == 1
+
+    def test_merge_simulated_worker_drains(self):
+        """The parent folds per-shard drains exactly like the engine does."""
+        parent = MetricsRegistry()
+        parent.inc("shards_completed_total")
+        for shard in range(3):
+            worker = MetricsRegistry()  # fresh registry per worker drain
+            worker.inc("records_ingested_total", 10 + shard, dataset="flows")
+            worker.inc("shards_completed_total")
+            worker.set_gauge("worker_gauge", shard)
+            worker.observe("shard_seconds", 0.2 * (shard + 1),
+                           buckets=(0.25, 0.5, 1.0))
+            snap = worker.snapshot()
+            worker.clear()
+            assert worker.counters == {}  # drain leaves nothing behind
+            parent.merge(snap)
+        assert parent.counters[
+            ("records_ingested_total", (("dataset", "flows"),))] == 33
+        assert parent.counters[("shards_completed_total", ())] == 4
+        assert parent.gauges[("worker_gauge", ())] == 2  # last drain wins
+        hist = parent.histograms[("shard_seconds", ())]
+        assert hist["count"] == 3
+        assert hist["counts"] == [1, 1, 1, 0]
+
+    def test_merge_bound_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1.0, buckets=(1.0, 2.0))
+        b.observe("h", 1.0, buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(b.snapshot())
+
+    def test_module_helpers_noop_when_disabled(self):
+        assert not metrics.is_enabled()
+        metrics.inc("x")
+        metrics.set_gauge("g", 1)
+        metrics.observe("h", 1.0)
+        assert metrics.snapshot() == {"counters": {}, "gauges": {},
+                                      "histograms": {}}
+        assert metrics.drain()["counters"] == {}
+
+    def test_module_helpers_record_when_enabled(self):
+        reg = metrics.enable()
+        assert metrics.enable() is reg  # idempotent
+        metrics.inc("x", 2)
+        snap = metrics.drain()
+        assert snap["counters"][("x", ())] == 2
+        assert reg.counters == {}  # drain cleared the live registry
+        assert metrics.disable() is reg
+        assert metrics.active() is None
+
+    def test_merge_perf_promotes_stage_timers(self):
+        metrics.enable()
+        metrics.merge_perf({"seconds": {"heartbeat": 1.5},
+                            "calls": {"heartbeat": 3},
+                            "counters": {"records_ingested": 42}})
+        snap = metrics.snapshot()
+        assert snap["counters"][
+            ("stage_seconds_total", (("stage", "heartbeat"),))] == 1.5
+        assert snap["counters"][
+            ("stage_calls_total", (("stage", "heartbeat"),))] == 3
+        assert snap["counters"][("records_ingested_total", ())] == 42
+
+
+class TestExporters:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("records_ingested_total", 7, dataset="flows")
+        reg.inc("records_ingested_total", 3, dataset="dns")
+        reg.set_gauge("campaign_routers", 126)
+        reg.observe("shard_seconds", 0.3, buckets=(0.25, 0.5, 1.0))
+        reg.observe("shard_seconds", 2.0, buckets=(0.25, 0.5, 1.0))
+        return reg.snapshot()
+
+    def test_prometheus_golden(self):
+        assert render_prometheus(self._snapshot()) == (
+            '# HELP records_ingested_total '
+            'Records accepted by the collection server.\n'
+            '# TYPE records_ingested_total counter\n'
+            'records_ingested_total{dataset="dns"} 3\n'
+            'records_ingested_total{dataset="flows"} 7\n'
+            '# HELP campaign_routers Homes in the finished campaign.\n'
+            '# TYPE campaign_routers gauge\n'
+            'campaign_routers 126\n'
+            '# HELP shard_seconds '
+            "Wall-time of one shard's simulate+collect.\n"
+            '# TYPE shard_seconds histogram\n'
+            'shard_seconds_bucket{le="0.25"} 0\n'
+            'shard_seconds_bucket{le="0.5"} 1\n'
+            'shard_seconds_bucket{le="1"} 1\n'
+            'shard_seconds_bucket{le="+Inf"} 2\n'
+            'shard_seconds_sum 2.3\n'
+            'shard_seconds_count 2\n'
+        )
+
+    def test_prometheus_round_trip(self):
+        samples = parse_prometheus(render_prometheus(self._snapshot()))
+        assert samples[("records_ingested_total",
+                        (("dataset", "flows"),))] == 7
+        assert samples[("campaign_routers", ())] == 126
+        assert samples[("shard_seconds_bucket", (("le", "+Inf"),))] == 2
+        assert samples[("shard_seconds_count", ())] == 2
+        assert samples[("shard_seconds_sum", ())] == pytest.approx(2.3)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus("this is { not a metric\n")
+
+    def test_parse_handles_inf_and_comments(self):
+        samples = parse_prometheus("# just a comment\nh_bucket{le=\"+Inf\"} 4")
+        assert samples[("h_bucket", (("le", "+Inf"),))] == 4
+        assert math.isinf(parse_prometheus("x +Inf")[("x", ())])
+
+    def test_json_golden(self):
+        payload = json.loads(render_json(self._snapshot()))
+        assert payload["counters"] == [
+            {"name": "records_ingested_total", "labels": {"dataset": "dns"},
+             "value": 3},
+            {"name": "records_ingested_total", "labels": {"dataset": "flows"},
+             "value": 7},
+        ]
+        assert payload["gauges"] == [
+            {"name": "campaign_routers", "labels": {}, "value": 126}]
+        (hist,) = payload["histograms"]
+        assert hist["name"] == "shard_seconds"
+        assert hist["buckets"] == [[0.25, 0], [0.5, 1], [1.0, 0], ["+Inf", 1]]
+        assert hist["count"] == 2
+
+
+class TestEventLog:
+    def test_emit_and_read_back(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("shard_started", shard=0)
+        log.emit("shard_finished", shard=0, routers=7)
+        log.close()
+        recorded = read_events(path)
+        assert [e["event"] for e in recorded] == ["shard_started",
+                                                  "shard_finished"]
+        assert recorded[1]["routers"] == 7
+        assert all("ts" in e for e in recorded)
+        assert log.emitted == 2
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl")
+        log.close()
+        log.emit("campaign_started")  # must not raise
+        assert log.emitted == 0
+
+    def test_module_emit_noop_when_disabled(self, tmp_path):
+        assert not events.is_enabled()
+        events.emit("campaign_started")  # silently dropped
+        log = events.enable(tmp_path / "e.jsonl")
+        events.emit("campaign_started", routers=5)
+        assert events.disable() is log
+        assert read_events(tmp_path / "e.jsonl")[0]["routers"] == 5
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = build_manifest(
+            config=StudyConfig(**{"seed": 7, "router_scale": 0.1,
+                                  "duration_scale": 0.02}),
+            seed=7, digest="ab" * 32, routers=12, wall_seconds=1.25,
+            workers=2, artifacts=["metrics.prom"])
+        path = write_manifest(tmp_path / "manifest.json", manifest)
+        loaded = load_manifest(path)
+        assert loaded == manifest
+        assert loaded.schema == MANIFEST_SCHEMA
+        assert loaded.config["seed"] == 7
+        assert loaded.versions["python"]
+        assert loaded.created_utc.endswith("Z")
+
+    def test_validate_reports_every_problem(self):
+        with pytest.raises(ManifestError) as exc:
+            validate_manifest({"schema": 1, "digest": 12})
+        problems = exc.value.problems
+        assert any("missing key 'seed'" in p for p in problems)
+        assert any("'digest' must be str" in p for p in problems)
+
+    def test_validate_rejects_bad_values(self):
+        payload = build_manifest(config={"seed": 1}, seed=1,
+                                 digest="ab" * 32, routers=3,
+                                 wall_seconds=0.1).to_dict()
+        validate_manifest(payload)  # baseline: valid
+        for corrupt, match in (
+                (dict(payload, digest="short"), "64-hex"),
+                (dict(payload, routers=-1), ">= 0"),
+                (dict(payload, schema=MANIFEST_SCHEMA + 1), "newer")):
+            with pytest.raises(ManifestError, match=match):
+                validate_manifest(corrupt)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        manifest = build_manifest(config={}, seed=1, digest="ab" * 32,
+                                  routers=1, wall_seconds=0.0)
+        payload = dict(manifest.to_dict(), future_field="ignored")
+        assert RunManifest.from_dict(payload) == manifest
+
+
+class TestTelemetrySession:
+    CONFIG = StudyConfig(seed=11, router_scale=0.1, duration_scale=0.02,
+                         traffic_consents=2, low_activity_consents=0)
+
+    def test_run_study_writes_every_artifact(self, tmp_path):
+        out = tmp_path / "telemetry"
+        result = run_study(self.CONFIG, telemetry_dir=out)
+
+        # Sinks are deactivated after the run (perf stays with --profile).
+        assert not metrics.is_enabled()
+        assert not events.is_enabled()
+
+        for name in ("metrics.prom", "metrics.json", "events.jsonl",
+                     "manifest.json", "health.json", "health.txt"):
+            assert (out / name).exists(), name
+
+        samples = parse_prometheus((out / "metrics.prom").read_text())
+        n_routers = len(result.data.routers)
+        assert samples[("campaign_routers", ())] == n_routers
+        assert samples[("routers_simulated_total", ())] == n_routers
+        assert samples[("routers_ingested_total", ())] == n_routers
+        assert samples[("heartbeats_sent_total", ())] >= \
+            samples[("heartbeats_delivered_total", ())] > 0
+        assert samples[("shards_completed_total", ())] >= 1
+        assert ("stage_seconds_total", (("stage", "heartbeat"),)) in samples
+
+        manifest = load_manifest(out / "manifest.json")
+        from repro import study_digest
+        assert manifest.digest == study_digest(result.data)
+        assert manifest.routers == n_routers
+        assert manifest.seed == 11
+        assert "metrics.prom" in manifest.artifacts
+
+        recorded = [e["event"] for e in read_events(out / "events.jsonl")]
+        assert recorded[0] == "campaign_started"
+        assert recorded[-1] == "campaign_finished"
+        assert "shard_started" in recorded and "shard_finished" in recorded
+        assert "router_ingested" in recorded
+
+        health = json.loads((out / "health.json").read_text())
+        assert sum(c["deployed"] for c in health["countries"]) == n_routers
+
+    def test_parallel_run_aggregates_worker_metrics(self, tmp_path):
+        out = tmp_path / "telemetry-mp"
+        result = run_study(self.CONFIG, telemetry_dir=out, workers=2,
+                           shard_size=4)
+        samples = parse_prometheus((out / "metrics.prom").read_text())
+        n_routers = len(result.data.routers)
+        # Worker-side counters must survive the drain/merge round trip.
+        assert samples[("routers_simulated_total", ())] == n_routers
+        assert samples[("shards_completed_total", ())] == \
+            samples[("shard_seconds_count", ())] >= 2
