@@ -5,6 +5,9 @@ Usage::
     python -m repro [-v|-q] run     --out DIR [--seed N] [--scale F]
                                     [--duration F] [--public]
                                     [--telemetry-dir DIR]
+                                    [--checkpoint-dir DIR [--resume]]
+                                    [--max-shard-retries N]
+                                    [--shard-timeout SECONDS]
     python -m repro summary (--archive DIR | --seed N ...)
     python -m repro report  (--archive DIR | --seed N ...)
     python -m repro caps    (--archive DIR | --seed N ...) [--cap-gb G]
@@ -71,6 +74,21 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                         help="write campaign telemetry artifacts "
                              "(metrics.prom, metrics.json, events.jsonl, "
                              "manifest.json, health report) to DIR")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="checkpoint the campaign to DIR after every "
+                             "shard ingest (enables --resume after a crash)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted campaign from "
+                             "--checkpoint-dir (the final data is "
+                             "bitwise-identical to an uninterrupted run)")
+    parser.add_argument("--max-shard-retries", type=int, default=2,
+                        metavar="N",
+                        help="retry budget per engine shard (default 2)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="resubmit a shard still running after this "
+                             "many seconds (parallel engine only; "
+                             "default: wait forever)")
 
 
 def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
@@ -91,13 +109,19 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
         workers=args.workers,
         shard_size=args.shard_size,
         store_backend=args.store,
+        checkpoint_dir=args.checkpoint_dir,
+        max_shard_retries=args.max_shard_retries,
+        shard_timeout=args.shard_timeout,
     )
 
 
 def _simulate(args: argparse.Namespace) -> StudyData:
     """Run the configured campaign, honoring ``--profile``."""
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
     data = run_study(_config_from(args), profile=args.profile,
-                     telemetry_dir=args.telemetry_dir).data
+                     telemetry_dir=args.telemetry_dir,
+                     resume=args.resume).data
     if args.profile:
         print(perf.format_table(perf.snapshot()), file=sys.stderr)
     if args.telemetry_dir:

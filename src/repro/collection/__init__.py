@@ -11,6 +11,18 @@ from repro.collection.path import CollectionPath, PathConfig
 from repro.collection.server import CollectionServer, collect_study
 from repro.collection.storage import RecordStore
 from repro.collection.export import export_study, load_study
+from repro.collection.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointError,
+    CheckpointManager,
+    campaign_fingerprint,
+)
+from repro.collection.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.collection.engine import (
+    ShardFailed,
+    resume_campaign,
+    run_campaign,
+)
 
 __all__ = [
     "CollectionPath",
@@ -20,4 +32,14 @@ __all__ = [
     "RecordStore",
     "export_study",
     "load_study",
+    "CampaignCheckpoint",
+    "CheckpointError",
+    "CheckpointManager",
+    "campaign_fingerprint",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ShardFailed",
+    "resume_campaign",
+    "run_campaign",
 ]

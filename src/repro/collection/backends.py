@@ -205,6 +205,7 @@ class SpillBackend(StoreBackend):
         self._buffered = 0
         self._runs: Dict[str, List[Path]] = {name: [] for name in LIST_DATASETS}
         self._n_runs = 0
+        self._finalized = False
         self.peak_buffered_records = 0
         # Ingest order, so finalize matches MemoryBackend's dict order
         # (exports iterate these dicts; sorted-glob order would differ).
@@ -244,6 +245,11 @@ class SpillBackend(StoreBackend):
 
     def _spill(self) -> None:
         spilled = self._buffered
+        if not spilled:
+            # An empty spill (repeated finalize, a checkpoint flush with
+            # nothing buffered) must not advance the run numbering — it
+            # would skew the store_spills_total run ids in the event log.
+            return
         for dataset in LIST_DATASETS:
             buffer = self._buffers[dataset]
             if not buffer:
@@ -258,12 +264,75 @@ class SpillBackend(StoreBackend):
             buffer.clear()
         self._buffered = 0
         self._n_runs += 1
-        if spilled:
-            logger.debug("spilled %d records (run %d)", spilled,
-                         self._n_runs - 1)
-            metrics.inc("store_spills_total")
-            metrics.inc("spilled_records_total", spilled)
-            events.emit("store_spill", run=self._n_runs - 1, records=spilled)
+        logger.debug("spilled %d records (run %d)", spilled,
+                     self._n_runs - 1)
+        metrics.inc("store_spills_total")
+        metrics.inc("spilled_records_total", spilled)
+        events.emit("store_spill", run=self._n_runs - 1, records=spilled)
+
+    # -- durability (checkpoint support) -----------------------------------------
+
+    def flush(self) -> None:
+        """Spill any buffered records so the on-disk runs are complete."""
+        self._spill()
+
+    def state_dict(self) -> dict:
+        """Durable, JSON-able description of everything spilled so far.
+
+        Flushes first, so every record ingested up to this call is
+        referenced by the returned manifest.  Run file names are stored
+        relative to the backend root — a checkpoint directory can be
+        moved wholesale and still restore.
+        """
+        self.flush()
+        return {
+            "max_buffered_records": self.max_buffered_records,
+            "n_runs": self._n_runs,
+            "runs": {dataset: [path.name for path in self._runs[dataset]]
+                     for dataset in LIST_DATASETS},
+            "heartbeat_order": list(self._heartbeat_order),
+            "throughput_order": list(self._throughput_order),
+            "peak_buffered_records": self.peak_buffered_records,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebind this (fresh) backend to a :meth:`state_dict` snapshot.
+
+        The backend must have been constructed over the same directory
+        the snapshot was taken from; every referenced file is verified
+        to exist.  Files *not* referenced (spill runs from a crashed,
+        never-checkpointed shard) are ignored and harmlessly
+        overwritten by later spills.
+        """
+        if self._buffered or any(self._runs[d] for d in LIST_DATASETS):
+            raise RuntimeError(
+                "restore_state requires a fresh SpillBackend")
+        missing: List[str] = []
+        runs: Dict[str, List[Path]] = {}
+        for dataset in LIST_DATASETS:
+            runs[dataset] = []
+            for name in state["runs"].get(dataset, []):
+                path = self.root / "runs" / name
+                if not path.exists():
+                    missing.append(str(path))
+                runs[dataset].append(path)
+        for rid in state.get("heartbeat_order", []):
+            if not (self.root / "heartbeats" / f"{rid}.npy").exists():
+                missing.append(f"heartbeats/{rid}.npy")
+        for rid in state.get("throughput_order", []):
+            if not (self.root / "throughput" / f"{rid}.npz").exists():
+                missing.append(f"throughput/{rid}.npz")
+        if missing:
+            raise RuntimeError(
+                "spill state references missing files: "
+                + ", ".join(missing[:5]))
+        self.max_buffered_records = int(state["max_buffered_records"])
+        self._runs = runs
+        self._n_runs = int(state["n_runs"])
+        self._heartbeat_order = list(state.get("heartbeat_order", []))
+        self._throughput_order = list(state.get("throughput_order", []))
+        self.peak_buffered_records = int(
+            state.get("peak_buffered_records", 0))
 
     # -- finalize ----------------------------------------------------------------
 
@@ -273,6 +342,12 @@ class SpillBackend(StoreBackend):
                 yield _decode_record(dataset, json.loads(line))
 
     def finalize(self) -> StoreContents:
+        if self._finalized:
+            # The merge streams runs from disk; a second merge would work
+            # today but silently double-iterates gigabytes and races the
+            # temp-dir cleanup, so repeated finalize is an explicit error.
+            raise RuntimeError("SpillBackend.finalize() was already called")
+        self._finalized = True
         self._spill()
         contents = StoreContents()
         for dataset in LIST_DATASETS:

@@ -22,6 +22,17 @@ regardless of ``workers`` and ``shard_size``:
 Memory contract: workers hold O(shard_size) households; the parent holds
 a bounded window of un-ingested shard results; with the spill store
 backend, resident record count is bounded too.
+
+Fault tolerance
+---------------
+Because a retried shard re-derives everything from ``(seed, router_id)``,
+recovery never perturbs the output: worker exceptions and corrupt results
+are retried up to ``max_shard_retries`` times, a hung shard is resubmitted
+after ``shard_timeout`` seconds, a collapsed process pool is rebuilt and
+its in-flight shards resubmitted, and — with ``checkpoint_dir`` — the
+whole campaign checkpoints after every ingest so a killed run resumes via
+:func:`resume_campaign` with a bitwise-identical final ``StudyData``.
+See DESIGN.md §9 for the full failure model.
 """
 
 from __future__ import annotations
@@ -29,8 +40,11 @@ from __future__ import annotations
 import logging
 import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from typing import Deque, List, Optional, Tuple, Union
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro import perf
 from repro.telemetry import events, metrics
@@ -40,7 +54,15 @@ from repro.firmware.router import BismarkRouter
 from repro.simulation.deployment import DeploymentPlan, materialize_shard
 from repro.simulation.domains import build_domain_universe
 from repro.simulation.seeding import SeedHierarchy
+from repro.collection.backends import SpillBackend
 from repro.collection.batches import RouterUpload, router_output_to_batches
+from repro.collection.checkpoint import (
+    CheckpointManager,
+    campaign_fingerprint,
+    write_campaign_checkpoint,
+)
+from repro.collection.faults import FaultPlan
+from repro.collection.faults import trigger as _trigger_fault
 from repro.collection.path import CollectionPath, PathConfig
 from repro.collection.server import CollectionServer
 from repro.collection.storage import RecordStore
@@ -53,6 +75,16 @@ logger = logging.getLogger(__name__)
 #: stays negligible.
 DEFAULT_SHARD_SIZE = 16
 
+#: Default bounded retry budget per shard (attempts = retries + 1).
+DEFAULT_MAX_SHARD_RETRIES = 2
+
+#: Base of the linear retry backoff, seconds (sleep = backoff × attempt).
+DEFAULT_RETRY_BACKOFF = 0.05
+
+
+class ShardFailed(RuntimeError):
+    """A shard exhausted its retry budget; the campaign cannot finish."""
+
 
 def shard_count(n_homes: int, shard_size: Optional[int] = None) -> int:
     """How many shards a deployment splits into."""
@@ -64,7 +96,8 @@ def shard_count(n_homes: int, shard_size: Optional[int] = None) -> int:
 
 def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
               seed: Optional[int] = None, collect_perf: bool = False,
-              collect_metrics: bool = False,
+              collect_metrics: bool = False, attempt: int = 0,
+              fault_plan: Optional[FaultPlan] = None,
               ) -> Union[List[RouterUpload],
                          Tuple[List[RouterUpload], dict]]:
     """Materialize and run one shard's routers; return their uploads.
@@ -79,7 +112,15 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
     forked worker never re-ships counts inherited from its parent.
     Neither collector touches any RNG, so the uploads are
     bitwise-identical with or without them.
+
+    *attempt* and *fault_plan* belong to the fault-injection harness
+    (:mod:`repro.collection.faults`): a fault scheduled at this
+    ``(shard_index, attempt)`` coordinate fires here, in the process
+    that runs the shard.  Uploads never depend on the attempt number.
     """
+    fault = fault_plan.lookup(shard_index, attempt) if fault_plan else None
+    if fault is not None and fault.kind != "corrupt":
+        _trigger_fault(fault)
     if collect_perf:
         perf.enable()
     if collect_metrics:
@@ -107,6 +148,10 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
             info=household.info,
             batches=tuple(router_output_to_batches(output)),
         ))
+    if fault is not None and fault.kind == "corrupt":
+        # Transient corruption: drop the tail upload so the parent's
+        # result validation catches the truncation and retries.
+        uploads = uploads[:-1]
     metrics.inc("routers_simulated_total", len(households))
     metrics.inc("shards_completed_total")
     metrics.observe("shard_seconds", time.perf_counter() - t0)
@@ -120,12 +165,44 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
     return uploads
 
 
+def _validate_uploads(plan: DeploymentPlan, shard_index: int, n_shards: int,
+                      uploads: List[RouterUpload]) -> None:
+    """Reject a shard result that does not cover exactly its homes.
+
+    The shard contract is total: one upload per household config, in
+    deployment order.  Anything else (a truncated result from a corrupt
+    transfer, a wrong shard's payload) must be retried, never ingested —
+    a silent gap would skew every per-router analysis downstream.
+    """
+    expected = [config.router_id
+                for config in plan.shard_configs(shard_index, n_shards)]
+    got = [upload.info.router_id for upload in uploads]
+    if got != expected:
+        raise ValueError(
+            f"corrupt shard {shard_index} result: expected "
+            f"{len(expected)} upload(s), got {len(got)} "
+            f"(first mismatch at {_first_mismatch(expected, got)})")
+
+
+def _first_mismatch(expected: List[str], got: List[str]) -> int:
+    for i, (a, b) in enumerate(zip(expected, got)):
+        if a != b:
+            return i
+    return min(len(expected), len(got))
+
+
 def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                  path_config: Optional[PathConfig] = None,
                  store: Optional[RecordStore] = None,
                  workers: int = 1,
                  shard_size: Optional[int] = None,
-                 profile: bool = False) -> StudyData:
+                 profile: bool = False,
+                 max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+                 shard_timeout: Optional[float] = None,
+                 retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+                 fault_plan: Optional[FaultPlan] = None,
+                 checkpoint_dir: Union[str, Path, None] = None,
+                 resume: bool = False) -> StudyData:
     """Collect the full campaign described by *plan*.
 
     ``workers=1`` runs every shard in-process; ``workers=N`` fans shards
@@ -139,73 +216,255 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
     or event log is active, the engine likewise records campaign metrics
     (worker snapshots are drained per shard and merged) and emits
     lifecycle events.  Neither observer perturbs the study RNG.
+
+    Fault tolerance: a shard whose attempt raises, returns a result that
+    fails validation, or (parallel path only) outlives *shard_timeout*
+    seconds is retried with a fresh attempt, up to *max_shard_retries*
+    retries, after a linear backoff; exhausting the budget raises
+    :class:`ShardFailed`.  A ``BrokenProcessPool`` rebuilds the pool and
+    resubmits every in-flight shard (each resubmission consumes one
+    attempt — the culprit is unknowable, and a free retry would let an
+    injected ``"exit"`` fault refire forever).  *fault_plan* injects
+    deterministic failures for testing (:mod:`repro.collection.faults`).
+
+    Crash-safe resume: with *checkpoint_dir* the engine owns a durable
+    :class:`SpillBackend` store inside that directory (*store* must be
+    ``None``) and atomically rewrites a checkpoint manifest after every
+    shard ingest; ``resume=True`` (or :func:`resume_campaign`) restores
+    store, spill, and path-RNG state from the manifest and continues at
+    the ingested-shard high-water mark.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if max_shard_retries < 0:
+        raise ValueError("max_shard_retries cannot be negative")
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise ValueError("shard_timeout must be positive")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+    if checkpoint_dir is not None and store is not None:
+        raise ValueError(
+            "checkpoint_dir and an explicit store are mutually exclusive: "
+            "the engine owns the durable store when checkpointing")
     if profile:
         perf.enable()
     profiling = perf.is_enabled()
     telemetring = metrics.is_enabled()
     seed = plan.seed if seed is None else seed
-    store = store if store is not None else RecordStore(plan.windows)
+    path_config = path_config or PathConfig()
+    n_shards = shard_count(len(plan), shard_size)
+
+    manager: Optional[CheckpointManager] = None
+    fingerprint = ""
+    if checkpoint_dir is not None:
+        manager = CheckpointManager(checkpoint_dir)
+        fingerprint = campaign_fingerprint(plan, seed, n_shards, path_config)
+        store = RecordStore(plan.windows,
+                            backend=SpillBackend(manager.store_dir))
+    elif store is None:
+        store = RecordStore(plan.windows)
     path = CollectionPath(
         SeedHierarchy(seed).generator("collection-path"),
-        plan.windows.span, path_config or PathConfig())
+        plan.windows.span, path_config)
     server = CollectionServer(store, path)
 
-    n_shards = shard_count(len(plan), shard_size)
+    start_shard = 0
+    if resume:
+        checkpoint = manager.load()
+        manager.validate(checkpoint, fingerprint)
+        store.backend.restore_state(checkpoint.backend_state)
+        store.restore_state(checkpoint.store_state)
+        path.set_rng_state(checkpoint.path_rng_state)
+        start_shard = checkpoint.shards_ingested
+        metrics.inc("campaign_resumes_total")
+        events.emit("campaign_resumed", shards_ingested=start_shard,
+                    shards=n_shards)
+        logger.info("resuming campaign at shard %d/%d", start_shard,
+                    n_shards)
+        if checkpoint.complete:
+            return store.to_study_data()
+
     logger.info("campaign: %d homes in %d shard(s), workers=%d, seed=%d",
                 len(plan), n_shards, workers, seed)
     events.emit("campaign_started", homes=len(plan), shards=n_shards,
                 workers=workers, seed=seed)
+
+    #: attempts[i] — submissions of shard i so far; the budget allows
+    #: ``max_shard_retries + 1`` in total.
+    attempts: Dict[int, int] = {}
+
+    def account_failure(index: int, reason: str,
+                        exc: Optional[BaseException] = None) -> None:
+        """Record one failed attempt; raise when the budget is spent."""
+        metrics.inc("shard_retries_total")
+        events.emit("shard_retry", shard=index, attempt=attempts[index] - 1,
+                    reason=reason)
+        logger.warning("shard %d attempt %d failed (%s); %d retr%s left",
+                       index, attempts[index] - 1, reason,
+                       max_shard_retries + 1 - attempts[index],
+                       "y" if max_shard_retries + 1 - attempts[index] == 1
+                       else "ies")
+        if attempts[index] > max_shard_retries:
+            raise ShardFailed(
+                f"shard {index} failed {attempts[index]} time(s) "
+                f"({reason}); retry budget exhausted") from exc
+        if retry_backoff > 0:
+            time.sleep(retry_backoff * attempts[index])
+
+    def ingest_uploads(index: int, ingested: int,
+                       uploads: List[RouterUpload]) -> None:
+        """Stream one shard's uploads into the server, then checkpoint."""
+        events.emit("shard_finished", shard=index, routers=len(uploads))
+        logger.debug("shard %d/%d finished (%d routers)",
+                     index + 1, n_shards, len(uploads))
+        for upload in uploads:
+            with perf.stage("ingest"):
+                server.ingest(upload)
+        if manager is not None:
+            write_campaign_checkpoint(manager, fingerprint, n_shards,
+                                      ingested, path, store)
+
     if workers == 1 or n_shards == 1:
-        for index in range(n_shards):
-            events.emit("shard_started", shard=index)
-            uploads = run_shard(plan, index, n_shards, seed)
-            events.emit("shard_finished", shard=index, routers=len(uploads))
-            for upload in uploads:
-                with perf.stage("ingest"):
-                    server.ingest(upload)
+        for index in range(start_shard, n_shards):
+            while True:
+                attempt = attempts.get(index, 0)
+                attempts[index] = attempt + 1
+                events.emit("shard_started", shard=index, attempt=attempt)
+                try:
+                    uploads = run_shard(plan, index, n_shards, seed,
+                                        attempt=attempt,
+                                        fault_plan=fault_plan)
+                    _validate_uploads(plan, index, n_shards, uploads)
+                    break
+                except ShardFailed:
+                    raise
+                except Exception as exc:
+                    account_failure(index, type(exc).__name__, exc)
+            ingest_uploads(index, index + 1, uploads)
         return store.to_study_data()
 
     # Parallel path: a sliding submission window keeps every worker fed
     # while bounding how many finished-but-not-ingested shard results the
     # parent holds; results are consumed strictly in shard order.
-    max_workers = min(workers, n_shards)
+    max_workers = min(workers, n_shards - start_shard)
     window = 2 * max_workers
     collect = profiling or telemetring
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        pending: Deque = deque()
-        next_shard = 0
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        pending: Deque[Tuple[int, Future]] = deque()
+        next_shard = start_shard
 
-        def submit(index: int):
-            events.emit("shard_started", shard=index)
-            return pool.submit(run_shard, plan, index, n_shards, seed,
-                               profiling, telemetring)
+        def submit(index: int) -> Tuple[int, Future]:
+            # The attempt counter advances only after pool.submit
+            # succeeds — a submission that dies on a broken pool never
+            # happened, so it must not burn retry budget.
+            attempt = attempts.get(index, 0)
+            future = pool.submit(run_shard, plan, index, n_shards, seed,
+                                 profiling, telemetring, attempt,
+                                 fault_plan)
+            attempts[index] = attempt + 1
+            events.emit("shard_started", shard=index, attempt=attempt)
+            return index, future
 
-        while next_shard < n_shards and len(pending) < window:
-            pending.append(submit(next_shard))
-            next_shard += 1
-        ingest_shard = 0
+        def rebuild_pool(exc: BaseException) -> None:
+            # A worker died hard; the whole pool is unusable.  Every
+            # in-flight shard is charged one attempt (the culprit is
+            # unknowable — a free retry would let an injected "exit"
+            # fault refire forever) and resubmitted into a fresh pool,
+            # preserving ingest order.
+            nonlocal pool
+            metrics.inc("pool_rebuilds_total")
+            events.emit("pool_rebuilt", in_flight=len(pending))
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            indices = [i for i, _ in pending]
+            for i in indices:
+                account_failure(i, "BrokenProcessPool", exc)
+            pending.clear()
+            for i in indices:
+                pending.append(submit(i))
+
+        def resubmit_head(index: int) -> None:
+            try:
+                pending[0] = submit(index)
+            except BrokenProcessPool as exc:
+                # The pool collapsed while the head was failing for its
+                # own reasons; the rebuild resubmits the head too.
+                rebuild_pool(exc)
+
+        def top_up() -> None:
+            nonlocal next_shard
+            try:
+                while next_shard < n_shards and len(pending) < window:
+                    pending.append(submit(next_shard))
+                    next_shard += 1
+            except BrokenProcessPool:
+                # Defer recovery: the next head wait observes the
+                # collapse and triggers the rebuild with full context.
+                pass
+
+        top_up()
+        ingested = start_shard
         while pending:
-            result = pending.popleft().result()
-            if collect:
-                uploads, extras = result
-                if "perf" in extras:
-                    perf.merge(extras["perf"])
-                if "metrics" in extras:
-                    metrics.merge(extras["metrics"])
-            else:
-                uploads = result
-            events.emit("shard_finished", shard=ingest_shard,
-                        routers=len(uploads))
-            logger.debug("shard %d/%d finished (%d routers)",
-                         ingest_shard + 1, n_shards, len(uploads))
-            ingest_shard += 1
-            while next_shard < n_shards and len(pending) < window:
-                pending.append(submit(next_shard))
-                next_shard += 1
-            for upload in uploads:
-                with perf.stage("ingest"):
-                    server.ingest(upload)
+            index, future = pending[0]
+            try:
+                # The timeout clock starts at the head wait, not at
+                # submission — a shard that merely queued behind others
+                # must not be declared hung.
+                result = future.result(timeout=shard_timeout)
+                if collect:
+                    uploads, extras = result
+                else:
+                    uploads, extras = result, {}
+                _validate_uploads(plan, index, n_shards, uploads)
+            except FutureTimeoutError:
+                # Straggler: resubmit the head and abandon the hung
+                # attempt (its worker finishes eventually; the orphaned
+                # result is dropped on the floor).
+                metrics.inc("shard_timeouts_total")
+                events.emit("shard_timeout", shard=index,
+                            timeout=shard_timeout)
+                account_failure(index, "timeout")
+                resubmit_head(index)
+                continue
+            except BrokenProcessPool as exc:
+                rebuild_pool(exc)
+                continue
+            except Exception as exc:
+                account_failure(index, type(exc).__name__, exc)
+                resubmit_head(index)
+                continue
+            pending.popleft()
+            if "perf" in extras:
+                perf.merge(extras["perf"])
+            if "metrics" in extras:
+                metrics.merge(extras["metrics"])
+            ingested += 1
+            ingest_uploads(index, ingested, uploads)
+            top_up()
+    finally:
+        pool.shutdown(wait=True)
     return store.to_study_data()
+
+
+def resume_campaign(plan: DeploymentPlan,
+                    checkpoint_dir: Union[str, Path],
+                    seed: Optional[int] = None,
+                    path_config: Optional[PathConfig] = None,
+                    workers: int = 1,
+                    shard_size: Optional[int] = None,
+                    profile: bool = False,
+                    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+                    shard_timeout: Optional[float] = None,
+                    fault_plan: Optional[FaultPlan] = None) -> StudyData:
+    """Resume a checkpointed campaign from its ingested-shard high-water
+    mark, producing the same ``StudyData`` the uninterrupted run would
+    have.  The configuration must match the original campaign (enforced
+    via the checkpoint fingerprint); worker count and store buffering may
+    differ freely.
+    """
+    return run_campaign(plan, seed=seed, path_config=path_config,
+                        workers=workers, shard_size=shard_size,
+                        profile=profile, max_shard_retries=max_shard_retries,
+                        shard_timeout=shard_timeout, fault_plan=fault_plan,
+                        checkpoint_dir=checkpoint_dir, resume=True)

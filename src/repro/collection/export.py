@@ -1,9 +1,12 @@
 """CSV/JSON round-trip of a collected study.
 
 The paper publicly released every non-PII data set; this module writes the
-same kind of archive — one CSV per data set plus a JSON manifest — and can
-load it back into a :class:`~repro.core.datasets.StudyData`, byte-for-byte
-equivalent for analysis purposes.
+same kind of archive — one CSV per data set plus a JSON manifest — and
+loads it back into a :class:`~repro.core.datasets.StudyData` that is
+``study_digest``-identical to the original: numbers are written in
+shortest-round-trip form with their int/float kind preserved, and routers
+with zero delivered heartbeats are rebuilt with empty logs rather than
+dropped.
 """
 
 from __future__ import annotations
@@ -43,6 +46,27 @@ def _write_csv(path: Path, header: "list[str]", rows) -> None:
         writer.writerows(rows)
 
 
+def _num(value) -> str:
+    """Shortest exact CSV cell for a number, preserving its int/float kind.
+
+    ``repr(float)`` is the shortest string that round-trips the exact
+    double (Python 3 guarantees this), so no precision is lost the way a
+    fixed ``.3f`` truncation loses it; integers stay integers so a
+    round-trip archive compares equal, not merely close.
+    """
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _parse_num(text: str):
+    """Inverse of :func:`_num`: int when the cell is integral, else float."""
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
 def export_study(data: StudyData, directory: _PathLike,
                  include_pii_datasets: bool = True) -> Path:
     """Write *data* as a CSV/JSON archive under *directory*.
@@ -72,7 +96,7 @@ def export_study(data: StudyData, directory: _PathLike,
                 for info in data.routers.values()))
 
     _write_csv(root / "heartbeats.csv", ["router_id", "timestamp"],
-               ((log.router_id, f"{t:.3f}")
+               ((log.router_id, _num(t))
                 for log in data.heartbeats.values()
                 for t in log.timestamps))
 
@@ -85,19 +109,19 @@ def export_study(data: StudyData, directory: _PathLike,
 
     _write_csv(root / "uptime.csv",
                ["router_id", "timestamp", "uptime_seconds"],
-               ((r.router_id, f"{r.timestamp:.3f}", f"{r.uptime_seconds:.3f}")
+               ((r.router_id, _num(r.timestamp), _num(r.uptime_seconds))
                 for r in data.uptime_reports))
 
     _write_csv(root / "capacity.csv",
                ["router_id", "timestamp", "downstream_mbps", "upstream_mbps"],
-               ((m.router_id, f"{m.timestamp:.3f}",
-                 f"{m.downstream_mbps:.6f}", f"{m.upstream_mbps:.6f}")
+               ((m.router_id, _num(m.timestamp),
+                 _num(m.downstream_mbps), _num(m.upstream_mbps))
                 for m in data.capacity))
 
     _write_csv(root / "devices.csv",
                ["router_id", "timestamp", "wired",
                 "wireless_2_4", "wireless_5"],
-               ((s.router_id, f"{s.timestamp:.3f}", s.wired,
+               ((s.router_id, _num(s.timestamp), s.wired,
                  s.wireless_2_4, s.wireless_5)
                 for s in data.device_counts))
 
@@ -106,14 +130,14 @@ def export_study(data: StudyData, directory: _PathLike,
                 "first_seen", "last_seen", "always_connected"],
                ((e.router_id, e.device_mac, e.medium.value,
                  e.spectrum.value if e.spectrum is not None else "",
-                 f"{e.first_seen:.3f}", f"{e.last_seen:.3f}",
+                 _num(e.first_seen), _num(e.last_seen),
                  int(e.always_connected))
                 for e in data.roster))
 
     _write_csv(root / "wifi.csv",
                ["router_id", "timestamp", "spectrum",
                 "neighbor_aps", "associated_clients", "channel"],
-               ((s.router_id, f"{s.timestamp:.3f}", s.spectrum.value,
+               ((s.router_id, _num(s.timestamp), s.spectrum.value,
                  s.neighbor_aps, s.associated_clients, s.channel)
                 for s in data.wifi_scans))
 
@@ -122,22 +146,22 @@ def export_study(data: StudyData, directory: _PathLike,
                    ["router_id", "timestamp", "device_mac", "domain",
                     "remote_ip", "port", "application",
                     "bytes_up", "bytes_down", "duration_seconds"],
-                   ((f.router_id, f"{f.timestamp:.3f}", f.device_mac,
+                   ((f.router_id, _num(f.timestamp), f.device_mac,
                      f.domain, f.remote_ip, f.port, f.application,
-                     f"{f.bytes_up:.1f}", f"{f.bytes_down:.1f}",
-                     f"{f.duration_seconds:.3f}")
+                     _num(f.bytes_up), _num(f.bytes_down),
+                     _num(f.duration_seconds))
                     for f in data.flows))
         _write_csv(root / "throughput.csv",
                    ["router_id", "start", "interval_seconds",
                     "up_bps", "down_bps"],
-                   ((s.router_id, f"{s.start:.3f}", s.interval_seconds,
-                     " ".join(f"{v:.1f}" for v in s.up_bps),
-                     " ".join(f"{v:.1f}" for v in s.down_bps))
+                   ((s.router_id, _num(s.start), _num(s.interval_seconds),
+                     " ".join(_num(float(v)) for v in s.up_bps),
+                     " ".join(_num(float(v)) for v in s.down_bps))
                     for s in data.throughput.values()))
         _write_csv(root / "dns.csv",
                    ["router_id", "timestamp", "device_mac", "domain",
                     "record_type", "address"],
-                   ((d.router_id, f"{d.timestamp:.3f}", d.device_mac,
+                   ((d.router_id, _num(d.timestamp), d.device_mac,
                      d.domain, d.record_type,
                      "" if d.address is None else d.address)
                     for d in data.dns))
@@ -164,7 +188,11 @@ def load_study(directory: _PathLike) -> StudyData:
             gdp_ppp_per_capita=float(row["gdp_ppp_per_capita"]),
         )
 
-    heartbeats: Dict[str, "list[float]"] = {}
+    # Seed from routers.csv so a router whose heartbeats were all lost
+    # (zero delivered) still comes back with an *empty* log instead of
+    # silently vanishing — the availability analysis (and study_digest)
+    # counts such routers.
+    heartbeats: Dict[str, "list[float]"] = {rid: [] for rid in routers}
     for row in _read_csv(root / "heartbeats.csv"):
         heartbeats.setdefault(row["router_id"], []).append(
             float(row["timestamp"]))
@@ -180,7 +208,7 @@ def load_study(directory: _PathLike) -> StudyData:
         routers=routers,
         windows=windows,
         heartbeats={
-            rid: HeartbeatLog(rid, np.asarray(times))
+            rid: HeartbeatLog(rid, np.asarray(times, dtype=float))
             for rid, times in heartbeats.items()
         },
         uptime_reports=[
@@ -235,10 +263,10 @@ def load_study(directory: _PathLike) -> StudyData:
         for row in _read_csv(root / "throughput.csv"):
             series = ThroughputSeries(
                 router_id=row["router_id"],
-                start=float(row["start"]),
+                start=_parse_num(row["start"]),
                 up_bps=np.asarray([float(v) for v in row["up_bps"].split()]),
                 down_bps=np.asarray([float(v) for v in row["down_bps"].split()]),
-                interval_seconds=float(row["interval_seconds"]),
+                interval_seconds=_parse_num(row["interval_seconds"]),
             )
             data.throughput[series.router_id] = series
         data.dns = [

@@ -1,0 +1,143 @@
+"""Deterministic fault injection for the campaign engine.
+
+Section 3.3 of the paper treats missing heartbeats as ambiguous because
+the real collection infrastructure failed: routers crashed, the
+router→server path dropped packets, and the server itself went down.
+The engine's recovery paths (bounded retries, straggler resubmission,
+process-pool rebuilds, crash-safe resume) therefore need to be testable
+*on demand* — this module injects failures into :func:`run_shard` at
+precisely chosen ``(shard, attempt)`` coordinates so CI can exercise
+every path and still assert a bitwise-identical ``study_digest``.
+
+Fault kinds:
+
+* ``"crash"`` — the shard raises :class:`InjectedFault` (an ordinary
+  worker exception; the pool survives);
+* ``"hang"`` — the shard sleeps ``hang_seconds`` before running,
+  exercising the per-shard timeout and straggler resubmission;
+* ``"corrupt"`` — the shard completes but returns a truncated upload
+  list, exercising the engine's result validation;
+* ``"exit"`` — the worker process dies via ``os._exit``, collapsing the
+  ``ProcessPoolExecutor`` (``BrokenProcessPool``) so the engine must
+  rebuild the pool.  In an in-process (serial) run this degrades to a
+  ``"crash"`` — killing the caller would defeat the test.
+
+A :class:`FaultPlan` is immutable, picklable (it rides to workers with
+the shard submission), and keyed by ``(shard, attempt)`` — so a fault
+fires on exactly one attempt and the retry of that shard runs clean,
+which is what makes recovery deterministic: the retried attempt draws
+from the same ``(seed, router_id)`` streams and produces byte-identical
+uploads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: The injectable failure modes.
+FAULT_KINDS = ("crash", "hang", "corrupt", "exit")
+
+#: Exit status used by ``"exit"`` faults (arbitrary, non-zero).
+EXIT_STATUS = 23
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``"crash"`` (or in-process ``"exit"``) fault raises."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected failure at a ``(shard, attempt)`` coordinate."""
+
+    shard: int
+    attempt: int = 0
+    kind: str = "crash"
+    #: Sleep applied by ``"hang"`` faults before the shard runs.
+    hang_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.shard < 0 or self.attempt < 0:
+            raise ValueError("shard and attempt must be non-negative")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds cannot be negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of :class:`FaultSpec` injections."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        seen: Dict[Tuple[int, int], FaultSpec] = {}
+        for spec in self.faults:
+            key = (spec.shard, spec.attempt)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate fault for shard {spec.shard} "
+                    f"attempt {spec.attempt}")
+            seen[key] = spec
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def lookup(self, shard: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault scheduled for this ``(shard, attempt)``, if any."""
+        for spec in self.faults:
+            if spec.shard == shard and spec.attempt == attempt:
+                return spec
+        return None
+
+    @classmethod
+    def seeded(cls, seed: int, n_shards: int, fault_rate: float = 0.3,
+               kinds: Sequence[str] = ("crash",),
+               hang_seconds: float = 0.25) -> "FaultPlan":
+        """Draw a reproducible plan: each shard faults on its first
+        attempt with probability *fault_rate*, with a kind drawn
+        uniformly from *kinds*.  The draw uses its own generator, so it
+        can never perturb study randomness.
+        """
+        if not 0 <= fault_rate <= 1:
+            raise ValueError("fault_rate must be in [0, 1]")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        rng = np.random.default_rng(seed)
+        faults = []
+        for shard in range(n_shards):
+            if rng.random() < fault_rate:
+                kind = kinds[int(rng.integers(len(kinds)))]
+                faults.append(FaultSpec(shard=shard, attempt=0, kind=kind,
+                                        hang_seconds=hang_seconds))
+        return cls(tuple(faults))
+
+
+def trigger(spec: FaultSpec) -> None:
+    """Fire a non-``"corrupt"`` fault inside :func:`run_shard`.
+
+    ``"corrupt"`` is not handled here — the shard must first *run* so it
+    has a result to corrupt; the caller truncates the uploads itself.
+    """
+    if spec.kind == "crash":
+        raise InjectedFault(
+            f"injected crash: shard {spec.shard} attempt {spec.attempt}")
+    if spec.kind == "hang":
+        time.sleep(spec.hang_seconds)
+        return
+    if spec.kind == "exit":
+        if multiprocessing.parent_process() is None:
+            # In-process run: killing the caller would take the campaign
+            # (and the test runner) with it, so degrade to a crash.
+            raise InjectedFault(
+                f"injected exit (in-process): shard {spec.shard} "
+                f"attempt {spec.attempt}")
+        os._exit(EXIT_STATUS)

@@ -69,6 +69,20 @@ class CollectionPath:
             events.append((t, min(t + duration, end)))
         return IntervalSet(events)
 
+    def rng_state(self) -> dict:
+        """JSON-able bit-generator state of the path's loss RNG.
+
+        Together with the deterministic ingest order this is what makes
+        a campaign resumable: a checkpoint records the state after the
+        last ingested shard, and :meth:`set_rng_state` positions a fresh
+        path exactly there, so re-ingested shards draw identical loss.
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore the loss RNG to a :meth:`rng_state` snapshot."""
+        self._rng.bit_generator.state = state
+
     def deliver(self, send_times: np.ndarray) -> np.ndarray:
         """Filter one router's heartbeat send times down to deliveries.
 

@@ -107,8 +107,23 @@ class CollectionServer:
 def collect_study(deployment: Deployment, seed: int = 2013,
                   path_config: Optional[PathConfig] = None,
                   workers: int = 1,
-                  shard_size: Optional[int] = None) -> StudyData:
-    """Run the full measurement campaign over *deployment*."""
-    from repro.collection.engine import run_campaign
+                  shard_size: Optional[int] = None,
+                  max_shard_retries: Optional[int] = None,
+                  shard_timeout: Optional[float] = None,
+                  fault_plan=None,
+                  checkpoint_dir=None,
+                  resume: bool = False) -> StudyData:
+    """Run the full measurement campaign over *deployment*.
+
+    The fault-tolerance knobs (retry budget, straggler timeout, fault
+    injection, checkpoint/resume) pass straight through to
+    :func:`repro.collection.engine.run_campaign`.
+    """
+    from repro.collection.engine import DEFAULT_MAX_SHARD_RETRIES, run_campaign
+    if max_shard_retries is None:
+        max_shard_retries = DEFAULT_MAX_SHARD_RETRIES
     return run_campaign(deployment.plan, seed=seed, path_config=path_config,
-                        workers=workers, shard_size=shard_size)
+                        workers=workers, shard_size=shard_size,
+                        max_shard_retries=max_shard_retries,
+                        shard_timeout=shard_timeout, fault_plan=fault_plan,
+                        checkpoint_dir=checkpoint_dir, resume=resume)

@@ -166,6 +166,63 @@ class RecordStore:
             self._require_registered(record.router_id)
         self.backend.append("dns", records)
 
+    # -- checkpoint support ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the store's consistency state.
+
+        Everything the store keeps *outside* the backend: router
+        registrations, the one-shot-upload fingerprints, and the
+        heartbeat delivery tallies.  Together with the backend's own
+        ``state_dict`` this is what a campaign checkpoint persists.
+        """
+        return {
+            "routers": {
+                rid: {
+                    "router_id": info.router_id,
+                    "country_code": info.country_code,
+                    "developed": bool(info.developed),
+                    "tz_offset_hours": info.tz_offset_hours,
+                    "gdp_ppp_per_capita": info.gdp_ppp_per_capita,
+                }
+                for rid, info in self._routers.items()
+            },
+            "heartbeat_uploads": {
+                rid: [size, digest]
+                for rid, (size, digest) in self._heartbeat_uploads.items()
+            },
+            "throughput_uploads": {
+                rid: list(fingerprint)
+                for rid, fingerprint in self._throughput_uploads.items()
+            },
+            "heartbeat_delivery": {
+                rid: [sent, delivered]
+                for rid, (sent, delivered) in self.heartbeat_delivery.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces current state)."""
+        self._routers = {
+            rid: RouterInfo(**fields)
+            for rid, fields in state.get("routers", {}).items()
+        }
+        self._heartbeat_uploads = {
+            rid: (int(size), digest)
+            for rid, (size, digest)
+            in state.get("heartbeat_uploads", {}).items()
+        }
+        self._throughput_uploads = {
+            rid: (int(size), digest, float(start), float(interval))
+            for rid, (size, digest, start, interval)
+            in state.get("throughput_uploads", {}).items()
+        }
+        self.heartbeat_delivery = {
+            rid: (int(sent), int(delivered))
+            for rid, (sent, delivered)
+            in state.get("heartbeat_delivery", {}).items()
+        }
+
     def to_study_data(self) -> StudyData:
         """Freeze the accumulated records into an analysis-ready bundle."""
         contents = self.backend.finalize()

@@ -65,6 +65,14 @@ class StudyConfig:
     spill_dir: Optional[str] = None
     #: Resident-record bound for the spill backend.
     spill_buffer_records: int = 8192
+    #: Checkpoint directory for crash-safe resume (the engine then owns
+    #: a durable spill store inside it; ``store_backend`` is ignored).
+    checkpoint_dir: Optional[str] = None
+    #: Retry budget per shard (attempts = retries + 1).
+    max_shard_retries: int = 2
+    #: Straggler timeout per shard, seconds (None = wait forever;
+    #: applies to the parallel engine path only).
+    shard_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.duration_scale <= 1:
@@ -79,6 +87,10 @@ class StudyConfig:
             raise ValueError("store_backend must be 'memory' or 'spill'")
         if self.spill_buffer_records < 1:
             raise ValueError("spill_buffer_records must be positive")
+        if self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries cannot be negative")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
 
     def windows(self) -> StudyWindows:
         """The (possibly shrunk) collection windows."""
@@ -127,7 +139,9 @@ def run_study(config: Optional[StudyConfig] = None,
               workers: Optional[int] = None,
               shard_size: Optional[int] = None,
               profile: bool = False,
-              telemetry_dir: Union[str, Path, None] = None) -> StudyResult:
+              telemetry_dir: Union[str, Path, None] = None,
+              resume: bool = False,
+              fault_plan=None) -> StudyResult:
     """Run the full campaign: plan homes, run firmware shards, collect.
 
     *workers* and *shard_size* override the config's engine knobs.  For a
@@ -143,6 +157,13 @@ def run_study(config: Optional[StudyConfig] = None,
     deployment-health report) to that directory.  Neither observer
     changes the collected data — ``study_digest`` is pinned identical
     with telemetry on and off.
+
+    With ``config.checkpoint_dir`` the engine owns a durable store inside
+    that directory and checkpoints after every shard ingest;
+    ``resume=True`` continues a previously interrupted campaign from its
+    checkpoint.  *fault_plan* injects deterministic failures for testing
+    (:mod:`repro.collection.faults`).  None of the fault-tolerance
+    machinery changes the collected data.
     """
     config = config or StudyConfig()
     session = None
@@ -156,11 +177,19 @@ def run_study(config: Optional[StudyConfig] = None,
             plan,
             seed=config.seed,
             path_config=config.path,
-            store=config.make_store(plan.windows),
+            # With a checkpoint directory the engine owns the durable
+            # store; otherwise the config picks the backend.
+            store=(None if config.checkpoint_dir is not None
+                   else config.make_store(plan.windows)),
             workers=effective_workers,
             shard_size=(config.shard_size if shard_size is None
                         else shard_size),
             profile=profile,
+            max_shard_retries=config.max_shard_retries,
+            shard_timeout=config.shard_timeout,
+            fault_plan=fault_plan,
+            checkpoint_dir=config.checkpoint_dir,
+            resume=resume,
         )
         if session is not None:
             session.finalize(config, data, workers=effective_workers)

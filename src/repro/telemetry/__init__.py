@@ -127,7 +127,8 @@ class TelemetrySession:
         written: List[Path] = write_metric_files(
             self.directory, metrics.snapshot())
 
-        self.health = build_health_report(data)
+        self.health = build_health_report(
+            data, metrics_snapshot=metrics.snapshot())
         health_json = self.directory / "health.json"
         health_json.write_text(self.health.to_json())
         health_txt = self.directory / "health.txt"

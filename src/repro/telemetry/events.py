@@ -46,6 +46,12 @@ KNOWN_EVENTS = (
     "store_spill",
     "ingest_rejected",
     "campaign_finished",
+    # Fault-tolerance lifecycle (engine recovery + checkpoint/resume).
+    "shard_retry",
+    "shard_timeout",
+    "pool_rebuilt",
+    "checkpoint_written",
+    "campaign_resumed",
 )
 
 

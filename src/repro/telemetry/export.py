@@ -41,6 +41,11 @@ METRIC_HELP: Dict[str, str] = {
     "stage_calls_total": "Per-stage call counts (promoted from repro.perf).",
     "campaign_routers": "Homes in the finished campaign.",
     "campaign_wall_seconds": "Wall-clock duration of the campaign run.",
+    "shard_retries_total": "Shard attempts retried after a failure.",
+    "shard_timeouts_total": "Shards resubmitted as stragglers.",
+    "pool_rebuilds_total": "Worker-pool rebuilds after BrokenProcessPool.",
+    "checkpoints_written_total": "Campaign checkpoint manifests written.",
+    "campaign_resumes_total": "Campaigns resumed from a checkpoint.",
 }
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")

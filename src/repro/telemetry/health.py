@@ -37,6 +37,16 @@ DEAD_TAIL_FRACTION = 0.10
 #: A router is "flapping" above this many downtimes per observed day.
 FLAPPING_RATE_PER_DAY = 3.0
 
+#: Engine-recovery counters surfaced in the report when a metrics
+#: snapshot is provided (see :mod:`repro.collection.engine`).
+FAULT_TOLERANCE_METRICS = (
+    "shard_retries_total",
+    "shard_timeouts_total",
+    "pool_rebuilds_total",
+    "checkpoints_written_total",
+    "campaign_resumes_total",
+)
+
 
 @dataclass(frozen=True)
 class RouterHealth:
@@ -77,6 +87,9 @@ class HealthReport:
     routers: Tuple[RouterHealth, ...]
     dataset_records: Dict[str, int] = field(default_factory=dict)
     heartbeat_loss_rate: Optional[float] = None
+    #: Engine recovery counters (retries, timeouts, pool rebuilds,
+    #: checkpoints, resumes) — empty when no metrics snapshot was given.
+    fault_tolerance: Dict[str, float] = field(default_factory=dict)
 
     @property
     def dead_routers(self) -> List[str]:
@@ -138,11 +151,30 @@ def _router_health(data: StudyData, router_id: str,
     )
 
 
+def _fault_tolerance_counters(snapshot: Optional[dict]) -> Dict[str, float]:
+    """Sum the engine-recovery counters out of a metrics snapshot."""
+    if not snapshot:
+        return {}
+    totals: Dict[str, float] = {}
+    for (name, _labels), value in snapshot.get("counters", {}).items():
+        if name in FAULT_TOLERANCE_METRICS:
+            totals[name] = totals.get(name, 0.0) + float(value)
+    return totals
+
+
 def build_health_report(
         data: StudyData,
         dead_tail_fraction: float = DEAD_TAIL_FRACTION,
-        flapping_rate_per_day: float = FLAPPING_RATE_PER_DAY) -> HealthReport:
-    """Compute the deployment-health report for one campaign's data."""
+        flapping_rate_per_day: float = FLAPPING_RATE_PER_DAY,
+        metrics_snapshot: Optional[dict] = None) -> HealthReport:
+    """Compute the deployment-health report for one campaign's data.
+
+    *metrics_snapshot* (a :func:`repro.telemetry.metrics` registry
+    snapshot) is optional; when given, the engine's fault-tolerance
+    counters — retries, straggler timeouts, pool rebuilds, checkpoints,
+    resumes — are folded into :attr:`HealthReport.fault_tolerance` so
+    the operator sees recovery activity next to coverage.
+    """
     if not 0 < dead_tail_fraction < 1:
         raise ValueError("dead_tail_fraction must be in (0, 1)")
     window = data.windows.heartbeats
@@ -186,6 +218,7 @@ def build_health_report(
         routers=routers,
         dataset_records=dataset_records,
         heartbeat_loss_rate=loss_rate,
+        fault_tolerance=_fault_tolerance_counters(metrics_snapshot),
     )
 
 
@@ -223,4 +256,11 @@ def format_health_report(report: HealthReport) -> str:
           pct(report.heartbeat_loss_rate) if name == "heartbeats" else "0%")
          for name, count in sorted(report.dataset_records.items())],
         title="Dataset accounting"))
+
+    if report.fault_tolerance:
+        sections.append(render_table(
+            ["counter", "value"],
+            [(name, int(value))
+             for name, value in sorted(report.fault_tolerance.items())],
+            title="Fault tolerance"))
     return "\n\n".join(sections)

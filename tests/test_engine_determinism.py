@@ -201,6 +201,59 @@ class TestSpillBackend:
             StudyConfig().windows()).backend, MemoryBackend)
 
 
+class TestSpillDurability:
+    def test_empty_spill_does_not_advance_runs(self, tmp_path):
+        backend = SpillBackend(directory=tmp_path, max_buffered_records=4)
+        backend.flush()
+        backend.flush()
+        assert backend._n_runs == 0
+        from repro.core.records import UptimeReport
+        backend.append("uptime", [UptimeReport("r0", 1.0, 2.0)])
+        backend.flush()
+        assert backend._n_runs == 1
+        backend.flush()  # nothing buffered: run numbering must hold still
+        assert backend._n_runs == 1
+        assert [p.name for p in backend._runs["uptime"]] == \
+            ["uptime-00000.jsonl"]
+
+    def test_second_finalize_is_an_error(self, tmp_path):
+        backend = SpillBackend(directory=tmp_path)
+        backend.finalize()
+        with pytest.raises(RuntimeError):
+            backend.finalize()
+
+    def test_state_dict_round_trip(self, plan, tmp_path):
+        backend = SpillBackend(directory=tmp_path / "spill",
+                               max_buffered_records=64)
+        data = run_campaign(plan, store=RecordStore(plan.windows, backend))
+        # finalize() already ran inside to_study_data; snapshot a second
+        # backend over the same directory from the recorded state.
+        state = backend.state_dict()
+        clone = SpillBackend(directory=tmp_path / "spill",
+                             max_buffered_records=64)
+        clone.restore_state(state)
+        contents = clone.finalize()
+        assert list(contents.heartbeats) == list(data.heartbeats)
+        assert contents.lists["uptime"] == data.uptime_reports
+        assert contents.lists["dns"] == data.dns
+
+    def test_restore_requires_fresh_backend(self, plan, tmp_path):
+        backend = SpillBackend(directory=tmp_path / "spill",
+                               max_buffered_records=64)
+        run_campaign(plan, store=RecordStore(plan.windows, backend))
+        state = backend.state_dict()
+        with pytest.raises(RuntimeError):
+            backend.restore_state(state)  # not fresh: already has runs
+
+    def test_restore_rejects_missing_files(self, tmp_path):
+        backend = SpillBackend(directory=tmp_path / "a")
+        state = backend.state_dict()
+        state["runs"]["uptime"] = ["uptime-00099.jsonl"]
+        clone = SpillBackend(directory=tmp_path / "b")
+        with pytest.raises(RuntimeError):
+            clone.restore_state(state)
+
+
 class TestStudyConfigIsolation:
     def test_path_default_not_shared(self):
         a, b = StudyConfig(), StudyConfig()

@@ -1,0 +1,125 @@
+"""Archive round-trip exactness: export → load must be digest-identical.
+
+The paper's public release was the archive; if round-tripping it loses
+routers (zero-heartbeat homes) or precision (fixed-point truncation),
+every analysis over the archive silently diverges from the campaign.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import study_digest
+from repro.collection.engine import run_campaign
+from repro.collection.export import export_study, load_study
+from repro.core.datasets import HeartbeatLog, ThroughputSeries
+from repro.simulation.deployment import DeploymentConfig, build_deployment_plan
+from repro.simulation.timebase import StudyWindows
+
+SMALL = DeploymentConfig(
+    seed=11, windows=StudyWindows().scaled(0.02), router_scale=0.05,
+    traffic_consents=2, low_activity_consents=0,
+    countries=("US", "IN", "BR"))
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """A seeded campaign with one router's heartbeats all forced lost."""
+    plan = build_deployment_plan(SMALL)
+    data = run_campaign(plan)
+    # Force a zero-delivered-heartbeat router — the regression this file
+    # pins is load_study dropping such routers from the archive.
+    victim = plan.router_ids[0]
+    sent = data.heartbeat_delivery.get(victim, (len(data.heartbeats[victim]),
+                                                0))[0]
+    data.heartbeats[victim] = HeartbeatLog(victim,
+                                           np.array([], dtype=float))
+    data.heartbeat_delivery[victim] = (sent, 0)
+    return data, victim
+
+
+class TestDigestRoundTrip:
+    def test_full_archive_digest_identical(self, campaign, tmp_path):
+        data, victim = campaign
+        load = load_study(export_study(data, tmp_path / "full"))
+        assert victim in load.heartbeats
+        assert len(load.heartbeats[victim]) == 0
+        assert study_digest(load) == study_digest(data)
+
+    def test_public_archive_digest_identical(self, campaign, tmp_path):
+        data, _ = campaign
+        load = load_study(export_study(data, tmp_path / "public",
+                                       include_pii_datasets=False))
+        withheld = dataclasses.replace(data, flows=[], throughput={},
+                                       dns=[])
+        assert study_digest(load) == study_digest(withheld)
+
+    def test_double_round_trip_stable(self, campaign, tmp_path):
+        data, _ = campaign
+        once = load_study(export_study(data, tmp_path / "one"))
+        twice = load_study(export_study(once, tmp_path / "two"))
+        assert study_digest(twice) == study_digest(once)
+
+
+class TestNumericExactness:
+    def test_awkward_floats_survive(self, campaign, tmp_path):
+        data, _ = campaign
+        rid = next(rid for rid, log in data.heartbeats.items() if len(log))
+        # Values whose shortest repr needs all 17 significant digits —
+        # the cases a fixed .3f/.1f truncation destroyed.
+        awkward = np.array([0.1 + 0.2, 1.0 / 3.0, 1e9 + 1e-6])
+        data = dataclasses.replace(
+            data, heartbeats={**data.heartbeats,
+                              rid: HeartbeatLog(rid, awkward)})
+        load = load_study(export_study(data, tmp_path / "awkward"))
+        assert np.array_equal(load.heartbeats[rid].timestamps, awkward)
+        assert study_digest(load) == study_digest(data)
+
+    @pytest.mark.parametrize("interval", [60, 60.5])
+    def test_interval_kind_preserved(self, campaign, tmp_path, interval):
+        data, _ = campaign
+        assert data.throughput  # fixture includes traffic homes
+        rid, series = next(iter(data.throughput.items()))
+        data = dataclasses.replace(
+            data, throughput={
+                **data.throughput,
+                rid: dataclasses.replace(series,
+                                         interval_seconds=interval)})
+        load = load_study(export_study(data, tmp_path / f"i{interval}"))
+        back = load.throughput[rid]
+        assert back.interval_seconds == interval
+        assert type(back.interval_seconds) is type(interval)
+        assert type(back.start) is type(series.start)
+
+    def test_throughput_values_exact(self, campaign, tmp_path):
+        data, _ = campaign
+        load = load_study(export_study(data, tmp_path / "tp"))
+        for rid, series in data.throughput.items():
+            back = load.throughput[rid]
+            assert np.array_equal(back.up_bps, series.up_bps)
+            assert np.array_equal(back.down_bps, series.down_bps)
+            assert back.start == series.start
+
+
+class TestSyntheticSeries:
+    def test_manual_series_round_trip(self, tmp_path, campaign):
+        # A hand-built series with an integer start and interval: the
+        # kinds must survive export → load untouched.
+        data, _ = campaign
+        rid = next(iter(data.throughput))
+        series = ThroughputSeries(
+            router_id=rid, start=86400,
+            up_bps=np.array([0.1, 2.0 / 7.0]),
+            down_bps=np.array([1e7, 3.3]),
+            interval_seconds=60)
+        data = dataclasses.replace(data,
+                                   throughput={**data.throughput,
+                                               rid: series})
+        back = load_study(export_study(data, tmp_path / "manual"))
+        loaded = back.throughput[rid]
+        assert loaded.start == 86400 and type(loaded.start) is int
+        assert loaded.interval_seconds == 60
+        assert type(loaded.interval_seconds) is int
+        assert np.array_equal(loaded.up_bps, series.up_bps)
+        assert np.array_equal(loaded.down_bps, series.down_bps)

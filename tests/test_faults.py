@@ -1,0 +1,194 @@
+"""Fault injection and engine recovery: retries, timeouts, pool rebuilds.
+
+The oracle for every recovery path is the determinism contract: a
+campaign that crashed, hung, corrupted results, or lost its worker pool
+mid-flight must still produce a ``study_digest`` bitwise-identical to
+the fault-free serial run (pinned here for workers 1 and 4).
+"""
+
+import pytest
+
+from repro import study_digest
+from repro.collection.engine import ShardFailed, run_campaign, shard_count
+from repro.collection.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    trigger,
+)
+from repro.telemetry import metrics
+from repro.simulation.deployment import DeploymentConfig, build_deployment_plan
+from repro.simulation.timebase import StudyWindows
+
+SMALL = DeploymentConfig(
+    seed=11, windows=StudyWindows().scaled(0.02), router_scale=0.05,
+    traffic_consents=2, low_activity_consents=0,
+    countries=("US", "IN", "BR"))
+
+#: One home per shard, so every injected coordinate actually fires.
+SHARD_SIZE = 1
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_deployment_plan(SMALL)
+
+
+@pytest.fixture(scope="module")
+def reference(plan):
+    """Digest of the fault-free serial run — the bitwise oracle."""
+    return study_digest(run_campaign(plan, shard_size=SHARD_SIZE))
+
+
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(shard=0, kind="meteor")
+        with pytest.raises(ValueError):
+            FaultSpec(shard=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(shard=0, attempt=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(shard=0, kind="hang", hang_seconds=-1.0)
+
+    def test_duplicate_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan((FaultSpec(shard=1), FaultSpec(shard=1, kind="hang")))
+
+    def test_lookup(self):
+        plan = FaultPlan((FaultSpec(shard=2, attempt=1, kind="corrupt"),))
+        assert plan.lookup(2, 1).kind == "corrupt"
+        assert plan.lookup(2, 0) is None
+        assert plan.lookup(1, 1) is None
+        assert len(plan) == 1
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(7, n_shards=40, fault_rate=0.5,
+                             kinds=FAULT_KINDS)
+        b = FaultPlan.seeded(7, n_shards=40, fault_rate=0.5,
+                             kinds=FAULT_KINDS)
+        assert a == b
+        assert all(spec.shard < 40 and spec.attempt == 0
+                   for spec in a.faults)
+        assert len(FaultPlan.seeded(7, n_shards=40, fault_rate=0.0)) == 0
+
+    def test_seeded_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(1, n_shards=4, fault_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(1, n_shards=4, kinds=("meteor",))
+
+    def test_exit_degrades_in_process(self):
+        # In the parent process an "exit" fault must not kill the test
+        # runner; it degrades to an ordinary crash.
+        with pytest.raises(InjectedFault):
+            trigger(FaultSpec(shard=0, kind="exit"))
+
+
+class TestSerialRecovery:
+    def test_crash_is_retried_bitwise_identical(self, plan, reference):
+        faults = FaultPlan((FaultSpec(shard=1, kind="crash"),
+                            FaultSpec(shard=3, kind="crash"),))
+        data = run_campaign(plan, shard_size=SHARD_SIZE, fault_plan=faults,
+                            retry_backoff=0.0)
+        assert study_digest(data) == reference
+
+    def test_corrupt_result_is_detected_and_retried(self, plan, reference):
+        faults = FaultPlan((FaultSpec(shard=0, kind="corrupt"),))
+        data = run_campaign(plan, shard_size=SHARD_SIZE, fault_plan=faults,
+                            retry_backoff=0.0)
+        assert study_digest(data) == reference
+
+    def test_serial_exit_degrades_to_crash(self, plan, reference):
+        faults = FaultPlan((FaultSpec(shard=2, kind="exit"),))
+        data = run_campaign(plan, shard_size=SHARD_SIZE, fault_plan=faults,
+                            retry_backoff=0.0)
+        assert study_digest(data) == reference
+
+    def test_retry_budget_exhausted(self, plan):
+        # Faults on attempts 0 and 1 of the same shard outlast a
+        # one-retry budget.
+        faults = FaultPlan((FaultSpec(shard=0, attempt=0),
+                            FaultSpec(shard=0, attempt=1)))
+        with pytest.raises(ShardFailed):
+            run_campaign(plan, shard_size=SHARD_SIZE, fault_plan=faults,
+                         max_shard_retries=1, retry_backoff=0.0)
+
+    def test_zero_retries_fails_fast(self, plan):
+        with pytest.raises(ShardFailed):
+            run_campaign(plan, shard_size=SHARD_SIZE,
+                         fault_plan=FaultPlan((FaultSpec(shard=0),)),
+                         max_shard_retries=0, retry_backoff=0.0)
+
+    def test_parameter_validation(self, plan):
+        with pytest.raises(ValueError):
+            run_campaign(plan, max_shard_retries=-1)
+        with pytest.raises(ValueError):
+            run_campaign(plan, shard_timeout=0.0)
+
+
+class TestParallelRecovery:
+    def test_crash_with_four_workers(self, plan, reference):
+        faults = FaultPlan((FaultSpec(shard=0, kind="crash"),
+                            FaultSpec(shard=4, kind="corrupt"),))
+        data = run_campaign(plan, shard_size=SHARD_SIZE, workers=4,
+                            fault_plan=faults, retry_backoff=0.0)
+        assert study_digest(data) == reference
+
+    def test_worker_exit_rebuilds_pool(self, plan, reference):
+        faults = FaultPlan((FaultSpec(shard=1, kind="exit"),))
+        data = run_campaign(plan, shard_size=SHARD_SIZE, workers=4,
+                            fault_plan=faults, retry_backoff=0.0)
+        assert study_digest(data) == reference
+
+    def test_concurrent_crash_and_exit(self, plan, reference):
+        # The head shard's crash retry can race a pool collapse caused
+        # by a *different* shard's exit fault: the resubmission itself
+        # then raises BrokenProcessPool from inside the retry handler,
+        # which must route into the pool rebuild, not escape.
+        faults = FaultPlan((FaultSpec(shard=0, kind="crash"),
+                            FaultSpec(shard=1, kind="exit"),
+                            FaultSpec(shard=2, kind="corrupt"),))
+        data = run_campaign(plan, shard_size=SHARD_SIZE, workers=4,
+                            fault_plan=faults, retry_backoff=0.0)
+        assert study_digest(data) == reference
+
+    def test_straggler_resubmitted_after_timeout(self, plan, reference):
+        faults = FaultPlan((FaultSpec(shard=0, kind="hang",
+                                      hang_seconds=30.0),))
+        data = run_campaign(plan, shard_size=SHARD_SIZE, workers=2,
+                            shard_timeout=0.5, fault_plan=faults,
+                            retry_backoff=0.0)
+        assert study_digest(data) == reference
+
+    def test_parallel_budget_exhausted(self, plan):
+        faults = FaultPlan((FaultSpec(shard=2, attempt=0),
+                            FaultSpec(shard=2, attempt=1)))
+        with pytest.raises(ShardFailed):
+            run_campaign(plan, shard_size=SHARD_SIZE, workers=2,
+                         fault_plan=faults, max_shard_retries=1,
+                         retry_backoff=0.0)
+
+
+class TestRecoveryTelemetry:
+    def test_retry_counters_recorded(self, plan):
+        registry = metrics.enable()
+        registry.clear()
+        try:
+            faults = FaultPlan((FaultSpec(shard=1, kind="crash"),))
+            run_campaign(plan, shard_size=SHARD_SIZE, fault_plan=faults,
+                         retry_backoff=0.0)
+            counters = metrics.snapshot()["counters"]
+            assert counters[("shard_retries_total", ())] == 1
+        finally:
+            metrics.disable()
+
+    def test_seeded_plan_survives_campaign(self, plan, reference):
+        n_shards = shard_count(len(plan), SHARD_SIZE)
+        faults = FaultPlan.seeded(99, n_shards, fault_rate=0.6,
+                                  kinds=("crash", "corrupt"))
+        assert len(faults) > 0  # the draw actually injected something
+        data = run_campaign(plan, shard_size=SHARD_SIZE, fault_plan=faults,
+                            retry_backoff=0.0)
+        assert study_digest(data) == reference

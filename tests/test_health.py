@@ -144,3 +144,36 @@ class TestSeededCampaign:
         text = format_health_report(build_health_report(small_data))
         assert "Cohort coverage" in text
         assert "Dataset accounting" in text
+
+
+class TestFaultToleranceSection:
+    SNAPSHOT = {"counters": {
+        ("shard_retries_total", ()): 3,
+        ("shard_timeouts_total", ()): 1,
+        ("checkpoints_written_total", ()): 5,
+        ("records_ingested_total", (("dataset", "dns"),)): 99,
+    }}
+
+    def test_counters_extracted(self, synthetic):
+        report = build_health_report(synthetic,
+                                     metrics_snapshot=self.SNAPSHOT)
+        assert report.fault_tolerance == {"shard_retries_total": 3.0,
+                                          "shard_timeouts_total": 1.0,
+                                          "checkpoints_written_total": 5.0}
+        assert "fault_tolerance" in report.to_dict()
+
+    def test_section_rendered_only_when_present(self, synthetic):
+        plain = format_health_report(build_health_report(synthetic))
+        assert "Fault tolerance" not in plain
+        text = format_health_report(build_health_report(
+            synthetic, metrics_snapshot=self.SNAPSHOT))
+        assert "Fault tolerance" in text
+        assert "shard_retries_total" in text
+
+    def test_labelled_counters_are_summed(self, synthetic):
+        snapshot = {"counters": {
+            ("shard_retries_total", (("shard", "1"),)): 2,
+            ("shard_retries_total", (("shard", "4"),)): 1,
+        }}
+        report = build_health_report(synthetic, metrics_snapshot=snapshot)
+        assert report.fault_tolerance["shard_retries_total"] == 3.0
