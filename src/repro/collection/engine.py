@@ -41,6 +41,7 @@ import logging
 import time
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor
+from functools import lru_cache
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
@@ -52,7 +53,7 @@ from repro.core.datasets import StudyData
 from repro.firmware.anonymize import AnonymizationPolicy
 from repro.firmware.router import BismarkRouter
 from repro.simulation.deployment import DeploymentPlan, materialize_shard
-from repro.simulation.domains import build_domain_universe
+from repro.simulation.domains import default_universe
 from repro.simulation.seeding import SeedHierarchy
 from repro.collection.backends import SpillBackend
 from repro.collection.batches import RouterUpload, router_output_to_batches
@@ -84,6 +85,20 @@ DEFAULT_RETRY_BACKOFF = 0.05
 
 class ShardFailed(RuntimeError):
     """A shard exhausted its retry budget; the campaign cannot finish."""
+
+
+@lru_cache(maxsize=1)
+def _shard_statics() -> Tuple[tuple, AnonymizationPolicy]:
+    """Per-process (domain universe, anonymization policy) pair.
+
+    Both are pure functions of nothing — the universe is deterministic and
+    the policy's pseudonym caches are input-memoized — so a worker process
+    builds them once and reuses them across every shard it runs.
+    """
+    universe = default_universe()
+    whitelist = frozenset(
+        domain.name for domain in universe if domain.whitelisted)
+    return universe, AnonymizationPolicy(whitelist=whitelist)
 
 
 def shard_count(n_homes: int, shard_size: Optional[int] = None) -> int:
@@ -127,15 +142,12 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
         metrics.enable().clear()
     t0 = time.perf_counter()
     seeds = SeedHierarchy(plan.seed if seed is None else seed)
-    universe = build_domain_universe()
-    whitelist = frozenset(
-        domain.name for domain in universe if domain.whitelisted)
-    policy = AnonymizationPolicy(whitelist=whitelist)
+    universe, policy = _shard_statics()
     uploads: List[RouterUpload] = []
     with perf.stage("materialize"):
-        households = materialize_shard(plan, shard_index, n_shards,
-                                       domain_universe=universe)
-    for household in households:
+        cohort = materialize_shard(plan, shard_index, n_shards,
+                                   domain_universe=universe)
+    for household in cohort:
         router = BismarkRouter(
             household, seeds, policy,
             collect_uptime=household.router_id in plan.uptime_routers,
@@ -152,7 +164,7 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
         # Transient corruption: drop the tail upload so the parent's
         # result validation catches the truncation and retries.
         uploads = uploads[:-1]
-    metrics.inc("routers_simulated_total", len(households))
+    metrics.inc("routers_simulated_total", len(cohort))
     metrics.inc("shards_completed_total")
     metrics.observe("shard_seconds", time.perf_counter() - t0)
     if collect_perf or collect_metrics:

@@ -187,16 +187,29 @@ def format_table(snap: Dict[str, Dict[str, float]],
     seconds = snap.get("seconds", {})
     calls = snap.get("calls", {})
     counters = snap.get("counters", {})
-    total = sum(seconds.values())
+    # Dotted names ("materialize.devices") are sub-stages nested inside a
+    # parent stage's timing: they are listed indented under their parent
+    # and excluded from the total, which sums top-level stages only.
+    top_level = [name for name in seconds if "." not in name]
+    total = sum(seconds[name] for name in top_level)
     ordered = [name for name in ENGINE_STAGES if name in seconds]
-    ordered += sorted(name for name in seconds if name not in ENGINE_STAGES)
-    rows = []
+    ordered += sorted(name for name in top_level
+                      if name not in ENGINE_STAGES)
+    with_subs = []
     for name in ordered:
+        with_subs.append(name)
+        with_subs += sorted(sub for sub in seconds
+                            if sub.startswith(name + "."))
+    with_subs += sorted(name for name in seconds
+                        if name not in with_subs)
+    rows = []
+    for name in with_subs:
         secs = seconds[name]
         n = calls.get(name, 0)
         per_call = secs / n * 1000 if n else 0.0
         share = secs / total if total > 0 else 0.0
-        rows.append((name, f"{secs:.3f}", n, f"{per_call:.2f}",
+        label = ("  " + name if "." in name else name)
+        rows.append((label, f"{secs:.3f}", n, f"{per_call:.2f}",
                      f"{share:.1%}"))
     table = render_table(["stage", "seconds", "calls", "ms/call", "share"],
                          rows, title=title)

@@ -18,6 +18,7 @@ model for 20 MHz 802.11g masks (5 channel-widths to zero overlap).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -54,6 +55,22 @@ def channel_weights(spectrum: Spectrum) -> Tuple[Tuple[int, ...], np.ndarray]:
     return channels, weights / weights.sum()
 
 
+@lru_cache(maxsize=None)
+def _channel_cdf(spectrum: Spectrum) -> Tuple[Tuple[int, ...], np.ndarray]:
+    """(channels, popularity CDF) for one band, cached per process.
+
+    The CDF is built exactly the way ``Generator.choice(p=...)`` builds it
+    internally (cumsum, then renormalize by the last element), so drawing
+    ``searchsorted(cdf, rng.random(n), side="right")`` consumes the same
+    stream values and yields the same channels bitwise — without paying
+    ``choice``'s per-call validation and array setup.
+    """
+    channels, weights = channel_weights(spectrum)
+    cdf = weights.cumsum()
+    cdf /= cdf[-1]
+    return channels, cdf
+
+
 def assign_channels(rng: np.random.Generator, spectrum: Spectrum,
                     count: int) -> List[int]:
     """Draw channel assignments for *count* neighboring APs."""
@@ -61,9 +78,9 @@ def assign_channels(rng: np.random.Generator, spectrum: Spectrum,
         raise ValueError("count cannot be negative")
     if count == 0:
         return []
-    channels, weights = channel_weights(spectrum)
-    drawn = rng.choice(channels, size=count, p=weights)
-    return [int(c) for c in drawn]
+    channels, cdf = _channel_cdf(spectrum)
+    idx = np.searchsorted(cdf, rng.random(count), side="right")
+    return [channels[i] for i in idx]
 
 
 def audible(spectrum: Spectrum, scan_channel: int, ap_channel: int) -> bool:

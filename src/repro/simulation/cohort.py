@@ -1,0 +1,493 @@
+"""Shard-wide columnar household materialization.
+
+Materializing a home used to mean building its full Python object graph —
+power schedule, outage process, wireless neighborhood, and (dominating
+everything) one Markov association timeline per device, each expanded by a
+per-hour Python loop.  At 252 homes that was ~4.4s of a ~5.8s serial
+campaign; on the road to 1M homes it is the scale ceiling.
+
+This module replaces per-home object construction with *shard-wide
+columnar generation*:
+
+* a single **draw pass** walks the shard's homes in deployment order and
+  consumes every per-home RNG stream exactly as the reference
+  ``Household.__init__`` path does (same streams, same call sequence, same
+  sizes) — the bitwise-determinism contract lives here;
+* the expensive **expansions** are batched: device association timelines
+  are solved for the whole shard at once (see :class:`_AssociationBatch`),
+  and power/link/schedule/wireless results are stored as flat column
+  arrays instead of per-home object graphs;
+* :class:`ShardCohort` holds the columns; ``Household`` becomes a thin
+  view that assembles model objects lazily from column slices
+  (:meth:`ShardCohort.household`).
+
+The Markov recurrence ``state[i] = draws[i] < (prob_on if state[i-1] else
+prob_off)[i]`` looks inherently sequential, but because the clamp keeps
+``prob_off <= prob_on`` element-wise, defining ``a = draws < prob_off``
+and ``b = draws < prob_on`` gives ``a => b`` and the recurrence becomes
+``state[i] = b[i] & (a[i] | state[i-1])``, whose closed form is: *state is
+on at hour i iff some hour j <= i has ``a[j]`` with ``b`` true on all of
+``(j, i]``*.  With ``L[i]`` the last index ``<= i`` where ``b`` is false,
+that is ``cumsum(a)[i] - cumsum(a)[L[i]] > 0`` — pure array work over the
+whole shard.  DESIGN.md §10 documents the draw-order contract and this
+derivation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import perf
+from repro.core.intervals import IntervalSet
+from repro.core.records import Spectrum
+from repro.simulation.behavior import ActivitySchedule
+from repro.simulation.device_models import (
+    KIND_CODE,
+    KIND_ORDER,
+    SPECTRUM_BY_CODE,
+    SimDevice,
+    association_probs,
+    association_span_hours,
+    association_time_index,
+    generate_device_draws,
+    kind_traits,
+)
+from repro.netutils.mac import MacAddress
+from repro.simulation.domains import Domain, default_universe
+from repro.simulation.household import Household, HouseholdConfig
+from repro.simulation.link import AccessLink, AccessLinkConfig
+from repro.simulation.power import (
+    MODE_APPLIANCE,
+    AlwaysOnPower,
+    AppliancePower,
+    draw_power_model,
+)
+from repro.simulation.seeding import SeedHierarchy
+from repro.simulation.timebase import HOUR, StudyCalendar
+from repro.simulation.wireless import (
+    WirelessEnvironment,
+    WirelessEnvironmentConfig,
+)
+
+#: Cap on boolean cells (rows × hours) buffered before an association
+#: flush, bounding the batch solver's peak memory to tens of MB even when
+#: one shard holds a 10k-home cohort.
+_ASSOCIATION_CELL_BUDGET = 4_000_000
+
+_SPECTRA = (Spectrum.GHZ_2_4, Spectrum.GHZ_5)
+
+
+class _AssociationBatch:
+    """Batched solver for the per-device Markov association recurrence.
+
+    ``push`` takes one device's gate rows (``a``/``b`` — see the module
+    docstring) and returns a slot index; flushes solve every buffered row
+    in one vectorized pass and extract the connected runs.  Interval
+    epochs are computed with the same float expressions as the scalar
+    reference (``span_start + hour_index * HOUR``), so the resulting
+    intervals are bitwise-identical.
+    """
+
+    def __init__(self, span: Tuple[float, float], hours: int,
+                 cell_budget: int = _ASSOCIATION_CELL_BUDGET):
+        self.span = span
+        self.hours = hours
+        self._rows_per_flush = max(1, cell_budget // max(hours, 1))
+        self._a_rows: List[np.ndarray] = []
+        self._b_rows: List[np.ndarray] = []
+        self._starts: List[np.ndarray] = []
+        self._ends: List[np.ndarray] = []
+        self._n_pushed = 0
+
+    def push(self, a_row: np.ndarray, b_row: np.ndarray) -> int:
+        slot = self._n_pushed
+        self._n_pushed += 1
+        self._a_rows.append(a_row)
+        self._b_rows.append(b_row)
+        if len(self._a_rows) >= self._rows_per_flush:
+            self._flush()
+        return slot
+
+    def _flush(self) -> None:
+        if not self._a_rows:
+            return
+        a = np.vstack(self._a_rows)
+        b = np.vstack(self._b_rows)
+        self._a_rows.clear()
+        self._b_rows.clear()
+        n_rows, hours = a.shape
+        # state[i] = b[i] & (a[i] | state[i-1]): the device is on at hour i
+        # iff some a-true hour j <= i has b true over (j, i].  Equivalently
+        # the a-count since the last b-false hour is positive.  csum is
+        # nondecreasing, so "csum at the last b-false index" is just the
+        # running maximum of csum masked to b-false positions (0 before
+        # the first one) — no index gymnastics needed.
+        csum = np.cumsum(a, axis=1, dtype=np.int32)
+        csum_at_last_false = np.maximum.accumulate(
+            np.where(b, 0, csum), axis=1)
+        state = (csum - csum_at_last_false) > 0
+        # Run extraction: pad each row with an off hour on both sides; the
+        # transitions then pair up as (run start, run end) column indices.
+        padded = np.zeros((n_rows, hours + 2), dtype=bool)
+        padded[:, 1:hours + 1] = state
+        transitions = padded[:, 1:] != padded[:, :-1]
+        rows, cols = np.nonzero(transitions)
+        start_cols = cols[0::2]
+        end_cols = cols[1::2]
+        span_start, span_end = self.span
+        run_starts = span_start + start_cols * HOUR
+        run_ends = np.minimum(span_start + end_cols * HOUR, span_end)
+        counts = np.bincount(rows[0::2], minlength=n_rows)
+        boundaries = np.cumsum(counts)[:-1]
+        self._starts.extend(np.split(run_starts, boundaries))
+        self._ends.extend(np.split(run_ends, boundaries))
+
+    def finalize(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Solve the remainder; return (flat starts, flat ends, offsets)."""
+        self._flush()
+        if self._starts:
+            flat_starts = np.concatenate(self._starts)
+            flat_ends = np.concatenate(self._ends)
+            lengths = np.fromiter((arr.size for arr in self._starts),
+                                  dtype=np.int64, count=len(self._starts))
+        else:
+            flat_starts = np.empty(0)
+            flat_ends = np.empty(0)
+            lengths = np.empty(0, dtype=np.int64)
+        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        self._starts.clear()
+        self._ends.clear()
+        return flat_starts, flat_ends, offsets
+
+
+def _flatten(parts: List[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-home arrays into (flat values, offsets)."""
+    lengths = np.fromiter((arr.size for arr in parts), dtype=np.int64,
+                          count=len(parts))
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    flat = (np.concatenate(parts) if parts else np.empty(0))
+    return flat, offsets
+
+
+class ShardCohort(Sequence):
+    """Column-array cohort for one shard, with lazy ``Household`` views.
+
+    Behaves as an immutable sequence of :class:`Household` objects (so
+    existing callers that iterate, index, or slice a materialized shard
+    keep working), but the per-home models only come into existence when
+    a view attribute is first touched — and then only as thin objects
+    wrapping column slices.
+    """
+
+    def __init__(self, seed: int, configs: Sequence[HouseholdConfig],
+                 universe: Sequence[Domain], columns: Dict[str, object]):
+        self.seed = seed
+        self.configs = tuple(configs)
+        self.universe = universe
+        self.seeds = SeedHierarchy(seed)
+        self._columns = columns
+        self._views: List[Optional[Household]] = [None] * len(self.configs)
+        self._calendars: Dict[float, StudyCalendar] = {}
+
+    # -- sequence protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self.household(i)
+                    for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("cohort index out of range")
+        return self.household(index)
+
+    def household(self, index: int) -> Household:
+        """The (cached) household view at *index*."""
+        view = self._views[index]
+        if view is None:
+            view = Household._from_cohort(self, index)
+            self._views[index] = view
+        return view
+
+    def calendar_for(self, config: HouseholdConfig) -> StudyCalendar:
+        tz = config.country.tz_offset_hours
+        calendar = self._calendars.get(tz)
+        if calendar is None:
+            calendar = self._calendars[tz] = StudyCalendar(tz)
+        return calendar
+
+    # -- column slice assembly ------------------------------------------------
+
+    def _interval_slice(self, flat_key: str, index: int) -> IntervalSet:
+        starts, ends, offsets = self._columns[flat_key]
+        lo, hi = offsets[index], offsets[index + 1]
+        return IntervalSet.from_normalized_arrays(starts[lo:hi],
+                                                  ends[lo:hi])
+
+    def _build_schedule(self, index: int) -> ActivitySchedule:
+        curves = self._columns["schedule"]
+        return ActivitySchedule(
+            presence_weekday=curves[0][index],
+            presence_weekend=curves[1][index],
+            activity_weekday=curves[2][index],
+            activity_weekend=curves[3][index],
+        )
+
+    def _build_power(self, index: int):
+        config = self.configs[index]
+        cls = (AppliancePower if self._columns["power_mode"][index]
+               else AlwaysOnPower)
+        return cls.from_on_intervals(config.span,
+                                     self._interval_slice("power_on", index))
+
+    def _build_link(self, index: int) -> AccessLink:
+        config = self.configs[index]
+        profile = config.country.behavior
+        link_config = AccessLinkConfig(
+            downstream_mbps=float(self._columns["link_down"][index]),
+            upstream_mbps=float(self._columns["link_up_mbps"][index]),
+            outage_rate_per_day=profile.isp_outage_rate_per_day,
+            outage_median_seconds=profile.isp_outage_median_seconds,
+            outage_duration_sigma=profile.isp_outage_duration_sigma,
+        )
+        return AccessLink.from_columns(
+            config.span, link_config,
+            outages=self._interval_slice("link_outages", index),
+            up=self._interval_slice("link_up", index),
+            bad_periods=self._interval_slice("link_bad", index))
+
+    def _build_wireless(self, index: int) -> WirelessEnvironment:
+        config = self.configs[index]
+        profile = config.country.behavior
+        env_config = WirelessEnvironmentConfig(
+            neighbor_ap_level=profile.neighbor_ap_level,
+            sparse_probability=0.30 if config.country.developed else 0.42,
+        )
+        neighbors: Dict[Spectrum, List[int]] = {}
+        for spectrum in _SPECTRA:
+            flat, offsets = self._columns["neighbors"][spectrum]
+            lo, hi = offsets[index], offsets[index + 1]
+            neighbors[spectrum] = flat[lo:hi].tolist()
+        return WirelessEnvironment.from_columns(
+            env_config, bool(self._columns["wireless_sparse"][index]),
+            neighbors)
+
+    def _build_devices(self, index: int) -> List[SimDevice]:
+        config = self.configs[index]
+        cols = self._columns
+        dev_offsets = cols["device_offsets"]
+        assoc_starts, assoc_ends, assoc_offsets = cols["associations"]
+        devices: List[SimDevice] = []
+        for position, dev in enumerate(
+                range(int(dev_offsets[index]),
+                      int(dev_offsets[index + 1]))):
+            kind = KIND_ORDER[cols["device_kind"][dev]]
+            traits = kind_traits(kind)
+            always = bool(cols["device_always"][dev])
+            if always:
+                connected = IntervalSet([config.span])
+            else:
+                slot = int(cols["device_slot"][dev])
+                lo, hi = assoc_offsets[slot], assoc_offsets[slot + 1]
+                connected = IntervalSet.from_normalized_arrays(
+                    assoc_starts[lo:hi], assoc_ends[lo:hi])
+            devices.append(SimDevice(
+                device_id=f"{config.router_id}-dev{position:02d}",
+                kind=kind,
+                mac=MacAddress(int(cols["device_mac"][dev])),
+                medium=traits.medium,
+                spectrum=SPECTRUM_BY_CODE[cols["device_spectrum"][dev]],
+                always_connected=always,
+                connected=connected,
+                traffic_weight=float(cols["device_weight"][dev]),
+            ))
+        return devices
+
+
+def build_shard_cohort(seed: int, configs: Sequence[HouseholdConfig],
+                       universe: Optional[Sequence[Domain]] = None,
+                       ) -> ShardCohort:
+    """Draw and expand one shard's homes into a :class:`ShardCohort`.
+
+    The per-home draw pass consumes each home's streams in exactly the
+    order the reference ``Household.__init__`` path does; expansions are
+    columnar.  Sub-stage timings land under ``materialize.*`` when
+    :mod:`repro.perf` is enabled.
+    """
+    if universe is None:
+        universe = default_universe()
+    seeds = SeedHierarchy(seed)
+    cohort_configs = tuple(configs)
+
+    curves = ([], [], [], [])
+    power_mode: List[int] = []
+    power_on_parts: List[np.ndarray] = []
+    link_down: List[float] = []
+    link_up_mbps: List[float] = []
+    link_outage_parts: List[np.ndarray] = []
+    link_up_parts: List[np.ndarray] = []
+    link_bad_parts: List[np.ndarray] = []
+    sparse_flags: List[bool] = []
+    neighbor_parts: Dict[Spectrum, List[np.ndarray]] = {
+        s: [] for s in _SPECTRA}
+    device_counts: List[int] = []
+    device_kind: List[int] = []
+    device_mac: List[int] = []
+    device_spectrum: List[int] = []
+    device_always: List[bool] = []
+    device_weight: List[float] = []
+    device_slot: List[int] = []
+
+    calendars: Dict[float, StudyCalendar] = {}
+    time_indices: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+    batch: Optional[_AssociationBatch] = None
+    prob_cache: Dict[Tuple[bool, float], Tuple[np.ndarray, np.ndarray]] = {}
+
+    for config in cohort_configs:
+        scope = seeds.child("household", config.router_id)
+        profile = config.country.behavior
+        tz = config.country.tz_offset_hours
+        calendar = calendars.get(tz)
+        if calendar is None:
+            calendar = calendars[tz] = StudyCalendar(tz)
+
+        with perf.stage("materialize.schedule"):
+            schedule = ActivitySchedule.generate(scope.generator("schedule"))
+            curves[0].append(schedule.presence_weekday)
+            curves[1].append(schedule.presence_weekend)
+            curves[2].append(schedule.activity_weekday)
+            curves[3].append(schedule.activity_weekend)
+
+        with perf.stage("materialize.power"):
+            if config.appliance_hint is None:
+                appliance_probability = profile.appliance_probability
+            else:
+                appliance_probability = 1.0 if config.appliance_hint else 0.0
+            power = draw_power_model(
+                scope.generator("power"), config.span, calendar, schedule,
+                appliance_probability, config.country.developed,
+                nightly_off_probability=profile.nightly_off_probability)
+            power_mode.append(1 if power.mode == MODE_APPLIANCE else 0)
+            power_on_parts.append(power.on_intervals._as_array())
+
+        with perf.stage("materialize.link"):
+            link_rng = scope.generator("link")
+            capacity_jitter = float(link_rng.lognormal(0.0, 0.35))
+            link = AccessLink(link_rng, config.span, AccessLinkConfig(
+                downstream_mbps=profile.downstream_mbps * capacity_jitter,
+                upstream_mbps=profile.upstream_mbps * capacity_jitter,
+                outage_rate_per_day=profile.isp_outage_rate_per_day,
+                outage_median_seconds=profile.isp_outage_median_seconds,
+                outage_duration_sigma=profile.isp_outage_duration_sigma,
+            ))
+            link_down.append(link.config.downstream_mbps)
+            link_up_mbps.append(link.config.upstream_mbps)
+            link_outage_parts.append(link._outages._as_array())
+            link_up_parts.append(link.up._as_array())
+            link_bad_parts.append(link.bad_periods._as_array())
+
+        with perf.stage("materialize.wireless"):
+            wireless = WirelessEnvironment(
+                scope.generator("wireless"),
+                WirelessEnvironmentConfig(
+                    neighbor_ap_level=profile.neighbor_ap_level,
+                    sparse_probability=(0.30 if config.country.developed
+                                        else 0.42),
+                ))
+            sparse_flags.append(wireless.sparse)
+            for spectrum in _SPECTRA:
+                neighbor_parts[spectrum].append(np.asarray(
+                    wireless._neighbors[spectrum], dtype=np.int64))
+
+        with perf.stage("materialize.devices"):
+            if batch is None:
+                batch = _AssociationBatch(
+                    config.span, association_span_hours(config.span))
+            elif batch.span != config.span:
+                raise ValueError(
+                    "all homes in a shard must share one study span")
+            prob_cache.clear()
+            time_index = time_indices.get(tz)
+            if time_index is None:
+                time_index = time_indices[tz] = association_time_index(
+                    config.span, calendar)
+
+            def push_association(follows: bool, scale: float,
+                                 draws: np.ndarray) -> int:
+                probs = prob_cache.get((follows, scale))
+                if probs is None:
+                    probs = association_probs(
+                        config.span, calendar, schedule, follows, scale,
+                        time_index=time_index)
+                    prob_cache[(follows, scale)] = probs
+                return batch.push(draws < probs[0], draws < probs[1])
+
+            draws = generate_device_draws(
+                scope.generator("devices"), config.span, calendar, schedule,
+                config.country.developed, profile.mean_devices,
+                profile.always_wired_probability,
+                profile.always_wireless_probability, push_association)
+            device_counts.append(len(draws))
+            for draw in draws:
+                device_kind.append(KIND_CODE[draw.kind])
+                device_mac.append(draw.mac_value)
+                device_spectrum.append(draw.spectrum_code)
+                device_always.append(draw.always_connected)
+                device_weight.append(draw.traffic_weight)
+                device_slot.append(draw.markov_slot)
+
+    with perf.stage("materialize.devices"):
+        if batch is None:
+            associations = (np.empty(0), np.empty(0),
+                            np.zeros(1, dtype=np.int64))
+        else:
+            associations = batch.finalize()
+
+    device_offsets = np.zeros(len(cohort_configs) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(device_counts, dtype=np.int64),
+              out=device_offsets[1:])
+
+    columns: Dict[str, object] = {
+        "schedule": tuple(
+            np.vstack(rows) if rows else np.empty((0, 24))
+            for rows in curves),
+        "power_mode": np.asarray(power_mode, dtype=np.int8),
+        "power_on": _flatten_intervals(power_on_parts),
+        "link_down": np.asarray(link_down, dtype=float),
+        "link_up_mbps": np.asarray(link_up_mbps, dtype=float),
+        "link_outages": _flatten_intervals(link_outage_parts),
+        "link_up": _flatten_intervals(link_up_parts),
+        "link_bad": _flatten_intervals(link_bad_parts),
+        "wireless_sparse": np.asarray(sparse_flags, dtype=bool),
+        "neighbors": {s: _flatten(neighbor_parts[s]) for s in _SPECTRA},
+        "device_offsets": device_offsets,
+        "device_kind": np.asarray(device_kind, dtype=np.int16),
+        "device_mac": np.asarray(device_mac, dtype=np.int64),
+        "device_spectrum": np.asarray(device_spectrum, dtype=np.int8),
+        "device_always": np.asarray(device_always, dtype=bool),
+        "device_weight": np.asarray(device_weight, dtype=float),
+        "device_slot": np.asarray(device_slot, dtype=np.int64),
+        "associations": associations,
+    }
+    return ShardCohort(seed, cohort_configs, universe, columns)
+
+
+def _flatten_intervals(parts: List[np.ndarray],
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate per-home (k, 2) interval matrices into flat columns."""
+    lengths = np.fromiter((arr.shape[0] for arr in parts), dtype=np.int64,
+                          count=len(parts))
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    if parts:
+        stacked = np.concatenate([arr.reshape(-1, 2) for arr in parts])
+    else:
+        stacked = np.empty((0, 2))
+    return stacked[:, 0].copy(), stacked[:, 1].copy(), offsets

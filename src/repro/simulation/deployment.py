@@ -45,14 +45,20 @@ from typing import (
     Tuple,
 )
 
+from repro.simulation.cohort import ShardCohort, build_shard_cohort
 from repro.simulation.countries import COUNTRIES, Country
-from repro.simulation.domains import Domain, build_domain_universe
+from repro.simulation.domains import Domain, default_universe
 from repro.simulation.household import Household, HouseholdConfig
 from repro.simulation.seeding import SeedHierarchy
 from repro.simulation.timebase import StudyWindows
 
 #: Countries whose routers never produced WiFi scans (keeps 15 of 19).
 _WIFI_EXCLUDED_COUNTRIES = ("FR", "IT", "MY", "ID")
+
+#: Homes per lookup shard for point queries (``Deployment.household``):
+#: small enough that a single lookup materializes O(64) homes, large
+#: enough that scanning a country still touches few shards.
+_LOOKUP_SHARD_SIZE = 64
 
 
 @dataclass(frozen=True)
@@ -139,20 +145,24 @@ class DeploymentPlan:
 
 def materialize_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
                       domain_universe: Optional[Sequence[Domain]] = None,
-                      ) -> List[Household]:
-    """Instantiate the households of one shard of *plan*.
+                      ) -> ShardCohort:
+    """Materialize the households of one shard of *plan*, columnar-style.
 
     Each household's randomness derives only from ``(plan.seed,
     router_id)`` via :class:`SeedHierarchy`, so materializing a home inside
     any shard split — or no split at all — yields bitwise-identical models.
-    Workers may pass a pre-built *domain_universe* to share it across
-    shards within a process; omitted, the deterministic default is built.
+    The result is a :class:`~repro.simulation.cohort.ShardCohort`: it
+    iterates, indexes, and slices like the list of ``Household`` objects it
+    used to be, but the per-home models are assembled lazily from the
+    cohort's column arrays.  Workers may pass a pre-built *domain_universe*
+    to share it across shards within a process; omitted, the memoized
+    deterministic default is used.
     """
-    universe = (list(domain_universe) if domain_universe is not None
-                else build_domain_universe())
-    seeds = SeedHierarchy(plan.seed)
-    return [Household(seeds, config, domain_universe=universe)
-            for config in plan.shard_configs(shard_index, n_shards)]
+    universe = (domain_universe if domain_universe is not None
+                else default_universe())
+    return build_shard_cohort(plan.seed,
+                              plan.shard_configs(shard_index, n_shards),
+                              universe)
 
 
 class Deployment:
@@ -165,7 +175,7 @@ class Deployment:
     """
 
     def __init__(self, plan: DeploymentPlan,
-                 households: Optional[List[Household]] = None,
+                 households: Optional[Sequence[Household]] = None,
                  universe: Optional[Sequence[Domain]] = None):
         self.plan = plan
         self.windows = plan.windows
@@ -173,19 +183,20 @@ class Deployment:
         self.devices_routers: Set[str] = set(plan.devices_routers)
         self.wifi_routers: Set[str] = set(plan.wifi_routers)
         self.traffic_routers: Set[str] = set(plan.traffic_routers)
-        self._households = list(households) if households is not None else None
+        self._households = households if households is not None else None
         self._universe = list(universe) if universe is not None else None
-        self._by_id: Optional[Dict[str, Household]] = None
+        self._position: Optional[Dict[str, int]] = None
+        self._lookup_cohorts: Dict[int, ShardCohort] = {}
 
     @property
     def universe(self) -> List[Domain]:
         """The domain universe (deterministic; built on first use)."""
         if self._universe is None:
-            self._universe = build_domain_universe()
+            self._universe = list(default_universe())
         return self._universe
 
     @property
-    def households(self) -> List[Household]:
+    def households(self) -> Sequence[Household]:
         """Every home, materializing the whole plan on first access."""
         if self._households is None:
             self._households = materialize_shard(
@@ -195,11 +206,40 @@ class Deployment:
     def __len__(self) -> int:
         return len(self.plan)
 
+    def _home_at(self, position: int) -> Household:
+        """The home at one deployment position, materializing O(shard).
+
+        Point lookups must not materialize the whole plan: the owning
+        lookup shard (:data:`_LOOKUP_SHARD_SIZE` homes) is materialized on
+        first touch and cached.  When the full cohort already exists it is
+        used directly.
+        """
+        if self._households is not None:
+            return self._households[position]
+        n = len(self.plan)
+        n_shards = max(1, -(-n // _LOOKUP_SHARD_SIZE))
+        # Invert the shard_bounds partition lo_i = (i*n)//k: position pos
+        # belongs to shard ceil(k*(pos+1)/n) - 1.
+        shard = (n_shards * (position + 1) + n - 1) // n - 1
+        cohort = self._lookup_cohorts.get(shard)
+        if cohort is None:
+            cohort = materialize_shard(self.plan, shard, n_shards,
+                                       domain_universe=self.universe)
+            self._lookup_cohorts[shard] = cohort
+        lo, _ = self.plan.shard_bounds(shard, n_shards)
+        return cohort[position - lo]
+
     def household(self, router_id: str) -> Household:
-        """Look up a household by router id (KeyError if absent)."""
-        if self._by_id is None:
-            self._by_id = {home.router_id: home for home in self.households}
-        return self._by_id[router_id]
+        """Look up a household by router id (KeyError if absent).
+
+        Resolves via the home's deployment position and its owning lookup
+        shard's cohort — O(shard), never a full-plan materialization.
+        """
+        if self._position is None:
+            self._position = {
+                config.router_id: index
+                for index, config in enumerate(self.plan.household_configs)}
+        return self._home_at(self._position[router_id])
 
     @property
     def countries(self) -> List[Country]:
@@ -208,9 +248,15 @@ class Deployment:
         return [c for c in COUNTRIES if c.code in seen]
 
     def routers_in(self, country_code: str) -> List[Household]:
-        """Households deployed in one country."""
-        return [h for h in self.households
-                if h.country.code == country_code.upper()]
+        """Households deployed in one country.
+
+        Materializes only the lookup shards that country's contiguous
+        run of homes occupies, not the whole plan.
+        """
+        code = country_code.upper()
+        return [self._home_at(index)
+                for index, config in enumerate(self.plan.household_configs)
+                if config.country.code == code]
 
 
 def _scaled_count(count: int, scale: float) -> int:

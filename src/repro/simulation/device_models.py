@@ -156,6 +156,69 @@ class SimDevice:
         return self.connected.clip(start, end)
 
 
+def association_span_hours(span: Tuple[float, float]) -> int:
+    """Whole hours the association process covers (ceil of the span)."""
+    start, end = span
+    return int(np.ceil((end - start) / HOUR))
+
+
+def association_time_index(span: Tuple[float, float],
+                           calendar: StudyCalendar,
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-hour ``(local hour-of-day, weekend?)`` arrays for one span.
+
+    Depends only on the calendar's timezone and the span, so the cohort
+    materializer computes it once per timezone and shares it across every
+    :func:`association_probs` call in the shard.
+    """
+    start, _ = span
+    hours = association_span_hours(span)
+    epochs = start + np.arange(hours) * HOUR
+    return (calendar.hour_of_day_many(epochs),
+            calendar.is_weekend_many(epochs))
+
+
+def association_probs(span: Tuple[float, float],
+                      calendar: StudyCalendar,
+                      schedule: ActivitySchedule,
+                      follows_presence: bool,
+                      scale: float,
+                      persistence: float = 0.55,
+                      time_index: Optional[Tuple[np.ndarray,
+                                                 np.ndarray]] = None,
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-hour transition probabilities ``(prob_off, prob_on)``.
+
+    Pure arithmetic over the schedule curves — no RNG.  ``prob_off`` is
+    the connect probability from the disconnected state, ``prob_on`` from
+    the connected state; the shared clamp keeps ``prob_off <= prob_on``
+    element-wise, which the columnar batch solver relies on.  Passing a
+    precomputed *time_index* (:func:`association_time_index`) skips the
+    epoch-to-local-time conversion; the level lookup below is the exact
+    expression ``ActivitySchedule.presence_many``/``activity_many`` use,
+    so the result is bitwise-identical either way.
+    """
+    if time_index is None:
+        time_index = association_time_index(span, calendar)
+    hour_index, weekend = time_index
+    if follows_presence:
+        levels = np.where(weekend, schedule.presence_weekend[hour_index],
+                          schedule.presence_weekday[hour_index])
+    else:
+        levels = np.where(weekend, schedule.activity_weekend[hour_index],
+                          schedule.activity_weekday[hour_index])
+    target = np.minimum(levels * scale, 1.0)
+    stay = (1 - persistence) * target
+    floor = 0.02 * target
+    ceiling = 1 - 0.02 * (1 - target)
+    # Transition probability given the previous state, pre-clamped.
+    prob_off = np.minimum(np.maximum(stay + persistence * 0.0, floor),
+                          ceiling)
+    prob_on = np.minimum(np.maximum(stay + persistence * 1.0, floor),
+                         ceiling)
+    return prob_off, prob_on
+
+
 def _markov_association(rng: np.random.Generator,
                         span: Tuple[float, float],
                         calendar: StudyCalendar,
@@ -169,9 +232,13 @@ def _markov_association(rng: np.random.Generator,
     (scaled) schedule level, but transitions are smoothed: the previous
     state pulls the draw toward itself with weight *persistence*, giving
     realistic multi-hour sessions while preserving the hourly marginals.
+
+    This is the scalar reference path; the columnar materializer solves
+    the same recurrence shard-wide (see ``repro.simulation.cohort``) and
+    the cohort equivalence suite pins the two together bitwise.
     """
     start, end = span
-    hours = int(np.ceil((end - start) / HOUR))
+    hours = association_span_hours(span)
     if hours <= 0:
         return IntervalSet()
     # One uniform draw per hour, exactly as the scalar loop consumed them:
@@ -182,19 +249,10 @@ def _markov_association(rng: np.random.Generator,
     # the state recursion (inherently sequential) stays a Python loop, now
     # over precomputed scalars.
     epochs = start + np.arange(hours) * HOUR
-    if follows_presence:
-        levels = schedule.presence_many(calendar, epochs)
-    else:
-        levels = schedule.activity_many(calendar, epochs)
-    target = np.minimum(levels * scale, 1.0)
-    stay = (1 - persistence) * target
-    floor = 0.02 * target
-    ceiling = 1 - 0.02 * (1 - target)
-    # Transition probability given the previous state, pre-clamped.
-    prob_off = np.minimum(np.maximum(stay + persistence * 0.0, floor),
-                          ceiling).tolist()
-    prob_on = np.minimum(np.maximum(stay + persistence * 1.0, floor),
-                         ceiling).tolist()
+    probs = association_probs(span, calendar, schedule, follows_presence,
+                              scale, persistence)
+    prob_off = probs[0].tolist()
+    prob_on = probs[1].tolist()
     draws = rng.random(hours).tolist()
     epoch_list = epochs.tolist()
 
@@ -241,12 +299,26 @@ _DEVELOPING_MIX: Tuple[Tuple[DeviceKind, float], ...] = (
 )
 
 
+#: Cached (labels, CDF) per vendor-mix tuple: ``Generator.choice(p=...)``
+#: internally cumsums the weights, renormalizes by the last element, draws
+#: one uniform, and binary-searches — so this cache draws the identical
+#: label from the identical stream position at a fraction of the cost.
+_VENDOR_CDF: Dict[Tuple[Tuple[str, float], ...],
+                  Tuple[Tuple[str, ...], np.ndarray]] = {}
+
+
 def _choose_weighted(rng: np.random.Generator,
                      options: Tuple[Tuple[str, float], ...]) -> str:
-    labels = [label for label, _ in options]
-    weights = np.asarray([w for _, w in options], dtype=float)
-    weights /= weights.sum()
-    return str(rng.choice(labels, p=weights))
+    cached = _VENDOR_CDF.get(options)
+    if cached is None:
+        labels = tuple(label for label, _ in options)
+        weights = np.asarray([w for _, w in options], dtype=float)
+        weights /= weights.sum()
+        cdf = weights.cumsum()
+        cdf /= cdf[-1]
+        cached = _VENDOR_CDF[options] = (labels, cdf)
+    labels, cdf = cached
+    return labels[int(np.searchsorted(cdf, rng.random(), side="right"))]
 
 
 def generate_devices(rng: np.random.Generator,
@@ -327,3 +399,112 @@ def generate_devices(rng: np.random.Generator,
             traffic_weight=float(weights[index]) * traits.session_rate,
         ))
     return devices
+
+
+# -- columnar draw pass -------------------------------------------------------
+#
+# The shard-wide materializer (repro.simulation.cohort) splits device
+# generation in two: a *draw pass* that consumes the home's "devices"
+# stream in exactly the order generate_devices() does, and a batched
+# association solve over the whole shard.  The draw pass emits one
+# DeviceDraw per device; non-always devices hand their hourly uniform
+# draws to a sink and receive a slot index to claim the solved intervals
+# from later.
+
+#: Stable kind <-> small-int code mapping for the cohort's kind column.
+KIND_ORDER: Tuple[DeviceKind, ...] = tuple(DeviceKind)
+KIND_CODE: Dict[DeviceKind, int] = {k: i for i, k in enumerate(KIND_ORDER)}
+
+#: Spectrum column codes (0 = wired / no radio).
+SPECTRUM_NONE, SPECTRUM_2_4, SPECTRUM_5 = 0, 1, 2
+SPECTRUM_BY_CODE: Tuple[Optional[Spectrum], ...] = (
+    None, Spectrum.GHZ_2_4, Spectrum.GHZ_5)
+
+
+@dataclass
+class DeviceDraw:
+    """One device's drawn scalars, before association intervals exist."""
+
+    kind: DeviceKind
+    mac_value: int
+    spectrum_code: int
+    always_connected: bool
+    traffic_weight: float
+    #: Index into the shard's association batch (-1 for always-connected).
+    markov_slot: int
+
+
+def generate_device_draws(rng: np.random.Generator,
+                          span: Tuple[float, float],
+                          calendar: StudyCalendar,
+                          schedule: ActivitySchedule,
+                          developed: bool,
+                          mean_devices: float,
+                          always_wired_probability: float,
+                          always_wireless_probability: float,
+                          push_association) -> List[DeviceDraw]:
+    """Columnar twin of :func:`generate_devices`: draws only, no expansion.
+
+    Consumes the ``"devices"`` stream draw-for-draw like the reference
+    path (the cohort equivalence suite asserts this), but defers the
+    Markov run-extraction: for each non-always device it calls
+    ``push_association(follows_presence, schedule_scale, hourly_draws)``
+    and records the returned slot.
+    """
+    mix = _DEVELOPED_MIX if developed else _DEVELOPING_MIX
+    base_total = sum(mean for _, mean in mix)
+    size_factor = float(rng.lognormal(-0.10, 0.55))
+    scale = mean_devices / base_total * size_factor
+
+    kinds: List[DeviceKind] = []
+    for kind, mean in mix:
+        kinds.extend([kind] * int(rng.poisson(mean * scale)))
+    if not kinds:
+        kinds.append(DeviceKind.PHONE)
+
+    wants_always_wired = bool(rng.random() < always_wired_probability)
+    wants_always_wireless = bool(rng.random() < always_wireless_probability)
+    if wants_always_wired and not any(
+            kind_traits(k).medium is Medium.WIRED for k in kinds):
+        kinds.append(DeviceKind.MEDIA_BOX)
+
+    alphas = np.full(len(kinds), 0.45)
+    weights = rng.dirichlet(alphas)
+
+    hours = association_span_hours(span)
+    draws_out: List[DeviceDraw] = []
+    assigned_always_wired = False
+    assigned_always_wireless = False
+    for index, kind in enumerate(kinds):
+        traits = kind_traits(kind)
+        category = _choose_weighted(rng, traits.vendor_mix)
+        mac = allocate_mac(rng, category)
+        spectrum_code = SPECTRUM_NONE
+        if traits.medium is Medium.WIRELESS:
+            dual = rng.random() < traits.dual_band_probability
+            use_5 = dual and rng.random() < 0.60
+            spectrum_code = SPECTRUM_5 if use_5 else SPECTRUM_2_4
+        always = False
+        if (wants_always_wired and not assigned_always_wired
+                and traits.medium is Medium.WIRED):
+            always = True
+            assigned_always_wired = True
+        elif (wants_always_wireless and not assigned_always_wireless
+              and traits.medium is Medium.WIRELESS):
+            always = True
+            assigned_always_wireless = True
+        if always:
+            slot = -1
+        else:
+            slot = push_association(traits.follows_presence,
+                                    traits.schedule_scale,
+                                    rng.random(hours))
+        draws_out.append(DeviceDraw(
+            kind=kind,
+            mac_value=mac.value,
+            spectrum_code=spectrum_code,
+            always_connected=always,
+            traffic_weight=float(weights[index]) * traits.session_rate,
+            markov_slot=slot,
+        ))
+    return draws_out

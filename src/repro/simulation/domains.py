@@ -19,6 +19,7 @@ about 65% of bytes.  This module builds that universe:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -176,6 +177,19 @@ def build_domain_universe(tail_domains: int = 400) -> List[Domain]:
         domains.append(Domain(f"{TAIL_DOMAIN_PREFIX}{offset:04d}.com",
                               rank, category, whitelisted=False))
     return domains
+
+
+@lru_cache(maxsize=1)
+def default_universe() -> Tuple[Domain, ...]:
+    """The default domain universe, memoized per process.
+
+    Shard workers, fault-tolerance retries, and default
+    ``materialize_shard`` calls all need the same deterministic universe;
+    building it once per process instead of once per shard keeps retry and
+    resubmission paths from redoing the construction.  The tuple is shared,
+    so callers must treat it as immutable (every ``Domain`` already is).
+    """
+    return tuple(build_domain_universe())
 
 
 def zipf_weights(ranks: Sequence[int], exponent: float = 0.75) -> np.ndarray:

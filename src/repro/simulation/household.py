@@ -9,6 +9,16 @@ from the study seed, and exposes the queries the collectors need:
 * which devices were associated when (:attr:`devices`);
 * what the radio neighborhood looks like (:attr:`wireless`);
 * the generated traffic, for consenting homes (:meth:`traffic`).
+
+Households come into existence two ways with identical results:
+
+* the **reference path** — ``Household(seeds, config)`` draws and expands
+  every model eagerly, one home at a time;
+* the **cohort path** — ``repro.simulation.cohort`` draws a whole shard
+  columnar-style and hands out :meth:`_from_cohort` views whose model
+  attributes assemble lazily from the shard's column arrays.
+
+The cohort equivalence suite pins the two paths together bitwise.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ from repro.core.records import RouterInfo
 from repro.simulation.behavior import ActivitySchedule
 from repro.simulation.countries import Country
 from repro.simulation.device_models import SimDevice, generate_devices
-from repro.simulation.domains import Domain, DomainSampler, build_domain_universe
+from repro.simulation.domains import Domain, DomainSampler, default_universe
 from repro.simulation.link import AccessLink, AccessLinkConfig
 from repro.simulation.power import PowerModel, draw_power_model
 from repro.simulation.seeding import SeedHierarchy
@@ -65,49 +75,118 @@ class Household:
         self.router_id = config.router_id
         self.span = config.span
         self.calendar = StudyCalendar(config.country.tz_offset_hours)
+        self._cohort = None
+        self._cohort_index = -1
 
         scope = seeds.child("household", config.router_id)
         profile = config.country.behavior
 
-        self.schedule = ActivitySchedule.generate(scope.generator("schedule"))
+        self._schedule: Optional[ActivitySchedule] = \
+            ActivitySchedule.generate(scope.generator("schedule"))
         if config.appliance_hint is None:
             appliance_probability = profile.appliance_probability
         else:
             appliance_probability = 1.0 if config.appliance_hint else 0.0
-        self.power: PowerModel = draw_power_model(
+        self._power: Optional[PowerModel] = draw_power_model(
             scope.generator("power"), config.span, self.calendar,
-            self.schedule, appliance_probability,
+            self._schedule, appliance_probability,
             config.country.developed,
             nightly_off_probability=profile.nightly_off_probability)
 
         link_rng = scope.generator("link")
         capacity_jitter = float(link_rng.lognormal(0.0, 0.35))
-        self.link = AccessLink(link_rng, config.span, AccessLinkConfig(
-            downstream_mbps=profile.downstream_mbps * capacity_jitter,
-            upstream_mbps=profile.upstream_mbps * capacity_jitter,
-            outage_rate_per_day=profile.isp_outage_rate_per_day,
-            outage_median_seconds=profile.isp_outage_median_seconds,
-            outage_duration_sigma=profile.isp_outage_duration_sigma,
-        ))
+        self._link: Optional[AccessLink] = AccessLink(
+            link_rng, config.span, AccessLinkConfig(
+                downstream_mbps=profile.downstream_mbps * capacity_jitter,
+                upstream_mbps=profile.upstream_mbps * capacity_jitter,
+                outage_rate_per_day=profile.isp_outage_rate_per_day,
+                outage_median_seconds=profile.isp_outage_median_seconds,
+                outage_duration_sigma=profile.isp_outage_duration_sigma,
+            ))
 
-        self.wireless = WirelessEnvironment(
+        self._wireless: Optional[WirelessEnvironment] = WirelessEnvironment(
             scope.generator("wireless"),
             WirelessEnvironmentConfig(
                 neighbor_ap_level=profile.neighbor_ap_level,
                 sparse_probability=0.30 if config.country.developed else 0.42,
             ))
 
-        self.devices: List[SimDevice] = generate_devices(
+        self._devices: Optional[List[SimDevice]] = generate_devices(
             scope.generator("devices"), config.router_id, config.span,
-            self.calendar, self.schedule, config.country.developed,
+            self.calendar, self._schedule, config.country.developed,
             profile.mean_devices, profile.always_wired_probability,
             profile.always_wireless_probability)
 
         self._universe = (list(domain_universe) if domain_universe is not None
-                          else build_domain_universe())
+                          else default_universe())
         self._sampler: Optional[DomainSampler] = None
         self._traffic_cache: "dict[Tuple[float, float], HomeTraffic]" = {}
         self._seeds = scope
+
+    @classmethod
+    def _from_cohort(cls, cohort, index: int) -> "Household":
+        """A lazy view into a :class:`~repro.simulation.cohort.ShardCohort`.
+
+        No RNG is consumed here: every draw already happened during the
+        cohort's columnar pass.  Model attributes assemble on first touch
+        from the cohort's column arrays.
+        """
+        config = cohort.configs[index]
+        obj = cls.__new__(cls)
+        obj.config = config
+        obj.country = config.country
+        obj.router_id = config.router_id
+        obj.span = config.span
+        obj.calendar = cohort.calendar_for(config)
+        obj._cohort = cohort
+        obj._cohort_index = index
+        obj._schedule = None
+        obj._power = None
+        obj._link = None
+        obj._wireless = None
+        obj._devices = None
+        obj._universe = cohort.universe
+        obj._sampler = None
+        obj._traffic_cache = {}
+        obj._seeds = cohort.seeds.child("household", config.router_id)
+        return obj
+
+    # -- model attributes (eager on the reference path, lazy on cohorts) -------
+
+    @property
+    def schedule(self) -> ActivitySchedule:
+        """The home's presence/activity curves."""
+        if self._schedule is None:
+            self._schedule = self._cohort._build_schedule(self._cohort_index)
+        return self._schedule
+
+    @property
+    def power(self) -> PowerModel:
+        """When the router is powered (always-on or appliance mode)."""
+        if self._power is None:
+            self._power = self._cohort._build_power(self._cohort_index)
+        return self._power
+
+    @property
+    def link(self) -> AccessLink:
+        """The ISP access link: capacity, outages, bufferbloat."""
+        if self._link is None:
+            self._link = self._cohort._build_link(self._cohort_index)
+        return self._link
+
+    @property
+    def wireless(self) -> WirelessEnvironment:
+        """The radio neighborhood the WiFi collector scans."""
+        if self._wireless is None:
+            self._wireless = self._cohort._build_wireless(self._cohort_index)
+        return self._wireless
+
+    @property
+    def devices(self) -> List[SimDevice]:
+        """The home's device population with association timelines."""
+        if self._devices is None:
+            self._devices = self._cohort._build_devices(self._cohort_index)
+        return self._devices
 
     @property
     def info(self) -> RouterInfo:
@@ -146,10 +225,10 @@ class Household:
         power cycle but *not* on ISP outages, which is precisely how the
         paper distinguishes powered-off routers from offline ones.
         """
-        for on_start, on_end in self.power.on_intervals:
-            if on_start <= epoch < on_end:
-                return epoch - on_start
-        return None
+        interval = self.power.on_intervals.interval_at(epoch)
+        if interval is None:
+            return None
+        return epoch - interval[0]
 
     # -- traffic -----------------------------------------------------------------
 

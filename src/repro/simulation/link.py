@@ -74,22 +74,37 @@ class AccessLink:
         self._outages = self._generate_outages(rng)
         self.up = self._outages.complement(span)
 
+    @classmethod
+    def from_columns(cls, span: Tuple[float, float], config: AccessLinkConfig,
+                     outages: IntervalSet, up: IntervalSet,
+                     bad_periods: IntervalSet) -> "AccessLink":
+        """Rebuild a link from cohort columns (no RNG consumed)."""
+        obj = cls.__new__(cls)
+        obj.span = span
+        obj.config = config
+        obj._outages = outages
+        obj.up = up
+        obj.bad_periods = bad_periods
+        return obj
+
     # -- outage process -------------------------------------------------------
 
     def _generate_outages(self, rng: np.random.Generator) -> IntervalSet:
         start, end = self.span
         cfg = self.config
-        events: List[Tuple[float, float]] = []
+        events: List[Tuple[np.ndarray, np.ndarray]] = []
 
         bad_periods = self._bad_periods(rng)
-        events += self._poisson_outages(rng, (start, end),
-                                        cfg.outage_rate_per_day)
+        events.append(self._poisson_outages(rng, (start, end),
+                                            cfg.outage_rate_per_day))
         for period in bad_periods:
-            events += self._poisson_outages(
+            events.append(self._poisson_outages(
                 rng, period,
-                cfg.outage_rate_per_day * cfg.bad_period_multiplier)
+                cfg.outage_rate_per_day * cfg.bad_period_multiplier))
         self.bad_periods = IntervalSet(bad_periods)
-        return IntervalSet(events).clip(start, end)
+        return IntervalSet.from_event_arrays(
+            np.concatenate([s for s, _ in events]),
+            np.concatenate([e for _, e in events])).clip(start, end)
 
     def _bad_periods(self, rng: np.random.Generator) -> List[Tuple[float, float]]:
         start, end = self.span
@@ -104,19 +119,19 @@ class AccessLink:
 
     def _poisson_outages(self, rng: np.random.Generator,
                          window: Tuple[float, float],
-                         rate_per_day: float) -> List[Tuple[float, float]]:
+                         rate_per_day: float,
+                         ) -> Tuple[np.ndarray, np.ndarray]:
         start, end = window
         if end <= start or rate_per_day <= 0:
-            return []
+            return np.empty(0), np.empty(0)
         cfg = self.config
         count = int(rng.poisson((end - start) / DAY * rate_per_day))
         if count == 0:
-            return []
+            return np.empty(0), np.empty(0)
         times = rng.uniform(start, end, size=count)
         durations = rng.lognormal(np.log(cfg.outage_median_seconds),
                                   cfg.outage_duration_sigma, size=count)
-        return [(float(t), float(min(t + d, end)))
-                for t, d in zip(times, durations)]
+        return times, np.minimum(times + durations, end)
 
     # -- queries ---------------------------------------------------------------
 

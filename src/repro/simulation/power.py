@@ -36,19 +36,23 @@ MODE_APPLIANCE = "appliance"
 
 def _sample_events(rng: np.random.Generator, span: Tuple[float, float],
                    rate_per_day: float, median_seconds: float,
-                   sigma: float) -> List[Tuple[float, float]]:
-    """Poisson-arriving events with lognormal durations inside *span*."""
+                   sigma: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Poisson-arriving events with lognormal durations inside *span*.
+
+    Returns parallel ``(starts, ends)`` arrays; ends are clamped to the
+    span (element-wise ``min``, bitwise-equal to the former scalar loop).
+    """
     start, end = span
     if end <= start or rate_per_day <= 0:
-        return []
+        return np.empty(0), np.empty(0)
     expected = (end - start) / DAY * rate_per_day
     count = int(rng.poisson(expected))
     if count == 0:
-        return []
+        return np.empty(0), np.empty(0)
     times = np.sort(rng.uniform(start, end, size=count))
     durations = rng.lognormal(mean=np.log(median_seconds), sigma=sigma,
                               size=count)
-    return [(float(t), float(min(t + d, end))) for t, d in zip(times, durations)]
+    return times, np.minimum(times + durations, end)
 
 
 class PowerModel:
@@ -65,6 +69,19 @@ class PowerModel:
             raise ValueError("power model span must be non-empty")
         self.span = span
         self.on_intervals = on_intervals
+
+    @classmethod
+    def from_on_intervals(cls, span: Tuple[float, float],
+                          on_intervals: IntervalSet) -> "PowerModel":
+        """Rebuild a model from cohort columns (no RNG consumed).
+
+        ``cls`` is the concrete subclass, so :attr:`mode` and type checks
+        behave exactly as on a freshly-drawn model.
+        """
+        obj = cls.__new__(cls)
+        obj.span = span
+        obj.on_intervals = on_intervals
+        return obj
 
     def up_intervals(self, start: float, end: float) -> IntervalSet:
         """Power-on intervals clipped to ``[start, end)``."""
@@ -104,16 +121,21 @@ class AlwaysOnPower(PowerModel):
                  powerdown_rate_per_day: float = 0.006,
                  extended_rate_per_day: float = 0.004,
                  nightly_off_probability: float = 0.0):
-        off: List[Tuple[float, float]] = []
-        off += _sample_events(rng, span, reboot_rate_per_day,
-                              median_seconds=3 * MINUTE, sigma=0.6)
-        off += _sample_events(rng, span, powerdown_rate_per_day,
-                              median_seconds=25 * MINUTE, sigma=0.9)
-        off += _sample_events(rng, span, extended_rate_per_day,
-                              median_seconds=8 * HOUR, sigma=1.0)
-        off += self._nightly_offs(rng, span, calendar,
-                                  nightly_off_probability)
-        off_set = IntervalSet(off)
+        reboots = _sample_events(rng, span, reboot_rate_per_day,
+                                 median_seconds=3 * MINUTE, sigma=0.6)
+        powerdowns = _sample_events(rng, span, powerdown_rate_per_day,
+                                    median_seconds=25 * MINUTE, sigma=0.9)
+        extended = _sample_events(rng, span, extended_rate_per_day,
+                                  median_seconds=8 * HOUR, sigma=1.0)
+        nightly = self._nightly_offs(rng, span, calendar,
+                                     nightly_off_probability)
+        nightly_starts = np.asarray([s for s, _ in nightly], dtype=float)
+        nightly_ends = np.asarray([e for _, e in nightly], dtype=float)
+        off_set = IntervalSet.from_event_arrays(
+            np.concatenate((reboots[0], powerdowns[0], extended[0],
+                            nightly_starts)),
+            np.concatenate((reboots[1], powerdowns[1], extended[1],
+                            nightly_ends)))
         super().__init__(span, off_set.complement(span))
 
     @staticmethod
@@ -161,7 +183,10 @@ class AppliancePower(PowerModel):
                     start = day_start + float(rng.uniform(8.0, 11.0)) * HOUR
                     on.append((start, start + float(rng.uniform(1.0, 3.0)) * HOUR))
             day_start += DAY
-        super().__init__(span, IntervalSet(on).clip(*span))
+        on_set = IntervalSet.from_event_arrays(
+            np.asarray([s for s, _ in on], dtype=float),
+            np.asarray([e for _, e in on], dtype=float))
+        super().__init__(span, on_set.clip(*span))
 
 
 def draw_power_model(rng: np.random.Generator,

@@ -21,6 +21,7 @@ power-cycle and signal conditions vary.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -59,6 +60,7 @@ class WirelessEnvironmentConfig:
             raise ValueError("sparse_probability must be in [0, 1]")
 
 
+@lru_cache(maxsize=None)
 def _audible_mass(spectrum: Spectrum, channel: int) -> float:
     """Fraction of neighborhood popularity audible from *channel*."""
     channels, weights = channel_weights(spectrum)
@@ -105,6 +107,23 @@ class WirelessEnvironment:
             channels += [self.channels[spectrum]] * max(
                 visible - audible_now, 0)
             self._neighbors[spectrum] = channels
+
+    @classmethod
+    def from_columns(cls, config: WirelessEnvironmentConfig, sparse: bool,
+                     neighbors: Dict[Spectrum, List[int]],
+                     ) -> "WirelessEnvironment":
+        """Rebuild an environment from cohort columns (no RNG consumed).
+
+        The columnar materializer stores ``(sparse, neighbor channels)``
+        after drawing them once; this reconstructs an object identical to
+        the one the draws produced.
+        """
+        obj = cls.__new__(cls)
+        obj.config = config
+        obj.sparse = sparse
+        obj.channels = dict(DEFAULT_CHANNELS)
+        obj._neighbors = neighbors
+        return obj
 
     # -- ground-truth queries ---------------------------------------------------
 

@@ -1,0 +1,168 @@
+"""Columnar materialization equivalence: cohort views == reference homes.
+
+The shard-wide columnar materializer (``repro.simulation.cohort``) must be
+a pure re-expression of the per-home reference path: same streams, same
+draw order, bitwise-identical models.  These tests compare every model
+payload of every home for every shard split of a small plan against
+households built the pre-refactor way — ``Household(seeds, config)`` —
+and cover the O(shard) deployment lookups that ride on the cohort.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import IntervalSet
+from repro.simulation.deployment import (
+    Deployment,
+    DeploymentConfig,
+    build_deployment_plan,
+    materialize_shard,
+)
+from repro.simulation.household import Household
+from repro.simulation.seeding import SeedHierarchy
+from repro.simulation.timebase import StudyWindows
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_deployment_plan(DeploymentConfig(
+        seed=2013, router_scale=0.05,
+        windows=StudyWindows().scaled(0.05),
+        traffic_consents=2, low_activity_consents=1))
+
+
+@pytest.fixture(scope="module")
+def reference_homes(plan):
+    seeds = SeedHierarchy(plan.seed)
+    return [Household(seeds, config) for config in plan.household_configs]
+
+
+def assert_same_home(ref, view):
+    assert view.router_id == ref.router_id
+    assert view.config == ref.config
+    # Activity schedule: exact curve arrays.
+    for name in ("presence_weekday", "presence_weekend",
+                 "activity_weekday", "activity_weekend"):
+        assert np.array_equal(getattr(ref.schedule, name),
+                              getattr(view.schedule, name)), name
+    # Power: concrete class, mode, and exact on-intervals.
+    assert type(view.power) is type(ref.power)
+    assert view.power.mode == ref.power.mode
+    assert view.power.on_intervals == ref.power.on_intervals
+    # Link: jittered config and every interval layer, including the
+    # internal outage set the uptime analyses consult.
+    assert view.link.config == ref.link.config
+    assert view.link.up == ref.link.up
+    assert view.link._outages == ref.link._outages
+    assert view.link.bad_periods == ref.link.bad_periods
+    # Wireless: density class and the full neighborhood channel lists.
+    assert view.wireless.sparse == ref.wireless.sparse
+    assert view.wireless._neighbors == ref.wireless._neighbors
+    # Devices: every drawn field plus the association timeline.
+    assert len(view.devices) == len(ref.devices)
+    for ref_dev, view_dev in zip(ref.devices, view.devices):
+        assert view_dev.device_id == ref_dev.device_id
+        assert view_dev.kind is ref_dev.kind
+        assert view_dev.mac == ref_dev.mac
+        assert view_dev.medium is ref_dev.medium
+        assert view_dev.spectrum == ref_dev.spectrum
+        assert view_dev.always_connected == ref_dev.always_connected
+        assert view_dev.traffic_weight == ref_dev.traffic_weight
+        assert view_dev.connected == ref_dev.connected
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 7, 100])
+def test_every_shard_split_matches_reference(plan, reference_homes, n_shards):
+    """Columnar output is bitwise-identical for every shard split."""
+    covered = 0
+    for shard_index in range(n_shards):
+        cohort = materialize_shard(plan, shard_index, n_shards)
+        lo, hi = plan.shard_bounds(shard_index, n_shards)
+        assert len(cohort) == hi - lo
+        for offset, view in enumerate(cohort):
+            assert_same_home(reference_homes[lo + offset], view)
+        covered += len(cohort)
+    assert covered == len(plan)
+
+
+def test_cohort_sequence_protocol(plan):
+    cohort = materialize_shard(plan, 0, 1)
+    assert len(cohort) == len(plan)
+    # Indexing caches the view; slices and negative indices work.
+    assert cohort[0] is cohort[0]
+    assert cohort[-1].router_id == plan.household_configs[-1].router_id
+    sliced = cohort[:3]
+    assert [h.router_id for h in sliced] == plan.router_ids[:3]
+    with pytest.raises(IndexError):
+        cohort[len(plan)]
+
+
+def test_empty_shard(plan):
+    # With more shards than homes the early shards come out empty
+    # (shard 0 of 5n owns [0, n//5n) = nothing).
+    cohort = materialize_shard(plan, 0, 5 * len(plan))
+    assert len(cohort) == 0
+    assert list(cohort) == []
+
+
+def test_uptime_at_matches_linear_scan(plan, reference_homes):
+    """The bisect-based uptime_at agrees with the former linear scan."""
+    home = reference_homes[0]
+    span = home.span
+    probes = np.linspace(span[0], span[1], 400)
+    for epoch in probes.tolist():
+        expected = None
+        for on_start, on_end in home.power.on_intervals:
+            if on_start <= epoch < on_end:
+                expected = epoch - on_start
+                break
+        assert home.uptime_at(epoch) == expected
+
+
+def test_deployment_point_lookup_stays_shardwise(plan):
+    deployment = Deployment(plan)
+    rid = plan.router_ids[len(plan) // 2]
+    home = deployment.household(rid)
+    assert home.router_id == rid
+    # The point lookup must not have materialized the whole plan.
+    assert deployment._households is None
+    # Repeat lookups in the same shard reuse the cached cohort view.
+    assert deployment.household(rid) is home
+    with pytest.raises(KeyError):
+        deployment.household("nope")
+
+
+def test_deployment_routers_in_matches_full(plan):
+    shardwise = Deployment(plan)
+    full = Deployment(plan)
+    _ = full.households  # force the full materialization path
+    for country in shardwise.countries:
+        lazy_ids = [h.router_id for h in shardwise.routers_in(country.code)]
+        full_ids = [h.router_id for h in full.routers_in(country.code)]
+        assert lazy_ids == full_ids
+    assert shardwise._households is None
+
+
+def test_interval_array_paths_match_tuple_paths():
+    """Array-backed IntervalSet ops equal the tuple-backed reference."""
+    rng = np.random.default_rng(7)
+    for _ in range(25):
+        starts = rng.uniform(0.0, 100.0, size=12)
+        ends = starts + rng.uniform(0.0, 8.0, size=12)
+        other_starts = rng.uniform(0.0, 100.0, size=9)
+        other_ends = other_starts + rng.uniform(0.0, 8.0, size=9)
+
+        array_a = IntervalSet.from_event_arrays(starts, ends)
+        tuple_a = IntervalSet(zip(starts.tolist(), ends.tolist()))
+        array_b = IntervalSet.from_event_arrays(other_starts, other_ends)
+        tuple_b = IntervalSet(zip(other_starts.tolist(), other_ends.tolist()))
+
+        assert array_a == tuple_a
+        assert array_a.total_duration() == tuple_a.total_duration()
+        assert array_a.union(array_b) == tuple_a.union(tuple_b)
+        assert array_a.intersection(array_b) == tuple_a.intersection(tuple_b)
+        assert array_a.complement((10.0, 90.0)) == \
+            tuple_a.complement((10.0, 90.0))
+        assert array_a.clip(25.0, 75.0) == tuple_a.clip(25.0, 75.0)
+        assert array_a.filter_min_duration(2.0) == \
+            tuple_a.filter_min_duration(2.0)

@@ -27,6 +27,10 @@ SMALL = dict(seed=2013, router_scale=0.25, duration_scale=0.02,
 SMALL_PIN = "d4b25e1c0f63b30017d4f96573e2f8d6fcb4d1a9bbb7c05cf741e4c50bcbe08d"
 
 
+BENCH = dict(seed=2013, router_scale=2.0, duration_scale=0.02,
+             traffic_consents=10, low_activity_consents=2)
+
+
 def test_tiny_config_digest_pin():
     data = run_study(StudyConfig(**TINY)).data
     assert study_digest(data) == TINY_PIN
@@ -35,6 +39,17 @@ def test_tiny_config_digest_pin():
 def test_small_config_digest_pin():
     data = run_study(StudyConfig(**SMALL)).data
     assert study_digest(data) == SMALL_PIN
+
+
+def test_bench_config_digest_pin():
+    """The router_scale=2.0 bench configuration, pinned in tier-1 too.
+
+    The columnar materializer (PR 6) made this 252-home run cheap enough
+    to assert here rather than only in the engine bench, closing the gap
+    between the fast tier-1 pins (scales 0.1 and 0.25) and the bench pin.
+    """
+    data = run_study(StudyConfig(**BENCH)).data
+    assert study_digest(data) == BENCH_PIN
 
 
 def test_profiling_does_not_perturb_digest():
