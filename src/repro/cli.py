@@ -28,9 +28,11 @@ ERROR.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from datetime import datetime, timezone
+from pathlib import Path
 from typing import List, Optional
 
 from repro import perf
@@ -68,8 +70,12 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                              "JSONL spill to disk)")
     parser.add_argument("--profile", action="store_true",
                         help="time each campaign stage (materialize, "
-                             "heartbeat, traffic, ...) and print a "
-                             "per-stage table to stderr")
+                             "collect.heartbeat, collect.traffic, ...) and "
+                             "print a per-stage table to stderr")
+    parser.add_argument("--profile-json", default=None, metavar="PATH",
+                        help="write the drained stage timers/counters as "
+                             "JSON to PATH (machine-readable; the --profile "
+                             "table stays the human view)")
     parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
                         help="write campaign telemetry artifacts "
                              "(metrics.prom, metrics.json, events.jsonl, "
@@ -116,14 +122,22 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
 
 
 def _simulate(args: argparse.Namespace) -> StudyData:
-    """Run the configured campaign, honoring ``--profile``."""
+    """Run the configured campaign, honoring ``--profile[-json]``."""
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
-    data = run_study(_config_from(args), profile=args.profile,
+    profiling = args.profile or args.profile_json is not None
+    data = run_study(_config_from(args), profile=profiling,
                      telemetry_dir=args.telemetry_dir,
                      resume=args.resume).data
-    if args.profile:
-        print(perf.format_table(perf.snapshot()), file=sys.stderr)
+    if profiling:
+        snap = perf.drain()
+        if args.profile:
+            print(perf.format_table(snap), file=sys.stderr)
+        if args.profile_json is not None:
+            Path(args.profile_json).write_text(
+                json.dumps(snap, indent=2, sort_keys=True) + "\n")
+            print(f"wrote profile JSON to {args.profile_json}",
+                  file=sys.stderr)
     if args.telemetry_dir:
         print(f"wrote telemetry artifacts to {args.telemetry_dir}",
               file=sys.stderr)

@@ -11,9 +11,16 @@ batches; uploads cross the process boundary by pickling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.records import RouterInfo
+from repro.core.records import (
+    CapacityMeasurement,
+    DeviceCountSample,
+    RouterInfo,
+    Spectrum,
+    UptimeReport,
+    WifiScanSample,
+)
 from repro.firmware.router import RouterOutput
 
 #: Datasets carried as plain record lists (chunkable).
@@ -94,3 +101,232 @@ def router_output_to_batches(
     if output.throughput is not None:
         batches.append(RecordBatch("throughput", rid, output.throughput))
     return batches
+
+
+# -- columnar record batches --------------------------------------------------
+#
+# The columnar collection pass (``firmware.shard_collect``) produces each
+# dataset as parallel plain-list columns rather than per-record dataclass
+# instances.  ``ColumnarRecords`` carries those columns across the process
+# boundary and materializes record objects only when the batch is iterated
+# (at ingest) — validated in bulk per column at construction so the
+# per-record ``__post_init__`` checks can be skipped during fabrication.
+
+#: Column names per columnar dataset, in record-field order after router_id.
+COLUMNAR_DATASETS: Dict[str, Tuple[str, ...]] = {
+    "uptime": ("timestamp", "uptime_seconds"),
+    "capacity": ("timestamp", "downstream_mbps", "upstream_mbps"),
+    "device_counts": ("timestamp", "wired", "wireless_2_4", "wireless_5"),
+    "wifi_scans": ("timestamp", "spectrum_code", "neighbor_aps",
+                   "associated_clients", "channel"),
+}
+
+#: Spectrum decoding for the wifi ``spectrum_code`` column (1 / 2), matching
+#: the cohort's device_spectrum codes.
+_SPECTRUM_BY_CODE = (None, Spectrum.GHZ_2_4, Spectrum.GHZ_5)
+
+
+def _fabricate_uptime(rid: str, cols: Dict[str, list]) -> list:
+    out = []
+    append = out.append
+    new = UptimeReport.__new__
+    for ts, up in zip(cols["timestamp"], cols["uptime_seconds"]):
+        rec = new(UptimeReport)
+        d = rec.__dict__
+        d["router_id"] = rid
+        d["timestamp"] = ts
+        d["uptime_seconds"] = up
+        append(rec)
+    return out
+
+
+def _fabricate_capacity(rid: str, cols: Dict[str, list]) -> list:
+    out = []
+    append = out.append
+    new = CapacityMeasurement.__new__
+    for ts, down, up in zip(cols["timestamp"], cols["downstream_mbps"],
+                            cols["upstream_mbps"]):
+        rec = new(CapacityMeasurement)
+        d = rec.__dict__
+        d["router_id"] = rid
+        d["timestamp"] = ts
+        d["downstream_mbps"] = down
+        d["upstream_mbps"] = up
+        append(rec)
+    return out
+
+
+def _fabricate_device_counts(rid: str, cols: Dict[str, list]) -> list:
+    out = []
+    append = out.append
+    new = DeviceCountSample.__new__
+    for ts, wired, w24, w5 in zip(cols["timestamp"], cols["wired"],
+                                  cols["wireless_2_4"], cols["wireless_5"]):
+        rec = new(DeviceCountSample)
+        d = rec.__dict__
+        d["router_id"] = rid
+        d["timestamp"] = ts
+        d["wired"] = wired
+        d["wireless_2_4"] = w24
+        d["wireless_5"] = w5
+        append(rec)
+    return out
+
+
+def _fabricate_wifi_scans(rid: str, cols: Dict[str, list]) -> list:
+    out = []
+    append = out.append
+    new = WifiScanSample.__new__
+    spectra = _SPECTRUM_BY_CODE
+    for ts, code, aps, clients, channel in zip(
+            cols["timestamp"], cols["spectrum_code"], cols["neighbor_aps"],
+            cols["associated_clients"], cols["channel"]):
+        rec = new(WifiScanSample)
+        d = rec.__dict__
+        d["router_id"] = rid
+        d["timestamp"] = ts
+        d["spectrum"] = spectra[code]
+        d["neighbor_aps"] = aps
+        d["associated_clients"] = clients
+        d["channel"] = channel
+        append(rec)
+    return out
+
+
+_FABRICATORS = {
+    "uptime": _fabricate_uptime,
+    "capacity": _fabricate_capacity,
+    "device_counts": _fabricate_device_counts,
+    "wifi_scans": _fabricate_wifi_scans,
+}
+
+
+class ColumnarRecords:
+    """One batch's records as parallel columns, materialized lazily.
+
+    Quacks like the record list the server and backends expect — ``len``
+    is free, iteration and indexing fabricate the record dataclasses on
+    first use and cache them.  The column invariants (the same checks each
+    record's ``__post_init__`` would run) are enforced in bulk at
+    construction, so fabrication can bypass ``__init__`` entirely.
+
+    The caller hands over ownership of the column lists; they must not be
+    mutated afterwards.
+    """
+
+    __slots__ = ("dataset", "router_id", "columns", "_length", "_cache")
+
+    def __init__(self, dataset: str, router_id: str,
+                 columns: Dict[str, list]) -> None:
+        fields = COLUMNAR_DATASETS.get(dataset)
+        if fields is None:
+            raise ValueError(f"dataset {dataset!r} has no columnar layout")
+        if set(columns) != set(fields):
+            raise ValueError(
+                f"{dataset} columns must be exactly {sorted(fields)}")
+        lengths = {len(columns[name]) for name in fields}
+        if len(lengths) != 1:
+            raise ValueError(f"{dataset} column lengths differ")
+        self.dataset = dataset
+        self.router_id = router_id
+        self.columns = columns
+        self._length = lengths.pop()
+        self._cache: Optional[list] = None
+        self._validate()
+
+    def _validate(self) -> None:
+        if self._length == 0:
+            return
+        cols = self.columns
+        dataset = self.dataset
+        if dataset == "uptime":
+            if min(cols["uptime_seconds"]) < 0:
+                raise ValueError("uptime cannot be negative")
+        elif dataset == "capacity":
+            if (min(cols["downstream_mbps"]) < 0
+                    or min(cols["upstream_mbps"]) < 0):
+                raise ValueError("capacity cannot be negative")
+        elif dataset == "device_counts":
+            if (min(cols["wired"]) < 0 or min(cols["wireless_2_4"]) < 0
+                    or min(cols["wireless_5"]) < 0):
+                raise ValueError("device counts cannot be negative")
+        else:  # wifi_scans
+            if (min(cols["neighbor_aps"]) < 0
+                    or min(cols["associated_clients"]) < 0
+                    or min(cols["channel"]) < 0):
+                raise ValueError("scan counts cannot be negative")
+            if not set(cols["spectrum_code"]) <= {1, 2}:
+                raise ValueError(
+                    "wifi spectrum codes must be 1 (2.4 GHz) or 2 (5 GHz)")
+
+    def materialize(self) -> list:
+        """The fabricated record list (built once, then cached)."""
+        records = self._cache
+        if records is None:
+            records = _FABRICATORS[self.dataset](self.router_id, self.columns)
+            self._cache = records
+        return records
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.materialize())
+
+    def __getitem__(self, index):
+        return self.materialize()[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ColumnarRecords({self.dataset!r}, {self.router_id!r}, "
+                f"n={self._length})")
+
+    # Pickling ships the columns, never the fabricated cache: the parent
+    # process re-fabricates at ingest, keeping the wire payload columnar.
+    def __getstate__(self):
+        return (self.dataset, self.router_id, self.columns, self._length)
+
+    def __setstate__(self, state) -> None:
+        self.dataset, self.router_id, self.columns, self._length = state
+        self._cache = None
+
+
+def columnar_batches(dataset: str, router_id: str,
+                     columns: Optional[Dict[str, list]],
+                     max_batch_records: int = DEFAULT_BATCH_RECORDS,
+                     ) -> List[RecordBatch]:
+    """Chunk one dataset's columns into :class:`ColumnarRecords` batches.
+
+    Mirrors :func:`router_output_to_batches`: empty (or ``None``) datasets
+    emit no batch and chunk boundaries land every *max_batch_records*
+    records.
+    """
+    if max_batch_records <= 0:
+        raise ValueError("max_batch_records must be positive")
+    if columns is None:
+        return []
+    fields = COLUMNAR_DATASETS[dataset]
+    length = len(columns[fields[0]])
+    if length == 0:
+        return []
+    if length <= max_batch_records:
+        return [RecordBatch(dataset, router_id,
+                            ColumnarRecords(dataset, router_id, columns))]
+    batches = []
+    for lo in range(0, length, max_batch_records):
+        chunk = {name: columns[name][lo:lo + max_batch_records]
+                 for name in fields}
+        batches.append(RecordBatch(
+            dataset, router_id, ColumnarRecords(dataset, router_id, chunk)))
+    return batches
+
+
+def list_batches(dataset: str, router_id: str, records: Sequence,
+                 max_batch_records: int = DEFAULT_BATCH_RECORDS,
+                 ) -> List[RecordBatch]:
+    """Chunk a plain record list, matching :func:`router_output_to_batches`."""
+    if max_batch_records <= 0:
+        raise ValueError("max_batch_records must be positive")
+    if not records:
+        return []
+    return [RecordBatch(dataset, router_id, list(chunk))
+            for chunk in _chunks(records, max_batch_records)]

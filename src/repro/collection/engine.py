@@ -51,12 +51,12 @@ from repro import perf
 from repro.telemetry import events, metrics
 from repro.core.datasets import StudyData
 from repro.firmware.anonymize import AnonymizationPolicy
-from repro.firmware.router import BismarkRouter
+from repro.firmware.shard_collect import collect_shard
 from repro.simulation.deployment import DeploymentPlan, materialize_shard
 from repro.simulation.domains import default_universe
 from repro.simulation.seeding import SeedHierarchy
 from repro.collection.backends import SpillBackend
-from repro.collection.batches import RouterUpload, router_output_to_batches
+from repro.collection.batches import RouterUpload
 from repro.collection.checkpoint import (
     CheckpointManager,
     campaign_fingerprint,
@@ -143,23 +143,12 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
     t0 = time.perf_counter()
     seeds = SeedHierarchy(plan.seed if seed is None else seed)
     universe, policy = _shard_statics()
-    uploads: List[RouterUpload] = []
     with perf.stage("materialize"):
         cohort = materialize_shard(plan, shard_index, n_shards,
                                    domain_universe=universe)
-    for household in cohort:
-        router = BismarkRouter(
-            household, seeds, policy,
-            collect_uptime=household.router_id in plan.uptime_routers,
-            collect_devices=household.router_id in plan.devices_routers,
-            collect_wifi=household.router_id in plan.wifi_routers,
-            collect_traffic=household.router_id in plan.traffic_routers,
-        )
-        output = router.run(plan.windows)
-        uploads.append(RouterUpload(
-            info=household.info,
-            batches=tuple(router_output_to_batches(output)),
-        ))
+    with perf.stage("collect"):
+        uploads: List[RouterUpload] = collect_shard(cohort, plan, seeds,
+                                                    policy)
     if fault is not None and fault.kind == "corrupt":
         # Transient corruption: drop the tail upload so the parent's
         # result validation catches the truncation and retries.

@@ -113,34 +113,43 @@ class RecordStore:
         metrics.inc("ingest_rejections_total", dataset=dataset)
         events.emit("ingest_rejected", dataset=dataset, router=router_id)
 
+    def _require_registered_all(self, records) -> None:
+        """Registration check for one batch's records.
+
+        Columnar batches (``ColumnarRecords``) carry a single
+        ``router_id`` for the whole batch, so one lookup covers every
+        record without materializing any of them; plain record lists
+        fall back to the per-record loop.
+        """
+        router_id = getattr(records, "router_id", None)
+        if router_id is not None:
+            self._require_registered(router_id)
+            return
+        for record in records:
+            self._require_registered(record.router_id)
+
     def add_uptime(self, reports: List[UptimeReport]) -> None:
-        for report in reports:
-            self._require_registered(report.router_id)
+        self._require_registered_all(reports)
         self.backend.append("uptime", reports)
 
     def add_capacity(self, measurements: List[CapacityMeasurement]) -> None:
-        for measurement in measurements:
-            self._require_registered(measurement.router_id)
+        self._require_registered_all(measurements)
         self.backend.append("capacity", measurements)
 
     def add_device_counts(self, samples: List[DeviceCountSample]) -> None:
-        for sample in samples:
-            self._require_registered(sample.router_id)
+        self._require_registered_all(samples)
         self.backend.append("device_counts", samples)
 
     def add_roster(self, entries: List[DeviceRosterEntry]) -> None:
-        for entry in entries:
-            self._require_registered(entry.router_id)
+        self._require_registered_all(entries)
         self.backend.append("roster", entries)
 
     def add_wifi_scans(self, samples: List[WifiScanSample]) -> None:
-        for sample in samples:
-            self._require_registered(sample.router_id)
+        self._require_registered_all(samples)
         self.backend.append("wifi_scans", samples)
 
     def add_flows(self, flows: List[FlowRecord]) -> None:
-        for flow in flows:
-            self._require_registered(flow.router_id)
+        self._require_registered_all(flows)
         self.backend.append("flows", flows)
 
     def add_throughput(self, series: ThroughputSeries) -> None:
@@ -162,8 +171,7 @@ class RecordStore:
         self.backend.put_throughput(series)
 
     def add_dns(self, records: List[DnsRecord]) -> None:
-        for record in records:
-            self._require_registered(record.router_id)
+        self._require_registered_all(records)
         self.backend.append("dns", records)
 
     # -- checkpoint support ------------------------------------------------------

@@ -241,11 +241,11 @@ class IntervalSet:
         arr = self._as_array()
         idx = np.searchsorted(arr[:, 0], instants, side="right") - 1
         valid = idx >= 0
-        result = np.zeros(instants.shape, dtype=bool)
-        clamped = np.clip(idx, 0, len(self) - 1)
+        # maximum() instead of np.clip: the searchsorted already bounds
+        # idx above, and clip's dtype-limit probing dominated this path.
+        clamped = np.maximum(idx, 0)
         inside = (instants >= arr[clamped, 0]) & (instants < arr[clamped, 1])
-        result[valid & inside] = True
-        return result
+        return valid & inside
 
     # -- set algebra ----------------------------------------------------------
 

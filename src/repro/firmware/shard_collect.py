@@ -1,0 +1,687 @@
+"""Columnar firmware collection: every collector over a whole shard at once.
+
+PR 5 made home *generation* columnar; this module does the same for the
+measurement loop.  :func:`collect_shard` runs each collector (heartbeat,
+capacity, uptime, device census + roster, wifi scans, traffic) for all
+homes in a shard as batched numpy operations directly over the
+:class:`~repro.simulation.cohort.ShardCohort` column arrays — the lazy
+per-home ``Household`` views are never built on this path (the sole
+exception is the handful of traffic-consenting homes, whose flow
+generator is genuinely per-home).
+
+Determinism contract (the reason ``study_digest`` pins survive):
+
+* Every router's randomness still comes from the exact streams the
+  per-home :class:`~repro.firmware.router.BismarkRouter` used:
+  ``seeds.child("firmware", router_id).generator(name)``.  Streams are
+  independent per ``(home, collector)``, so iterating collector-major
+  instead of home-major changes nothing; only the draw order *within*
+  one stream is load-bearing, and each columnar collector reproduces it:
+
+  - **heartbeat**: one phase ``uniform(0, interval)``, then — only when
+    sendable ticks exist — one ``uniform(-jitter, jitter, size=k)``
+    array draw (bitwise what *k* scalar draws would consume).
+  - **capacity**: one phase, then one ``normal(1.0, 0.03, size=2k)``
+    array draw for the *k* online ticks; even indices are the downstream
+    noise, odd the upstream, exactly the per-tick (down, up) pair order.
+  - **uptime / devices**: one phase each; no further draws.
+  - **wifi**: one phase, then per *executed* scan — tick order, 2.4 GHz
+    before 5 GHz — a conditional ``binomial(base, 0.85)`` (skipped when
+    the home's audible-neighbor base is zero) followed by a
+    ``poisson(0.15)``, matching ``WirelessEnvironment
+    .scan_neighbor_count``.
+  - **traffic**: delegated unchanged to ``monitor_traffic``.
+
+* Tick schedules are bitwise-identical: the heartbeat grid is
+  ``np.arange`` (as the reference), while the four accumulating
+  ``tick += interval`` walks are reproduced by :func:`_tick_walk` as a
+  ``cumsum`` over ``[first, interval, interval, ...]`` — ``cumsum``
+  performs the same sequential additions, so every element equals the
+  scalar walk by induction.
+
+Columns read per collector (see ``build_shard_cohort`` for the layout):
+
+====================  =====================================================
+collector             columns
+====================  =====================================================
+heartbeat             ``power_on``, ``link_up``
+capacity              ``power_on``, ``link_up``, ``link_down``,
+                      ``link_up_mbps``
+uptime                ``power_on``, ``link_up``
+devices (census)      ``power_on``, ``device_*``, ``associations``
+devices (roster)      ``power_on``, ``device_*``, ``associations``
+wifi                  ``power_on``, ``device_*``, ``associations``,
+                      ``neighbors``
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import perf
+from repro.collection.batches import (
+    RecordBatch,
+    RouterUpload,
+    columnar_batches,
+    list_batches,
+)
+from repro.core.records import DeviceRosterEntry, Medium, RouterInfo, Spectrum
+from repro.firmware.anonymize import AnonymizationPolicy
+from repro.firmware.devices import ETHERNET_PORTS
+from repro.firmware.traffic import monitor_traffic
+from repro.firmware.wifi import BACKOFF_FACTOR, SCAN_INTERVAL
+from repro.netutils.mac import MacAddress
+from repro.simulation.channels import audible_counts
+from repro.simulation.cohort import ShardCohort
+from repro.simulation.deployment import DeploymentPlan
+from repro.simulation.device_models import KIND_ORDER, SPECTRUM_BY_CODE, kind_traits
+from repro.simulation.seeding import SeedHierarchy
+from repro.simulation.timebase import HOUR, MINUTE
+from repro.simulation.wireless import DEFAULT_CHANNELS
+
+#: Collector cadences, mirroring each reference collector's default.
+HEARTBEAT_INTERVAL = MINUTE
+HEARTBEAT_JITTER_SECONDS = 2.0
+CAPACITY_INTERVAL = 12 * HOUR
+UPTIME_INTERVAL = 12 * HOUR
+CENSUS_INTERVAL = HOUR
+
+#: Capacity probes never report below this floor (AccessLink semantics).
+_CAPACITY_FLOOR_MBPS = 0.05
+
+#: device_spectrum column codes (0 = wired/None, 1 = 2.4 GHz, 2 = 5 GHz).
+_CODE_GHZ_2_4 = 1
+_CODE_GHZ_5 = 2
+
+
+# -- schedule + membership helpers --------------------------------------------
+
+def _tick_walk(first: float, end: float, interval: float) -> np.ndarray:
+    """The ``tick += interval`` schedule starting at *first*, as an array.
+
+    The reference collectors accumulate (``tick += interval``), which can
+    differ from ``np.arange``'s multiply-based grid in the last ulp — so
+    we accumulate too: ``cumsum`` over ``[first, interval, interval, ...]``
+    computes ``out[i] = out[i-1] + interval`` sequentially, which is
+    bitwise the scalar walk by induction.  The length estimate only needs
+    to overshoot (``+2`` absorbs any ulp drift); the ``< end`` filter is
+    the loop's exit test.
+    """
+    if first >= end:
+        return np.empty(0)
+    steps = np.full(int(np.ceil((end - first) / interval)) + 2, interval,
+                    dtype=np.float64)
+    steps[0] = first
+    ticks = np.cumsum(steps)
+    return ticks[ticks < end]
+
+
+def _contains(starts: np.ndarray, ends: np.ndarray,
+              ticks: np.ndarray) -> np.ndarray:
+    """``IntervalSet.contains_many`` straight over flat column slices."""
+    if starts.size == 0:
+        return np.zeros(ticks.shape, dtype=bool)
+    idx = np.searchsorted(starts, ticks, side="right") - 1
+    valid = idx >= 0
+    # maximum() beats np.clip here: same clamp (idx < size always holds
+    # after the searchsorted), none of clip's dtype-limit probing.
+    clamped = np.maximum(idx, 0)
+    inside = (ticks >= starts[clamped]) & (ticks < ends[clamped])
+    return valid & inside
+
+
+def _slices(cols: Dict[str, object], key: str, n: int,
+            ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Per-home ``(starts, ends)`` views of one flattened interval column."""
+    starts, ends, offsets = cols[key]
+    return [(starts[offsets[i]:offsets[i + 1]],
+             ends[offsets[i]:offsets[i + 1]]) for i in range(n)]
+
+
+class _HomeDevices:
+    """One home's device table decoded from the cohort columns."""
+
+    __slots__ = ("kinds", "media", "spec_codes", "always", "slots", "macs",
+                 "_assoc", "_groups")
+
+    def __init__(self, cols: Dict[str, object], index: int) -> None:
+        offsets = cols["device_offsets"]
+        lo, hi = int(offsets[index]), int(offsets[index + 1])
+        self.kinds = cols["device_kind"][lo:hi]
+        self.media = [kind_traits(KIND_ORDER[code]).medium
+                      for code in self.kinds]
+        self.spec_codes = cols["device_spectrum"][lo:hi]
+        self.always = cols["device_always"][lo:hi]
+        self.slots = cols["device_slot"][lo:hi]
+        self.macs = cols["device_mac"][lo:hi]
+        self._assoc = cols["associations"]
+        self._groups: Optional[Dict[str, Tuple[np.ndarray, np.ndarray, int]]] \
+            = None
+
+    def __len__(self) -> int:
+        return len(self.media)
+
+    def groups(self) -> Dict[str, Tuple[np.ndarray, np.ndarray, int]]:
+        """Per connectivity class: sorted interval bounds + always count.
+
+        Classes mirror the census/wifi classification exactly: ``wired``
+        (medium is WIRED), ``w5`` (wireless on 5 GHz), ``w24`` (every
+        other non-wired device).  Each entry holds the class's pooled
+        association interval ``(sorted starts, sorted ends)`` plus how
+        many of its devices are always-connected, which is all
+        :func:`_group_counts` needs to count connected devices per tick
+        without a per-device pass.
+        """
+        if self._groups is None:
+            pools: Dict[str, List[np.ndarray]] = \
+                {"wired": [], "w24": [], "w5": []}
+            always_n = {"wired": 0, "w24": 0, "w5": 0}
+            for dev in range(len(self.media)):
+                if self.media[dev] is Medium.WIRED:
+                    key = "wired"
+                elif self.spec_codes[dev] == _CODE_GHZ_5:
+                    key = "w5"
+                else:
+                    key = "w24"
+                if self.always[dev]:
+                    always_n[key] += 1
+                else:
+                    pools[key].append(
+                        _assoc_slice(self._assoc, int(self.slots[dev])))
+            self._groups = {}
+            for key, parts in pools.items():
+                if parts:
+                    starts = np.sort(np.concatenate([p[0] for p in parts]))
+                    ends = np.sort(np.concatenate([p[1] for p in parts]))
+                else:
+                    starts = ends = np.empty(0)
+                self._groups[key] = (starts, ends, always_n[key])
+        return self._groups
+
+
+def _group_counts(group: Tuple[np.ndarray, np.ndarray, int],
+                  ticks: np.ndarray) -> np.ndarray:
+    """Connected-device count per tick for one pooled class.
+
+    For disjoint-per-device intervals, summing per-device membership
+    equals ``#(starts <= t) - #(ends <= t)`` over the pooled bounds —
+    the comparisons are the same ``t >= start`` / ``t < end`` float
+    tests :func:`_contains` runs, just counted in bulk — plus the
+    class's always-connected devices.
+    """
+    starts, ends, always_n = group
+    if starts.size == 0:
+        counts = np.zeros(ticks.size, dtype=np.int64)
+    else:
+        counts = (np.searchsorted(starts, ticks, side="right")
+                  - np.searchsorted(ends, ticks, side="right"))
+    if always_n:
+        counts = counts + always_n
+    return counts
+
+
+def _assoc_slice(assoc: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                 slot: int) -> Tuple[np.ndarray, np.ndarray]:
+    starts, ends, offsets = assoc
+    lo, hi = offsets[slot], offsets[slot + 1]
+    return starts[lo:hi], ends[lo:hi]
+
+
+# -- per-collector columnar passes --------------------------------------------
+
+def _heartbeat_sends(rng: np.random.Generator, start: float, end: float,
+                     online: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """``heartbeat_send_times`` over column slices, draw-for-draw.
+
+    *online* is the home's precomputed power∩link interval set:
+    membership in the intersection is exactly membership in both.
+    """
+    if end <= start:
+        return np.empty(0)
+    phase = float(rng.uniform(0, HEARTBEAT_INTERVAL))
+    ticks = np.arange(start + phase, end, HEARTBEAT_INTERVAL)
+    if ticks.size == 0:
+        return ticks
+    # The reference tests a power∩link set *clipped* to the window; ticks
+    # sit at/above start always, but arange can overshoot ``end`` by an
+    # ulp, so the window's right edge needs re-imposing here.
+    sendable = _contains(*online, ticks) & (ticks < end)
+    times = ticks[sendable]
+    if HEARTBEAT_JITTER_SECONDS > 0 and times.size:
+        times = times + rng.uniform(-HEARTBEAT_JITTER_SECONDS,
+                                    HEARTBEAT_JITTER_SECONDS,
+                                    size=times.size)
+    return np.sort(times)
+
+
+def _online_ticks(rng: np.random.Generator, start: float, end: float,
+                  interval: float,
+                  online: Tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+    """Phase draw + accumulated walk + ``is_online`` filter (unclipped)."""
+    phase = float(rng.uniform(0, interval))
+    ticks = _tick_walk(start + phase, end, interval)
+    if not ticks.size:
+        return ticks
+    return ticks[_contains(*online, ticks)]
+
+
+def _capacity_columns(rng: np.random.Generator, start: float, end: float,
+                      online: Tuple[np.ndarray, np.ndarray],
+                      down_mbps: float, up_mbps: float,
+                      ) -> Optional[Dict[str, list]]:
+    """``capacity_measurements`` over column slices, draw-for-draw."""
+    ticks = _online_ticks(rng, start, end, CAPACITY_INTERVAL, online)
+    if not ticks.size:
+        return None
+    # The reference draws (down, up) noise pairs per online tick; one
+    # array draw of 2k consumes the stream identically, with the even
+    # indices landing on the downstream draws.
+    noise = rng.normal(1.0, 0.03, size=2 * ticks.size)
+    down = np.maximum(down_mbps * noise[0::2], _CAPACITY_FLOOR_MBPS)
+    up = np.maximum(up_mbps * noise[1::2], _CAPACITY_FLOOR_MBPS)
+    return {"timestamp": ticks.tolist(),
+            "downstream_mbps": down.tolist(),
+            "upstream_mbps": up.tolist()}
+
+
+def _uptime_columns(rng: np.random.Generator, start: float, end: float,
+                    power: Tuple[np.ndarray, np.ndarray],
+                    online: Tuple[np.ndarray, np.ndarray],
+                    ) -> Optional[Dict[str, list]]:
+    """``uptime_reports`` over column slices, draw-for-draw."""
+    ticks = _online_ticks(rng, start, end, UPTIME_INTERVAL, online)
+    if not ticks.size:
+        return None
+    p_starts = power[0]
+    idx = np.searchsorted(p_starts, ticks, side="right") - 1
+    uptimes = ticks - p_starts[idx]
+    return {"timestamp": ticks.tolist(), "uptime_seconds": uptimes.tolist()}
+
+
+def _census_columns(rng: np.random.Generator, start: float, end: float,
+                    power: Tuple[np.ndarray, np.ndarray],
+                    devices: _HomeDevices,
+                    ) -> Optional[Dict[str, list]]:
+    """``device_counts`` over column slices, draw-for-draw."""
+    phase = float(rng.uniform(0, CENSUS_INTERVAL))
+    ticks = _tick_walk(start + phase, end, CENSUS_INTERVAL)
+    if not ticks.size:
+        return None
+    powered = _contains(*power, ticks)
+    if not powered.any():
+        return None
+    groups = devices.groups()
+    wired = _group_counts(groups["wired"], ticks)
+    wireless_24 = _group_counts(groups["w24"], ticks)
+    wireless_5 = _group_counts(groups["w5"], ticks)
+    wired = np.minimum(wired, ETHERNET_PORTS)
+    return {"timestamp": ticks[powered].tolist(),
+            "wired": wired[powered].tolist(),
+            "wireless_2_4": wireless_24[powered].tolist(),
+            "wireless_5": wireless_5[powered].tolist()}
+
+
+def _clip_arrays(starts: np.ndarray, ends: np.ndarray,
+                 start: float, end: float,
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """``IntervalSet.clip``'s array path on bare ``(starts, ends)``."""
+    keep = (ends > start) & (starts < end)
+    return (np.maximum(starts[keep], start), np.minimum(ends[keep], end))
+
+
+def _intersect_arrays(a_starts: np.ndarray, a_ends: np.ndarray,
+                      b_starts: np.ndarray, b_ends: np.ndarray,
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """``IntervalSet._intersection_arrays`` on bare ``(starts, ends)``.
+
+    Same binary-search pairing, same ``(max(starts), min(ends))`` floats —
+    just without allocating the wrapper objects, which dominated the
+    roster collector's profile.
+    """
+    if a_starts.size == 0 or b_starts.size == 0:
+        return np.empty(0), np.empty(0)
+    lo = np.searchsorted(b_ends, a_starts, side="right")
+    hi = np.searchsorted(b_starts, a_ends, side="left")
+    counts = hi - lo
+    pos = counts > 0
+    if not pos.any():
+        return np.empty(0), np.empty(0)
+    a_idx = np.repeat(np.flatnonzero(pos), counts[pos])
+    offsets = np.concatenate(([0], np.cumsum(counts[pos])))[:-1]
+    b_idx = (np.arange(a_idx.size) - np.repeat(offsets, counts[pos])
+             + np.repeat(lo[pos], counts[pos]))
+    starts = np.maximum(a_starts[a_idx], b_starts[b_idx])
+    ends = np.minimum(a_ends[a_idx], b_ends[b_idx])
+    keep = ends > starts
+    return starts[keep], ends[keep]
+
+
+def _duration_sum(starts: np.ndarray, ends: np.ndarray) -> float:
+    """``IntervalSet.total_duration``: sequential sum, identical floats."""
+    return float(sum((ends - starts).tolist()))
+
+
+def _intersect_tagged(a_starts: np.ndarray, a_ends: np.ndarray,
+                      owner: np.ndarray,
+                      b_starts: np.ndarray, b_ends: np.ndarray,
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`_intersect_arrays` that also maps each output row to the
+    owner tag of the ``a`` interval it came from.
+
+    Because every ``a`` row searches ``b`` independently, concatenating
+    several devices' interval lists and intersecting once yields exactly
+    the per-device intersections, still grouped in ``a`` (device) order.
+    """
+    if a_starts.size == 0 or b_starts.size == 0:
+        return np.empty(0), np.empty(0), np.empty(0, dtype=np.intp)
+    lo = np.searchsorted(b_ends, a_starts, side="right")
+    hi = np.searchsorted(b_starts, a_ends, side="left")
+    counts = hi - lo
+    pos = counts > 0
+    if not pos.any():
+        return np.empty(0), np.empty(0), np.empty(0, dtype=np.intp)
+    a_idx = np.repeat(np.flatnonzero(pos), counts[pos])
+    offsets = np.concatenate(([0], np.cumsum(counts[pos])))[:-1]
+    b_idx = (np.arange(a_idx.size) - np.repeat(offsets, counts[pos])
+             + np.repeat(lo[pos], counts[pos]))
+    starts = np.maximum(a_starts[a_idx], b_starts[b_idx])
+    ends = np.minimum(a_ends[a_idx], b_ends[b_idx])
+    keep = ends > starts
+    return starts[keep], ends[keep], owner[a_idx[keep]]
+
+
+def _roster_entries(router_id: str, start: float, end: float,
+                    power: Tuple[np.ndarray, np.ndarray],
+                    devices: _HomeDevices,
+                    assoc: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                    policy: AnonymizationPolicy,
+                    min_on_fraction: float = 0.25,
+                    ) -> List[DeviceRosterEntry]:
+    """``device_roster`` over column slices (RNG-free).
+
+    All interval algebra runs on bare arrays via the ``IntervalSet``
+    replicas above; each step is float-for-float what the per-home path's
+    ``clip``/``intersection``/``total_duration``/``span`` compute.  The
+    non-always devices are intersected with router-on in ONE tagged batch
+    (their concatenated rows stay device-grouped, so per-device firsts/
+    lasts are group boundaries and per-device durations fall out of a
+    ``bincount``, which accumulates in the same sequential order as the
+    reference's Python ``sum``).
+    """
+    on_starts, on_ends = _clip_arrays(*power, start, end)
+    on_duration = _duration_sum(on_starts, on_ends)
+    enough_observation = on_duration >= min_on_fraction * (end - start)
+    has_on_time = on_starts.size > 0
+    n_dev = len(devices)
+
+    parts: List[Tuple[np.ndarray, np.ndarray]] = []
+    part_dev: List[int] = []
+    for dev in range(n_dev):
+        if not devices.always[dev]:
+            parts.append(_assoc_slice(assoc, int(devices.slots[dev])))
+            part_dev.append(dev)
+    dur_by_dev = np.full(n_dev, -1.0)
+    first_by_dev = np.empty(n_dev)
+    last_by_dev = np.empty(n_dev)
+    if parts and has_on_time:
+        a_starts = np.concatenate([p[0] for p in parts])
+        a_ends = np.concatenate([p[1] for p in parts])
+        owner = np.repeat(np.arange(len(parts)),
+                          [p[0].size for p in parts])
+        keep = (a_ends > start) & (a_starts < end)
+        obs_starts, obs_ends, obs_owner = _intersect_tagged(
+            np.maximum(a_starts[keep], start),
+            np.minimum(a_ends[keep], end),
+            owner[keep], on_starts, on_ends)
+        if obs_owner.size:
+            # intersection() is symmetric down to the float level, so the
+            # reference's router_on∩seen duration is observed's duration.
+            durs = np.bincount(obs_owner, weights=obs_ends - obs_starts,
+                               minlength=len(parts))
+            uniq, first_idx = np.unique(obs_owner, return_index=True)
+            last_idx = np.concatenate((first_idx[1:], [obs_owner.size])) - 1
+            devs = np.asarray(part_dev, dtype=np.intp)[uniq]
+            dur_by_dev[devs] = durs[uniq]
+            first_by_dev[devs] = obs_starts[first_idx]
+            last_by_dev[devs] = obs_ends[last_idx]
+
+    entries: List[DeviceRosterEntry] = []
+    for dev in range(n_dev):
+        if devices.always[dev]:
+            # seen = [(start, end)] ⊇ router_on (already clipped to the
+            # window), so the intersection IS router_on and its duration
+            # is on_duration — no recomputation needed.
+            if not has_on_time:
+                continue
+            first_seen = float(on_starts[0])
+            last_seen = float(on_ends[-1])
+            observed_duration = on_duration
+        else:
+            observed_duration = float(dur_by_dev[dev])
+            if observed_duration < 0.0:
+                continue
+            first_seen = float(first_by_dev[dev])
+            last_seen = float(last_by_dev[dev])
+        covers_all_on = (enough_observation
+                        and observed_duration >= on_duration - 1.0)
+        entries.append(DeviceRosterEntry(
+            router_id=router_id,
+            device_mac=policy.anonymize_mac(
+                MacAddress(int(devices.macs[dev]))),
+            medium=devices.media[dev],
+            spectrum=SPECTRUM_BY_CODE[devices.spec_codes[dev]],
+            first_seen=first_seen,
+            last_seen=last_seen,
+            always_connected=covers_all_on and has_on_time,
+        ))
+    return entries
+
+
+def _wifi_columns(rng: np.random.Generator, start: float, end: float,
+                  power: Tuple[np.ndarray, np.ndarray],
+                  devices: _HomeDevices,
+                  base_24: int, base_5: int, channel_24: int, channel_5: int,
+                  ) -> Optional[Dict[str, list]]:
+    """``wifi_scans`` over column slices, draw-for-draw.
+
+    The audible-neighbor base count per band is static for a home (the
+    neighborhood doesn't move), so the caller hoists it; the remaining
+    loop only touches executed scans, drawing the conditional binomial
+    then the poisson in exactly the reference tick/band order.
+    """
+    phase = float(rng.uniform(0, SCAN_INTERVAL))
+    ticks = _tick_walk(start + phase, end, SCAN_INTERVAL)
+    if not ticks.size:
+        return None
+    powered = _contains(*power, ticks)
+    groups = devices.groups()
+    clients_24 = _group_counts(groups["w24"], ticks)
+    clients_5 = _group_counts(groups["w5"], ticks)
+    backed_off = (np.arange(ticks.size) % BACKOFF_FACTOR) != 0
+    executed_24 = powered & ~((clients_24 > 0) & backed_off)
+    executed_5 = powered & ~((clients_5 > 0) & backed_off)
+    either = np.flatnonzero(executed_24 | executed_5)
+    if not either.size:
+        return None
+    tick_list = ticks.tolist()
+    c24_list = clients_24.tolist()
+    c5_list = clients_5.tolist()
+    run_24 = executed_24.tolist()
+    run_5 = executed_5.tolist()
+    binomial = rng.binomial
+    poisson = rng.poisson
+    audible_24 = base_24 > 0
+    audible_5 = base_5 > 0
+    timestamps: List[float] = []
+    spectrum_codes: List[int] = []
+    neighbor_aps: List[int] = []
+    clients: List[int] = []
+    channels: List[int] = []
+    for index in either.tolist():
+        tick = tick_list[index]
+        if run_24[index]:
+            visible = int(binomial(base_24, 0.85)) if audible_24 else 0
+            timestamps.append(tick)
+            spectrum_codes.append(_CODE_GHZ_2_4)
+            neighbor_aps.append(visible + int(poisson(0.15)))
+            clients.append(c24_list[index])
+            channels.append(channel_24)
+        if run_5[index]:
+            visible = int(binomial(base_5, 0.85)) if audible_5 else 0
+            timestamps.append(tick)
+            spectrum_codes.append(_CODE_GHZ_5)
+            neighbor_aps.append(visible + int(poisson(0.15)))
+            clients.append(c5_list[index])
+            channels.append(channel_5)
+    return {"timestamp": timestamps, "spectrum_code": spectrum_codes,
+            "neighbor_aps": neighbor_aps, "associated_clients": clients,
+            "channel": channels}
+
+
+# -- the shard pass -----------------------------------------------------------
+
+def _router_info(config) -> RouterInfo:
+    country = config.country
+    return RouterInfo(
+        router_id=config.router_id,
+        country_code=country.code,
+        developed=country.developed,
+        tz_offset_hours=country.tz_offset_hours,
+        gdp_ppp_per_capita=country.gdp_ppp_per_capita,
+    )
+
+
+def collect_shard(cohort: ShardCohort, plan: DeploymentPlan,
+                  seeds: SeedHierarchy, policy: AnonymizationPolicy,
+                  ) -> List[RouterUpload]:
+    """Run every collector for every home in *cohort*; return the uploads.
+
+    Output-equivalent to running :class:`BismarkRouter` per home (same
+    records, same batch chunking, same dataset order) but iterates
+    collector-major over the cohort columns.  Each collector runs under a
+    ``collect.<name>`` perf sub-stage; every stage is entered once per
+    shard even when no home subscribes to it, so profiles always cover
+    the full stage set.
+    """
+    cols = cohort.columns
+    configs = cohort.configs
+    windows = plan.windows
+    n = len(configs)
+    firmware = [seeds.child("firmware", config.router_id)
+                for config in configs]
+    power = _slices(cols, "power_on", n)
+    link = _slices(cols, "link_up", n)
+    assoc = cols["associations"]
+
+    heartbeats: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+    capacity: List[Optional[Dict[str, list]]] = [None] * n
+    uptime: List[Optional[Dict[str, list]]] = [None] * n
+    census: List[Optional[Dict[str, list]]] = [None] * n
+    roster: List[list] = [[] for _ in range(n)]
+    wifi: List[Optional[Dict[str, list]]] = [None] * n
+    throughput = [None] * n
+    flows: List[list] = [[] for _ in range(n)]
+    dns: List[list] = [[] for _ in range(n)]
+
+    with perf.stage("collect.heartbeat"):
+        start, end = windows.heartbeats
+        # power∩link, computed once per home here and reused by the
+        # capacity and uptime passes below (`is_online` membership in the
+        # intersection equals membership in both sets).
+        online = [_intersect_arrays(*power[i], *link[i]) for i in range(n)]
+        for i in range(n):
+            heartbeats[i] = _heartbeat_sends(
+                firmware[i].generator("heartbeat"), start, end, online[i])
+
+    with perf.stage("collect.capacity"):
+        start, end = windows.capacity
+        down_col = cols["link_down"]
+        up_col = cols["link_up_mbps"]
+        for i in range(n):
+            capacity[i] = _capacity_columns(
+                firmware[i].generator("capacity"), start, end,
+                online[i], float(down_col[i]), float(up_col[i]))
+
+    with perf.stage("collect.uptime"):
+        start, end = windows.uptime
+        for i in range(n):
+            if configs[i].router_id not in plan.uptime_routers:
+                continue
+            uptime[i] = _uptime_columns(
+                firmware[i].generator("uptime"), start, end,
+                power[i], online[i])
+
+    devices_cache: Dict[int, _HomeDevices] = {}
+
+    def home_devices(i: int) -> _HomeDevices:
+        table = devices_cache.get(i)
+        if table is None:
+            table = devices_cache[i] = _HomeDevices(cols, i)
+        return table
+
+    with perf.stage("collect.devices"):
+        start, end = windows.devices
+        for i in range(n):
+            rid = configs[i].router_id
+            if rid not in plan.devices_routers:
+                continue
+            devices = home_devices(i)
+            census[i] = _census_columns(
+                firmware[i].generator("devices"), start, end,
+                power[i], devices)
+            roster[i] = _roster_entries(rid, start, end, power[i],
+                                        devices, assoc, policy)
+
+    with perf.stage("collect.wifi"):
+        start, end = windows.wifi
+        channel_24 = DEFAULT_CHANNELS[Spectrum.GHZ_2_4]
+        channel_5 = DEFAULT_CHANNELS[Spectrum.GHZ_5]
+        flat_24, offsets_24 = cols["neighbors"][Spectrum.GHZ_2_4]
+        flat_5, offsets_5 = cols["neighbors"][Spectrum.GHZ_5]
+        for i in range(n):
+            if configs[i].router_id not in plan.wifi_routers:
+                continue
+            base_24 = int(audible_counts(
+                Spectrum.GHZ_2_4, (channel_24,),
+                flat_24[offsets_24[i]:offsets_24[i + 1]])[0])
+            base_5 = int(audible_counts(
+                Spectrum.GHZ_5, (channel_5,),
+                flat_5[offsets_5[i]:offsets_5[i + 1]])[0])
+            wifi[i] = _wifi_columns(
+                firmware[i].generator("wifi"), start, end,
+                power[i], home_devices(i),
+                base_24, base_5, channel_24, channel_5)
+
+    with perf.stage("collect.traffic"):
+        start, end = windows.traffic
+        for i in range(n):
+            if configs[i].router_id not in plan.traffic_routers:
+                continue
+            # Traffic is the one genuinely per-home collector (flow
+            # generation walks device schedules); ~4% of homes consent,
+            # so the lazy Household view is built only for them.
+            throughput[i], flows[i], dns[i] = monitor_traffic(
+                cohort.household(i), start, end,
+                rng=firmware[i].generator("traffic"), policy=policy)
+            perf.count("flows", len(flows[i]))
+    perf.count("routers", n)
+
+    uploads: List[RouterUpload] = []
+    for i in range(n):
+        rid = configs[i].router_id
+        batches = [RecordBatch("heartbeats", rid, heartbeats[i])]
+        batches += columnar_batches("uptime", rid, uptime[i])
+        batches += columnar_batches("capacity", rid, capacity[i])
+        batches += columnar_batches("device_counts", rid, census[i])
+        batches += list_batches("roster", rid, roster[i])
+        batches += columnar_batches("wifi_scans", rid, wifi[i])
+        batches += list_batches("flows", rid, flows[i])
+        batches += list_batches("dns", rid, dns[i])
+        if throughput[i] is not None:
+            batches.append(RecordBatch("throughput", rid, throughput[i]))
+        uploads.append(RouterUpload(info=_router_info(configs[i]),
+                                    batches=tuple(batches)))
+    return uploads

@@ -14,7 +14,7 @@ from typing import List
 import numpy as np
 
 from repro.core.records import Medium, Spectrum, WifiScanSample
-from repro.simulation.channels import CHANNELS_2_4, CHANNELS_5
+from repro.simulation.channels import CHANNELS_2_4, CHANNELS_5, audible_counts
 from repro.simulation.household import Household
 from repro.simulation.timebase import MINUTE
 
@@ -114,18 +114,30 @@ def full_spectrum_scans(household: Household, epoch: float,
     it wants: "more widespread statistics about the usage of wireless
     spectrum".  The ablation bench quantifies what the deployed
     single-channel scan misses.
+
+    The per-channel loop is batched: client counts come from one
+    ``_client_counts`` query per band and the audible-neighbor base
+    counts from one :func:`~repro.simulation.channels.audible_counts`
+    broadcast over the whole band, leaving only the RNG draws — which
+    stay scalar, per channel in sweep order, so the samples are
+    bitwise-identical to the per-channel ``scan_neighbor_count`` path.
     """
     samples: List[WifiScanSample] = []
+    router_id = household.router_id
+    wireless = household.wireless
+    tick = np.asarray([epoch])
     for spectrum, channels in ((Spectrum.GHZ_2_4, CHANNELS_2_4),
                                (Spectrum.GHZ_5, CHANNELS_5)):
-        clients = _associated_clients(household, epoch, spectrum)
-        for channel in channels:
+        clients = int(_client_counts(household, spectrum, tick)[0])
+        bases = audible_counts(spectrum, channels,
+                               wireless.neighborhood_channels(spectrum))
+        for channel, base in zip(channels, bases.tolist()):
+            visible = int(rng.binomial(base, 0.85)) if base > 0 else 0
             samples.append(WifiScanSample(
-                router_id=household.router_id,
+                router_id=router_id,
                 timestamp=epoch,
                 spectrum=spectrum,
-                neighbor_aps=household.wireless.scan_neighbor_count(
-                    spectrum, rng, channel=channel),
+                neighbor_aps=visible + int(rng.poisson(0.15)),
                 associated_clients=clients,
                 channel=channel,
             ))

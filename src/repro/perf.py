@@ -34,9 +34,12 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
-#: Stage names the firmware + engine wire up, in reporting order.
-ENGINE_STAGES = ("materialize", "heartbeat", "capacity", "uptime",
-                 "devices", "wifi", "traffic", "ingest")
+#: Stage names the firmware + engine wire up, in reporting order.  The
+#: collector pass is one top-level "collect" stage with per-collector
+#: sub-stages nested beneath it (see ``firmware.shard_collect``).
+ENGINE_STAGES = ("materialize", "collect", "collect.heartbeat",
+                 "collect.capacity", "collect.uptime", "collect.devices",
+                 "collect.wifi", "collect.traffic", "ingest")
 
 
 class PerfRecorder:
@@ -192,7 +195,8 @@ def format_table(snap: Dict[str, Dict[str, float]],
     # and excluded from the total, which sums top-level stages only.
     top_level = [name for name in seconds if "." not in name]
     total = sum(seconds[name] for name in top_level)
-    ordered = [name for name in ENGINE_STAGES if name in seconds]
+    ordered = [name for name in ENGINE_STAGES
+               if name in seconds and "." not in name]
     ordered += sorted(name for name in top_level
                       if name not in ENGINE_STAGES)
     with_subs = []

@@ -90,6 +90,27 @@ def audible(spectrum: Spectrum, scan_channel: int, ap_channel: int) -> bool:
     return abs(scan_channel - ap_channel) <= SCAN_AUDIBLE_DELTA
 
 
+def audible_counts(spectrum: Spectrum, scan_channels: Sequence[int],
+                   ap_channels: Sequence[int]) -> np.ndarray:
+    """How many of *ap_channels* a scan on each of *scan_channels* hears.
+
+    The vectorized form of summing :func:`audible` over the neighborhood:
+    ``audible_counts(s, [c], aps)[0] == sum(audible(s, c, a) for a in aps)``
+    exactly, for every channel ``c``.  Used by the columnar wifi collector
+    (one scan channel, hoisted per home) and ``full_spectrum_scans``
+    (every channel of a band at once).
+    """
+    scans = np.asarray(scan_channels, dtype=np.int64).reshape(-1, 1)
+    aps = np.asarray(ap_channels, dtype=np.int64).reshape(1, -1)
+    if aps.size == 0:
+        return np.zeros(scans.shape[0], dtype=np.int64)
+    if spectrum is Spectrum.GHZ_5:
+        heard = scans == aps
+    else:
+        heard = np.abs(scans - aps) <= SCAN_AUDIBLE_DELTA
+    return heard.sum(axis=1)
+
+
 def interference_weight(spectrum: Spectrum, channel_a: int,
                         channel_b: int) -> float:
     """Spectral-overlap fraction between two channels (0..1).

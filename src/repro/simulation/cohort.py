@@ -124,7 +124,11 @@ class _AssociationBatch:
         # nondecreasing, so "csum at the last b-false index" is just the
         # running maximum of csum masked to b-false positions (0 before
         # the first one) — no index gymnastics needed.
-        csum = np.cumsum(a, axis=1, dtype=np.int32)
+        # Counts are bounded by the span's hour count, so int16 is ample
+        # for any real study span and halves the memory traffic of the
+        # three full-matrix passes below.
+        count_dtype = np.int16 if hours < np.iinfo(np.int16).max else np.int32
+        csum = np.cumsum(a, axis=1, dtype=count_dtype)
         csum_at_last_false = np.maximum.accumulate(
             np.where(b, 0, csum), axis=1)
         state = (csum - csum_at_last_false) > 0
@@ -192,6 +196,16 @@ class ShardCohort(Sequence):
         self._columns = columns
         self._views: List[Optional[Household]] = [None] * len(self.configs)
         self._calendars: Dict[float, StudyCalendar] = {}
+
+    @property
+    def columns(self) -> Dict[str, object]:
+        """The raw column arrays (see :func:`build_shard_cohort` layout).
+
+        The columnar collection pass (``firmware.shard_collect``) reads
+        these directly instead of rebuilding per-home ``Household`` views.
+        Treat the arrays as immutable: views alias them.
+        """
+        return self._columns
 
     # -- sequence protocol ----------------------------------------------------
 

@@ -207,15 +207,24 @@ def association_probs(span: Tuple[float, float],
     else:
         levels = np.where(weekend, schedule.activity_weekend[hour_index],
                           schedule.activity_weekday[hour_index])
-    target = np.minimum(levels * scale, 1.0)
+    target = levels * scale
+    np.minimum(target, 1.0, out=target)
     stay = (1 - persistence) * target
     floor = 0.02 * target
-    ceiling = 1 - 0.02 * (1 - target)
+    # ceiling = 1 - 0.02 * (1 - target), kept as the same three
+    # elementwise steps so the floats don't move.
+    ceiling = 1.0 - target
+    ceiling *= 0.02
+    np.subtract(1.0, ceiling, out=ceiling)
     # Transition probability given the previous state, pre-clamped.
-    prob_off = np.minimum(np.maximum(stay + persistence * 0.0, floor),
-                          ceiling)
-    prob_on = np.minimum(np.maximum(stay + persistence * 1.0, floor),
-                         ceiling)
+    # ``stay + persistence * state`` collapses to ``stay`` for state 0
+    # (stay is never -0.0, so adding +0.0 is the identity) and a scalar
+    # add of ``persistence`` for state 1.
+    prob_off = np.maximum(stay, floor)
+    np.minimum(prob_off, ceiling, out=prob_off)
+    prob_on = stay + persistence
+    np.maximum(prob_on, floor, out=prob_on)
+    np.minimum(prob_on, ceiling, out=prob_on)
     return prob_off, prob_on
 
 

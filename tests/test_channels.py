@@ -11,6 +11,7 @@ from repro.simulation.channels import (
     CHANNELS_5,
     assign_channels,
     audible,
+    audible_counts,
     channel_weights,
     contention_index,
     interference_weight,
@@ -138,7 +139,71 @@ class TestEnvironmentChannels:
             env.contention(Spectrum.GHZ_2_4, 11)
 
 
+class TestAudibleCounts:
+    @given(st.lists(st.integers(min_value=1, max_value=11), max_size=40),
+           st.sampled_from(CHANNELS_2_4))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_audible_2_4(self, neighbors, scan):
+        counts = audible_counts(Spectrum.GHZ_2_4, [scan], neighbors)
+        assert int(counts[0]) == sum(
+            audible(Spectrum.GHZ_2_4, scan, c) for c in neighbors)
+
+    @given(st.lists(st.sampled_from(CHANNELS_5), max_size=40),
+           st.sampled_from(CHANNELS_5))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_audible_5(self, neighbors, scan):
+        counts = audible_counts(Spectrum.GHZ_5, [scan], neighbors)
+        assert int(counts[0]) == sum(
+            audible(Spectrum.GHZ_5, scan, c) for c in neighbors)
+
+    def test_broadcasts_over_all_scan_channels(self):
+        neighbors = [1, 6, 6, 11, 3]
+        counts = audible_counts(Spectrum.GHZ_2_4, CHANNELS_2_4, neighbors)
+        assert counts.shape == (len(CHANNELS_2_4),)
+        for scan, count in zip(CHANNELS_2_4, counts.tolist()):
+            assert count == sum(
+                audible(Spectrum.GHZ_2_4, scan, c) for c in neighbors)
+
+    def test_empty_neighborhood(self):
+        assert audible_counts(Spectrum.GHZ_5, CHANNELS_5, []).tolist() == \
+            [0, 0, 0, 0]
+
+
+def _scalar_reference_sweep(home, epoch, rng):
+    """The pre-vectorization full_spectrum_scans loop, kept as the oracle."""
+    from repro.core.records import WifiScanSample
+    from repro.firmware.wifi import _associated_clients
+    samples = []
+    for spectrum, channels in ((Spectrum.GHZ_2_4, CHANNELS_2_4),
+                               (Spectrum.GHZ_5, CHANNELS_5)):
+        clients = _associated_clients(home, epoch, spectrum)
+        for channel in channels:
+            samples.append(WifiScanSample(
+                router_id=home.router_id,
+                timestamp=epoch,
+                spectrum=spectrum,
+                neighbor_aps=home.wireless.scan_neighbor_count(
+                    spectrum, rng, channel=channel),
+                associated_clients=clients,
+                channel=channel,
+            ))
+    return samples
+
+
 class TestFullSpectrumScans:
+    def test_vectorized_sweep_matches_scalar_reference(self):
+        for seed in range(6):
+            home = Household(SeedHierarchy(seed), HouseholdConfig(
+                f"US79{seed}", country_by_code("US"), SPAN))
+            for hour in (1, 12, 200):
+                epoch = SPAN[0] + hour * 3600
+                vectorized = full_spectrum_scans(
+                    home, epoch, np.random.default_rng(seed))
+                reference = _scalar_reference_sweep(
+                    home, epoch, np.random.default_rng(seed))
+                assert vectorized == reference
+
+
     def test_sweep_covers_all_channels(self):
         home = Household(SeedHierarchy(3), HouseholdConfig(
             "US700", country_by_code("US"), SPAN))

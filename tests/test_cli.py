@@ -96,6 +96,45 @@ class TestHealthAndTelemetry:
         assert (telemetry / "events.jsonl").stat().st_size > 0
 
     @pytest.fixture()
+    def drained_perf(self):
+        """Profiling flags leave the recorder enabled; clean up after."""
+        from repro import perf
+
+        yield
+        perf.disable()
+
+    def test_profile_json_writes_stage_timers(self, tmp_path, capsys,
+                                              drained_perf):
+        import json
+
+        out = tmp_path / "archive"
+        profile = tmp_path / "profile.json"
+        assert main(["run", "--out", str(out),
+                     "--profile-json", str(profile)] + ARGS) == 0
+        err = capsys.readouterr().err
+        assert "wrote profile JSON" in err
+        assert "Per-stage profile" not in err  # table only with --profile
+        payload = json.loads(profile.read_text())
+        assert set(payload) == {"seconds", "calls", "counters"}
+        for stage in ("materialize", "collect", "collect.heartbeat",
+                      "collect.wifi", "ingest"):
+            assert payload["seconds"][stage] >= 0.0
+            assert payload["calls"][stage] >= 1
+        assert payload["counters"]["routers"] > 0
+
+    def test_profile_json_composes_with_table(self, tmp_path, capsys,
+                                              drained_perf):
+        import json
+
+        out = tmp_path / "archive"
+        profile = tmp_path / "profile.json"
+        assert main(["run", "--out", str(out), "--profile",
+                     "--profile-json", str(profile)] + ARGS) == 0
+        err = capsys.readouterr().err
+        assert "Per-stage profile" in err
+        assert json.loads(profile.read_text())["counters"]["routers"] > 0
+
+    @pytest.fixture()
     def repro_logger(self):
         """Snapshot/restore the package logger the CLI configures."""
         import logging

@@ -1,0 +1,329 @@
+"""Columnar collection equivalence: collect_shard == BismarkRouter per home.
+
+The shard-wide columnar collectors (``repro.firmware.shard_collect``) must
+be a pure re-expression of the per-home reference path: same streams, same
+draw order, identical records, identical batch chunking.  These tests
+compare every upload of every shard split of a small plan against uploads
+built the pre-refactor way (``BismarkRouter`` + ``router_output_to_batches``),
+plus the columnar batch container, the tick-walk schedule helper, and the
+wifi backoff determinism contract.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.collection.batches import (
+    ColumnarRecords,
+    columnar_batches,
+    list_batches,
+    router_output_to_batches,
+)
+from repro.collection.engine import _shard_statics
+from repro.collection.storage import RecordStore
+from repro.core.records import RouterInfo, Spectrum
+from repro.core.pipeline import StudyConfig, run_study
+from repro.firmware.router import BismarkRouter
+from repro.firmware.shard_collect import _tick_walk, collect_shard
+from repro.firmware.wifi import SCAN_INTERVAL
+from repro.simulation.deployment import (
+    DeploymentConfig,
+    build_deployment_plan,
+    materialize_shard,
+)
+from repro.simulation.seeding import SeedHierarchy
+from repro.simulation.timebase import StudyWindows
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_deployment_plan(DeploymentConfig(
+        seed=2013, router_scale=0.05,
+        windows=StudyWindows().scaled(0.05),
+        traffic_consents=2, low_activity_consents=1))
+
+
+@pytest.fixture(scope="module")
+def reference_uploads(plan):
+    """(info, batches) per router from the per-home reference path."""
+    _, policy = _shard_statics()
+    seeds = SeedHierarchy(plan.seed)
+    cohort = materialize_shard(plan, 0, 1)
+    uploads = {}
+    for home in cohort:
+        rid = home.router_id
+        router = BismarkRouter(
+            home, seeds, policy,
+            collect_uptime=rid in plan.uptime_routers,
+            collect_devices=rid in plan.devices_routers,
+            collect_wifi=rid in plan.wifi_routers,
+            collect_traffic=rid in plan.traffic_routers)
+        uploads[rid] = (home.info,
+                        router_output_to_batches(router.run(plan.windows)))
+    return uploads
+
+
+def assert_same_batches(got, ref):
+    assert [b.dataset for b in got] == [b.dataset for b in ref]
+    for got_batch, ref_batch in zip(got, ref):
+        dataset = got_batch.dataset
+        assert got_batch.router_id == ref_batch.router_id
+        if dataset == "heartbeats":
+            got_arr = np.asarray(got_batch.records)
+            ref_arr = np.asarray(ref_batch.records)
+            assert got_arr.dtype == ref_arr.dtype
+            assert got_arr.tobytes() == ref_arr.tobytes()
+        elif dataset == "throughput":
+            got_series, ref_series = got_batch.records, ref_batch.records
+            assert got_series.router_id == ref_series.router_id
+            assert got_series.start == ref_series.start
+            assert got_series.interval_seconds == ref_series.interval_seconds
+            assert got_series.up_bps.tobytes() == ref_series.up_bps.tobytes()
+            assert got_series.down_bps.tobytes() == \
+                ref_series.down_bps.tobytes()
+        else:
+            assert len(got_batch.records) == len(ref_batch.records), dataset
+            assert list(got_batch.records) == list(ref_batch.records), dataset
+
+
+def test_reference_covers_every_collector(reference_uploads):
+    """Guard against a vacuous equivalence test: every dataset occurs."""
+    seen = {batch.dataset
+            for _, batches in reference_uploads.values()
+            for batch in batches}
+    assert seen == {"heartbeats", "uptime", "capacity", "device_counts",
+                    "roster", "wifi_scans", "flows", "dns", "throughput"}
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 7])
+def test_every_shard_split_matches_reference(plan, reference_uploads,
+                                             n_shards):
+    """Columnar uploads are record-identical for every shard split."""
+    universe, policy = _shard_statics()
+    seeds = SeedHierarchy(plan.seed)
+    covered = 0
+    for shard_index in range(n_shards):
+        cohort = materialize_shard(plan, shard_index, n_shards,
+                                   domain_universe=universe)
+        uploads = collect_shard(cohort, plan, seeds, policy)
+        lo, hi = plan.shard_bounds(shard_index, n_shards)
+        assert [u.router_id for u in uploads] == plan.router_ids[lo:hi]
+        for upload in uploads:
+            ref_info, ref_batches = reference_uploads[upload.router_id]
+            assert upload.info == ref_info
+            assert_same_batches(list(upload.batches), ref_batches)
+        covered += len(uploads)
+    assert covered == len(plan)
+
+
+def test_uploads_pickle_roundtrip(plan, reference_uploads):
+    """Uploads cross the process boundary columnar and come back equal."""
+    universe, policy = _shard_statics()
+    cohort = materialize_shard(plan, 0, 3, domain_universe=universe)
+    uploads = collect_shard(cohort, plan, SeedHierarchy(plan.seed), policy)
+    restored = pickle.loads(pickle.dumps(uploads))
+    for upload in restored:
+        _, ref_batches = reference_uploads[upload.router_id]
+        assert_same_batches(list(upload.batches), ref_batches)
+
+
+class TestTickWalk:
+    """The checked-arange schedule equals the scalar accumulation walk."""
+
+    @staticmethod
+    def scalar_walk(first, end, interval):
+        ticks = []
+        tick = first
+        while tick < end:
+            ticks.append(tick)
+            tick += interval
+        return ticks
+
+    def test_matches_accumulation_across_random_phases(self):
+        rng = np.random.default_rng(7)
+        start = 1349049600.0  # the study epoch range
+        for _ in range(300):
+            interval = float(rng.choice([60.0, 600.0, 3600.0, 43200.0]))
+            first = start + float(rng.uniform(0, interval))
+            end = first + float(rng.uniform(0, 400)) * interval \
+                + float(rng.uniform(-interval, interval))
+            assert _tick_walk(first, end, interval).tolist() == \
+                self.scalar_walk(first, end, interval)
+
+    def test_irrational_interval_still_exact(self):
+        # Intervals with repeating binary fractions accumulate rounding,
+        # forcing the scalar fallback — the result must still be exact.
+        for interval in (0.1, 1.0 / 3.0, 7.3):
+            first, end = 5.05, 5.05 + 1000 * interval
+            assert _tick_walk(first, end, interval).tolist() == \
+                self.scalar_walk(first, end, interval)
+
+    def test_empty_and_single_tick_windows(self):
+        assert _tick_walk(10.0, 10.0, 5.0).size == 0
+        assert _tick_walk(12.0, 10.0, 5.0).size == 0
+        assert _tick_walk(9.9, 10.0, 5.0).tolist() == [9.9]
+
+
+class TestColumnarRecords:
+    COLS = {"timestamp": [1.0, 2.0, 3.0], "uptime_seconds": [5.0, 0.0, 9.5]}
+
+    def make(self):
+        return ColumnarRecords("uptime", "us-001",
+                               {k: list(v) for k, v in self.COLS.items()})
+
+    def test_len_is_free_and_iteration_fabricates(self):
+        records = self.make()
+        assert len(records) == 3
+        assert records._cache is None  # len() must not materialize
+        materialized = list(records)
+        assert [r.timestamp for r in materialized] == [1.0, 2.0, 3.0]
+        assert [r.uptime_seconds for r in materialized] == [5.0, 0.0, 9.5]
+        assert all(r.router_id == "us-001" for r in materialized)
+        # Fabrication is cached: same objects on the second pass.
+        assert records[0] is materialized[0]
+
+    def test_fabricated_records_equal_real_ones(self):
+        from repro.core.records import UptimeReport
+        fabricated = list(self.make())
+        real = [UptimeReport("us-001", ts, up)
+                for ts, up in zip(self.COLS["timestamp"],
+                                  self.COLS["uptime_seconds"])]
+        assert fabricated == real
+
+    def test_pickle_ships_columns_not_cache(self):
+        records = self.make()
+        list(records)  # populate the cache
+        restored = pickle.loads(pickle.dumps(records))
+        assert restored._cache is None
+        assert list(restored) == list(records)
+
+    def test_bulk_validation_mirrors_post_init(self):
+        with pytest.raises(ValueError):
+            ColumnarRecords("uptime", "r",
+                            {"timestamp": [1.0], "uptime_seconds": [-1.0]})
+        with pytest.raises(ValueError):
+            ColumnarRecords("capacity", "r",
+                            {"timestamp": [1.0], "downstream_mbps": [-0.1],
+                             "upstream_mbps": [1.0]})
+        with pytest.raises(ValueError):
+            ColumnarRecords("device_counts", "r",
+                            {"timestamp": [1.0], "wired": [-1],
+                             "wireless_2_4": [0], "wireless_5": [0]})
+        with pytest.raises(ValueError):
+            ColumnarRecords("wifi_scans", "r",
+                            {"timestamp": [1.0], "spectrum_code": [3],
+                             "neighbor_aps": [0], "associated_clients": [0],
+                             "channel": [11]})
+
+    def test_structural_validation(self):
+        with pytest.raises(ValueError):
+            ColumnarRecords("roster", "r", {})  # no columnar layout
+        with pytest.raises(ValueError):
+            ColumnarRecords("uptime", "r", {"timestamp": [1.0]})
+        with pytest.raises(ValueError):
+            ColumnarRecords("uptime", "r",
+                            {"timestamp": [1.0, 2.0],
+                             "uptime_seconds": [1.0]})
+
+    def test_wifi_spectrum_decoding(self):
+        records = ColumnarRecords("wifi_scans", "r", {
+            "timestamp": [1.0, 2.0], "spectrum_code": [1, 2],
+            "neighbor_aps": [3, 0], "associated_clients": [0, 2],
+            "channel": [11, 36]})
+        scans = list(records)
+        assert scans[0].spectrum is Spectrum.GHZ_2_4
+        assert scans[1].spectrum is Spectrum.GHZ_5
+        assert [s.channel for s in scans] == [11, 36]
+
+
+class TestColumnarBatching:
+    def test_chunking_matches_list_batches(self):
+        n = 5000
+        cols = {"timestamp": [float(i) for i in range(n)],
+                "uptime_seconds": [1.0] * n}
+        from repro.core.records import UptimeReport
+        records = [UptimeReport("r", float(i), 1.0) for i in range(n)]
+        columnar = columnar_batches("uptime", "r",
+                                    {k: list(v) for k, v in cols.items()})
+        plain = list_batches("uptime", "r", records)
+        assert [len(b.records) for b in columnar] == \
+            [len(b.records) for b in plain] == [2048, 2048, 904]
+        for col_batch, plain_batch in zip(columnar, plain):
+            assert list(col_batch.records) == plain_batch.records
+
+    def test_empty_columns_emit_no_batch(self):
+        assert columnar_batches("uptime", "r", None) == []
+        assert columnar_batches(
+            "uptime", "r", {"timestamp": [], "uptime_seconds": []}) == []
+        assert list_batches("roster", "r", []) == []
+
+
+class TestStoreRegistration:
+    def test_columnar_batch_checks_registration_once(self):
+        store = RecordStore(StudyWindows())
+        records = ColumnarRecords("uptime", "ghost", {
+            "timestamp": [1.0], "uptime_seconds": [2.0]})
+        with pytest.raises(KeyError):
+            store.add_uptime(records)
+        store.register_router(RouterInfo(
+            router_id="ghost", country_code="US", developed=True,
+            tz_offset_hours=-5.0, gdp_ppp_per_capita=51000.0))
+        store.add_uptime(records)
+
+
+class TestWifiBackoffDeterminism:
+    """Same seed ⇒ the same skipped-scan schedule, however the work splits."""
+
+    def collect_schedules(self, plan, n_shards):
+        universe, policy = _shard_statics()
+        seeds = SeedHierarchy(plan.seed)
+        per_router = {}
+        for shard_index in range(n_shards):
+            cohort = materialize_shard(plan, shard_index, n_shards,
+                                       domain_universe=universe)
+            for upload in collect_shard(cohort, plan, seeds, policy):
+                scans = [record
+                         for batch in upload.batches
+                         if batch.dataset == "wifi_scans"
+                         for record in batch.records]
+                per_router[upload.router_id] = [
+                    (s.timestamp, s.spectrum) for s in scans]
+        return per_router
+
+    def test_identical_across_shard_splits(self, plan):
+        first = self.collect_schedules(plan, 1)
+        assert first == self.collect_schedules(plan, 3)
+        assert first == self.collect_schedules(plan, 7)
+
+    def test_backoff_gaps_are_scan_interval_multiples(self, plan):
+        """Executed scans sit on the 10-minute grid; skips leave holes."""
+        schedules = self.collect_schedules(plan, 1)
+        saw_backoff = False
+        for scans in schedules.values():
+            times = sorted(t for t, spectrum in scans
+                           if spectrum is Spectrum.GHZ_2_4)
+            gaps = np.diff(times)
+            steps = gaps / SCAN_INTERVAL
+            assert np.allclose(steps, np.round(steps), atol=1e-6)
+            if (np.round(steps) > 1).any():
+                saw_backoff = True
+        assert saw_backoff  # client backoff actually skipped scans
+
+    def test_identical_across_worker_counts(self):
+        config = StudyConfig(seed=17, router_scale=0.1, duration_scale=0.02,
+                             traffic_consents=2, low_activity_consents=0)
+        serial = run_study(config).data
+        parallel = run_study(StudyConfig(
+            seed=17, router_scale=0.1, duration_scale=0.02,
+            traffic_consents=2, low_activity_consents=0,
+            workers=2, shard_size=4)).data
+
+        def schedule(data):
+            per_router = {}
+            for scan in data.wifi_scans:
+                per_router.setdefault(scan.router_id, []).append(
+                    (scan.timestamp, scan.spectrum))
+            return per_router
+
+        assert schedule(serial) == schedule(parallel)

@@ -313,7 +313,8 @@ class TestTelemetrySession:
         assert samples[("heartbeats_sent_total", ())] >= \
             samples[("heartbeats_delivered_total", ())] > 0
         assert samples[("shards_completed_total", ())] >= 1
-        assert ("stage_seconds_total", (("stage", "heartbeat"),)) in samples
+        assert ("stage_seconds_total",
+                (("stage", "collect.heartbeat"),)) in samples
 
         manifest = load_manifest(out / "manifest.json")
         from repro import study_digest
