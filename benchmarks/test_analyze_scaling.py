@@ -1,0 +1,139 @@
+"""Analysis scaling bench: streamed figures/sec over a spilled store.
+
+Measures :func:`repro.core.streaming.stream_figures` — every Section 4-6
+figure in one pass off the spill backend's merged-run iterators — at
+three deployment scales (252, ~2.5k, ~10k homes).  Results land in
+``BENCH_analyze.json`` at the repo root, next to ``BENCH_collect.json``.
+
+Campaigns are collected outside the timed region into a
+:class:`SpillBackend` with ``materialize=False``, so the number isolates
+what the *analysis* pays per record with no ``StudyData`` ever built.
+Three gates:
+
+* **parity** — at the 252-home point the streamed report must render
+  identically to the exact in-RAM pipeline's (the fine-grained per-field
+  tolerance assertions live in ``tests/test_streaming.py``);
+* **memory** — at the ~10k-home point the streaming pass must stay
+  under ``MEMORY_BUDGET_MB`` of Python-heap allocations (tracemalloc
+  peak), i.e. O(sketch), not O(study);
+* **regression** — the 252-home analysis time must stay within 25% of
+  the committed ``BENCH_analyze.json``.
+"""
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.collection.backends import SpillBackend
+from repro.collection.engine import run_campaign
+from repro.collection.storage import RecordStore
+from repro.core.paperkit import render_report, reproduce_all
+from repro.core.streaming import StoreSource, stream_figures
+from repro.simulation.deployment import DeploymentConfig, build_deployment_plan
+from repro.simulation.timebase import StudyWindows
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Bench windows (matches benchmarks/test_collect_scaling.py).
+DURATION_SCALE = 0.02
+
+#: Router scales measured: 252, 2520, and 10080 homes.
+SCALES = (2.0, 20.0, 80.0)
+
+#: Python-heap budget (tracemalloc peak, MB) for the streaming pass at
+#: the ~10k-home scale.  The materialized record lists for the same
+#: campaign run to hundreds of MB; the stream path's resident state is
+#: the spill read chunks plus the sketches, measured ~8 MB — the
+#: headroom absorbs allocator noise, not a design change.
+MEMORY_BUDGET_MB = 64.0
+
+#: Sustained throughput floor at the largest scale.  Measured ~3.7M
+#: records/sec on an idle machine (published in the JSON); the assert
+#: only catches order-of-magnitude regressions so a loaded CI runner
+#: does not flake.
+MIN_RECORDS_PER_SEC = 200_000.0
+
+#: Tolerated slowdown of the 252-home point against the committed
+#: ``BENCH_analyze.json`` before the bench fails.
+REGRESSION_FACTOR = 1.25
+
+
+def _collect_spilled(scale: float, tmp_path):
+    plan = build_deployment_plan(DeploymentConfig(
+        seed=2013, router_scale=scale,
+        windows=StudyWindows().scaled(DURATION_SCALE),
+        traffic_consents=10, low_activity_consents=2))
+    backend = SpillBackend(directory=tmp_path / f"spill-{scale}",
+                           max_buffered_records=8192)
+    store = run_campaign(plan, seed=2013,
+                         store=RecordStore(plan.windows, backend),
+                         materialize=False)
+    return plan, store
+
+
+def test_analyze_scaling(tmp_path, emit):
+    committed = None
+    bench_path = ROOT / "BENCH_analyze.json"
+    if bench_path.exists():
+        committed = json.loads(bench_path.read_text())
+
+    points = []
+    memory_peak_mb = None
+    for scale in SCALES:
+        plan, store = _collect_spilled(scale, tmp_path)
+        t0 = time.perf_counter()
+        figures = stream_figures(StoreSource(store))
+        seconds = time.perf_counter() - t0
+
+        if scale == SCALES[0]:
+            # Parity gate: same campaign, exact in-RAM pipeline.
+            data = run_campaign(plan, seed=2013)
+            assert render_report(reproduce_all(figures)) == \
+                render_report(reproduce_all(data)), \
+                "streamed report diverged from the exact pipeline"
+        if scale == SCALES[-1]:
+            # Memory gate: a second pass over the same store under
+            # tracemalloc (its ~2x slowdown must not taint the timing).
+            tracemalloc.start()
+            stream_figures(StoreSource(store))
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            memory_peak_mb = round(peak / 1e6, 1)
+            assert memory_peak_mb <= MEMORY_BUDGET_MB, (
+                f"streaming analysis peaked at {memory_peak_mb} MB over "
+                f"{figures.records_streamed} records — the stream path "
+                f"must stay O(sketch), budget {MEMORY_BUDGET_MB} MB")
+
+        assert store.backend.peak_open_run_files <= 1
+        points.append({
+            "router_scale": scale,
+            "homes": len(plan),
+            "records": figures.records_streamed,
+            "seconds": round(seconds, 3),
+            "records_per_sec": round(figures.records_streamed / seconds),
+        })
+
+    # Regression gate against the committed bench results.
+    gate = points[0]
+    if committed is not None:
+        pinned = committed["points"][0]["seconds"]
+        assert gate["seconds"] <= pinned * REGRESSION_FACTOR, (
+            f"252-home streaming analysis regressed >25%: "
+            f"{gate['seconds']}s vs the committed {pinned}s")
+
+    sustained = points[-1]
+    assert sustained["records_per_sec"] >= MIN_RECORDS_PER_SEC, (
+        f"streaming throughput collapsed: {sustained['records_per_sec']} "
+        f"records/sec over {sustained['records']} records")
+
+    payload = {
+        "duration_scale": DURATION_SCALE,
+        "points": points,
+        "peak_tracemalloc_mb_10k": memory_peak_mb,
+        "memory_budget_mb": MEMORY_BUDGET_MB,
+        "cpu_cores": os.cpu_count() or 1,
+    }
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("BENCH_analyze", json.dumps(payload, indent=2))

@@ -31,7 +31,13 @@ import logging as _logging
 
 _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
-from repro.core.pipeline import StudyConfig, StudyResult, run_study
+from repro.core.pipeline import (
+    StreamedStudy,
+    StudyConfig,
+    StudyResult,
+    run_study,
+    run_study_streaming,
+)
 from repro.core.datasets import (
     DatasetSummary,
     HeartbeatLog,
@@ -60,9 +66,11 @@ from repro.core.records import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "StreamedStudy",
     "StudyConfig",
     "StudyResult",
     "run_study",
+    "run_study_streaming",
     "DatasetSummary",
     "HeartbeatLog",
     "StudyData",

@@ -10,15 +10,19 @@ Usage::
                                     [--shard-timeout SECONDS]
     python -m repro summary (--archive DIR | --seed N ...)
     python -m repro report  (--archive DIR | --seed N ...)
+    python -m repro figures (--archive DIR | --seed N ...) [--stream]
     python -m repro caps    (--archive DIR | --seed N ...) [--cap-gb G]
     python -m repro health  (--archive DIR | --seed N ...)
 
 ``run`` simulates a campaign and writes the CSV/JSON archive (optionally
 the PII-stripped public variant).  ``summary`` prints Table 2 for a
 campaign or archive; ``report`` prints the Section 4/5/6 headline numbers;
-``caps`` prints the usage-cap dashboard; ``health`` prints the
-deployment-health report (cohort coverage, dead/flapping routers,
-per-dataset loss).  ``--telemetry-dir`` on any campaign-running command
+``figures`` prints the full paper-vs-measured report — with ``--stream``
+it computes every figure on the one-pass streaming path
+(:mod:`repro.core.streaming`), never materializing the study in RAM
+(pair it with ``--store spill`` for bounded-memory campaigns); ``caps``
+prints the usage-cap dashboard; ``health`` prints the deployment-health
+report (cohort coverage, dead/flapping routers, per-dataset loss).  ``--telemetry-dir`` on any campaign-running command
 writes the full telemetry artifact set (Prometheus + JSON metrics, JSONL
 event log, run manifest, health report).  ``-v``/``-vv`` raise the
 logging level (INFO/DEBUG on stderr); ``-q`` silences everything below
@@ -37,7 +41,7 @@ from typing import List, Optional
 
 from repro import perf
 from repro.core.datasets import StudyData, summarize_datasets
-from repro.core.pipeline import StudyConfig, run_study
+from repro.core.pipeline import StudyConfig, run_study, run_study_streaming
 from repro.core import availability, infrastructure, usage
 from repro.core.caps import cap_forecast
 from repro.core.report import render_table
@@ -121,6 +125,18 @@ def _config_from(args: argparse.Namespace) -> StudyConfig:
     )
 
 
+def _emit_profile(args: argparse.Namespace) -> None:
+    """Drain and print/write :mod:`repro.perf` per ``--profile[-json]``."""
+    snap = perf.drain()
+    if args.profile:
+        print(perf.format_table(snap), file=sys.stderr)
+    if args.profile_json is not None:
+        Path(args.profile_json).write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        print(f"wrote profile JSON to {args.profile_json}",
+              file=sys.stderr)
+
+
 def _simulate(args: argparse.Namespace) -> StudyData:
     """Run the configured campaign, honoring ``--profile[-json]``."""
     if args.resume and not args.checkpoint_dir:
@@ -130,14 +146,7 @@ def _simulate(args: argparse.Namespace) -> StudyData:
                      telemetry_dir=args.telemetry_dir,
                      resume=args.resume).data
     if profiling:
-        snap = perf.drain()
-        if args.profile:
-            print(perf.format_table(snap), file=sys.stderr)
-        if args.profile_json is not None:
-            Path(args.profile_json).write_text(
-                json.dumps(snap, indent=2, sort_keys=True) + "\n")
-            print(f"wrote profile JSON to {args.profile_json}",
-                  file=sys.stderr)
+        _emit_profile(args)
     if args.telemetry_dir:
         print(f"wrote telemetry artifacts to {args.telemetry_dir}",
               file=sys.stderr)
@@ -211,6 +220,30 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     print(render_table(["quantity", "value"], rows,
                        title="Study headline numbers"))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core.paperkit import render_report, reproduce_all
+    from repro.core.streaming import StudyDataSource
+
+    if not args.stream:
+        report = reproduce_all(_load_data(args))
+    elif args.archive:
+        print(f"loading archive {args.archive} ...", file=sys.stderr)
+        report = reproduce_all(StudyDataSource(load_study(args.archive)))
+    else:
+        print("simulating campaign (streaming analysis) ...",
+              file=sys.stderr)
+        profiling = args.profile or args.profile_json is not None
+        streamed = run_study_streaming(_config_from(args),
+                                       profile=profiling)
+        if profiling:
+            _emit_profile(args)
+        print(f"streamed {streamed.figures.records_streamed} records",
+              file=sys.stderr)
+        report = reproduce_all(streamed.figures)
+    print(render_report(report))
     return 0
 
 
@@ -291,6 +324,16 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="print headline statistics")
     _add_source_arguments(report_parser)
     report_parser.set_defaults(func=cmd_report)
+
+    figures_parser = sub.add_parser(
+        "figures", help="print the full paper-vs-measured report")
+    _add_source_arguments(figures_parser)
+    figures_parser.add_argument(
+        "--stream", action="store_true",
+        help="compute every figure on the one-pass streaming path "
+             "(O(sketch) memory; combine with --store spill so the "
+             "campaign itself stays bounded too)")
+    figures_parser.set_defaults(func=cmd_figures)
 
     caps_parser = sub.add_parser("caps", help="print the cap dashboard")
     _add_source_arguments(caps_parser)

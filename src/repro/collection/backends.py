@@ -92,6 +92,23 @@ class StoreBackend(ABC):
     def finalize(self) -> StoreContents:
         """Return every stored record, sorted per dataset."""
 
+    @abstractmethod
+    def iter_dataset(self, dataset: str) -> Iterator:
+        """Stream one list dataset's records in sorted order.
+
+        Unlike :meth:`finalize`, this never materializes the whole
+        dataset — the streaming analysis path relies on it to keep
+        memory at O(sketch).  Repeated iteration is allowed.
+        """
+
+    @abstractmethod
+    def iter_heartbeats(self) -> Iterator[HeartbeatLog]:
+        """Stream per-router heartbeat logs in ingest order."""
+
+    @abstractmethod
+    def iter_throughput(self) -> Iterator[ThroughputSeries]:
+        """Stream per-router throughput series in ingest order."""
+
 
 class MemoryBackend(StoreBackend):
     """Everything in RAM — the original store behaviour."""
@@ -117,6 +134,17 @@ class MemoryBackend(StoreBackend):
             lists={name: sorted(records, key=SORT_KEYS[name])
                    for name, records in self._lists.items()},
         )
+
+    def iter_dataset(self, dataset: str) -> Iterator:
+        if dataset not in LIST_DATASETS:
+            raise ValueError(f"unknown dataset {dataset!r}")
+        return iter(sorted(self._lists[dataset], key=SORT_KEYS[dataset]))
+
+    def iter_heartbeats(self) -> Iterator[HeartbeatLog]:
+        return iter(list(self._heartbeats.values()))
+
+    def iter_throughput(self) -> Iterator[ThroughputSeries]:
+        return iter(list(self._throughput.values()))
 
 
 # -- JSONL record codec ----------------------------------------------------------
@@ -207,6 +235,12 @@ class SpillBackend(StoreBackend):
         self._n_runs = 0
         self._finalized = False
         self.peak_buffered_records = 0
+        self._open_run_files = 0
+        #: High-water mark of concurrently open run files during merges.
+        #: The chunked readers open lazily and close between chunks, so
+        #: this stays at 1 no matter how many runs a campaign spilled —
+        #: a long campaign cannot exhaust the process fd limit.
+        self.peak_open_run_files = 0
         # Ingest order, so finalize matches MemoryBackend's dict order
         # (exports iterate these dicts; sorted-glob order would differ).
         self._heartbeat_order: List[str] = []
@@ -334,12 +368,75 @@ class SpillBackend(StoreBackend):
         self.peak_buffered_records = int(
             state.get("peak_buffered_records", 0))
 
-    # -- finalize ----------------------------------------------------------------
+    # -- streaming reads / finalize ----------------------------------------------
 
-    def _read_run(self, dataset: str, path: Path) -> Iterator:
-        with path.open() as handle:
-            for line in handle:
+    #: Total records resident across all run readers during a merge; each
+    #: reader gets ``max(32, budget // n_runs)`` records per chunk.
+    merge_chunk_records = 8192
+
+    def _read_run_chunked(self, dataset: str, path: Path,
+                          chunk: int) -> Iterator:
+        """Yield one run's records, opening the file only while reading.
+
+        The handle is opened lazily at the first pull, reads *chunk*
+        records, remembers the byte offset, and closes again — so a
+        k-way merge over hundreds of runs keeps at most one run file
+        open at any instant instead of one per run.
+        """
+        offset = 0
+        while True:
+            self._open_run_files += 1
+            self.peak_open_run_files = max(self.peak_open_run_files,
+                                           self._open_run_files)
+            try:
+                with path.open() as handle:
+                    handle.seek(offset)
+                    lines = []
+                    for _ in range(chunk):
+                        line = handle.readline()
+                        if not line:
+                            break
+                        lines.append(line)
+                    offset = handle.tell()
+            finally:
+                self._open_run_files -= 1
+            if not lines:
+                return
+            for line in lines:
                 yield _decode_record(dataset, json.loads(line))
+
+    def _merged_runs(self, dataset: str) -> Iterator:
+        """Heap-merge one dataset's sorted runs lazily off disk."""
+        runs = self._runs[dataset]
+        if not runs:
+            return iter(())
+        chunk = max(32, self.merge_chunk_records // len(runs))
+        readers = [self._read_run_chunked(dataset, path, chunk)
+                   for path in runs]
+        return heapq.merge(*readers, key=SORT_KEYS[dataset])
+
+    def iter_dataset(self, dataset: str) -> Iterator:
+        if dataset not in LIST_DATASETS:
+            raise ValueError(f"unknown dataset {dataset!r}")
+        self.flush()
+        return self._merged_runs(dataset)
+
+    def iter_heartbeats(self) -> Iterator[HeartbeatLog]:
+        for rid in list(self._heartbeat_order):
+            path = self.root / "heartbeats" / f"{rid}.npy"
+            yield HeartbeatLog(rid, np.load(path))
+
+    def iter_throughput(self) -> Iterator[ThroughputSeries]:
+        for rid in list(self._throughput_order):
+            path = self.root / "throughput" / f"{rid}.npz"
+            with np.load(path) as archive:
+                yield ThroughputSeries(
+                    router_id=rid,
+                    start=archive["start"].item(),
+                    up_bps=archive["up_bps"],
+                    down_bps=archive["down_bps"],
+                    interval_seconds=archive["interval"].item(),
+                )
 
     def finalize(self) -> StoreContents:
         if self._finalized:
@@ -351,21 +448,9 @@ class SpillBackend(StoreBackend):
         self._spill()
         contents = StoreContents()
         for dataset in LIST_DATASETS:
-            runs = [self._read_run(dataset, path)
-                    for path in self._runs[dataset]]
-            contents.lists[dataset] = list(
-                heapq.merge(*runs, key=SORT_KEYS[dataset]))
-        for rid in self._heartbeat_order:
-            path = self.root / "heartbeats" / f"{rid}.npy"
-            contents.heartbeats[rid] = HeartbeatLog(rid, np.load(path))
-        for rid in self._throughput_order:
-            path = self.root / "throughput" / f"{rid}.npz"
-            with np.load(path) as archive:
-                contents.throughput[rid] = ThroughputSeries(
-                    router_id=rid,
-                    start=archive["start"].item(),
-                    up_bps=archive["up_bps"],
-                    down_bps=archive["down_bps"],
-                    interval_seconds=archive["interval"].item(),
-                )
+            contents.lists[dataset] = list(self._merged_runs(dataset))
+        for log in self.iter_heartbeats():
+            contents.heartbeats[log.router_id] = log
+        for series in self.iter_throughput():
+            contents.throughput[series.router_id] = series
         return contents

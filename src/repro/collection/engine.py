@@ -203,7 +203,8 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                  retry_backoff: float = DEFAULT_RETRY_BACKOFF,
                  fault_plan: Optional[FaultPlan] = None,
                  checkpoint_dir: Union[str, Path, None] = None,
-                 resume: bool = False) -> StudyData:
+                 resume: bool = False,
+                 materialize: bool = True) -> Union[StudyData, RecordStore]:
     """Collect the full campaign described by *plan*.
 
     ``workers=1`` runs every shard in-process; ``workers=N`` fans shards
@@ -234,6 +235,12 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
     shard ingest; ``resume=True`` (or :func:`resume_campaign`) restores
     store, spill, and path-RNG state from the manifest and continues at
     the ingested-shard high-water mark.
+
+    ``materialize=False`` returns the collected :class:`RecordStore`
+    itself instead of freezing it into ``StudyData`` — the streaming
+    analysis path (:mod:`repro.core.streaming`) reads straight off the
+    store's backend iterators, so a spill-backed campaign is analyzed
+    without ever building in-RAM record lists.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -283,7 +290,7 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
         logger.info("resuming campaign at shard %d/%d", start_shard,
                     n_shards)
         if checkpoint.complete:
-            return store.to_study_data()
+            return store.to_study_data() if materialize else store
 
     logger.info("campaign: %d homes in %d shard(s), workers=%d, seed=%d",
                 len(plan), n_shards, workers, seed)
@@ -342,7 +349,7 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                 except Exception as exc:
                     account_failure(index, type(exc).__name__, exc)
             ingest_uploads(index, index + 1, uploads)
-        return store.to_study_data()
+        return store.to_study_data() if materialize else store
 
     # Parallel path: a sliding submission window keeps every worker fed
     # while bounding how many finished-but-not-ingested shard results the
@@ -445,7 +452,7 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
             top_up()
     finally:
         pool.shutdown(wait=True)
-    return store.to_study_data()
+    return store.to_study_data() if materialize else store
 
 
 def resume_campaign(plan: DeploymentPlan,

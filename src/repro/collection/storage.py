@@ -60,6 +60,11 @@ class RecordStore:
         #: missing heartbeats to the path instead of guessing.
         self.heartbeat_delivery: Dict[str, Tuple[int, int]] = {}
 
+    @property
+    def routers(self) -> Dict[str, RouterInfo]:
+        """Registered router metadata (read-only view; do not mutate)."""
+        return self._routers
+
     def register_router(self, info: RouterInfo) -> None:
         """Record deployment metadata; re-registration must be consistent."""
         existing = self._routers.get(info.router_id)

@@ -30,7 +30,20 @@ from repro.core.records import (
 )
 from repro.core.intervals import IntervalSet
 from repro.core.datasets import StudyData, DatasetSummary, summarize_datasets
-from repro.core.pipeline import StudyConfig, run_study
+from repro.core.pipeline import (
+    StreamedStudy,
+    StudyConfig,
+    run_study,
+    run_study_streaming,
+)
+from repro.core.sketches import QuantileSketch
+from repro.core.streaming import (
+    StoreSource,
+    StudyDataSource,
+    StudyFigures,
+    compute_figures,
+    stream_figures,
+)
 
 __all__ = [
     "CapacityMeasurement",
@@ -49,4 +62,12 @@ __all__ = [
     "summarize_datasets",
     "StudyConfig",
     "run_study",
+    "StreamedStudy",
+    "run_study_streaming",
+    "QuantileSketch",
+    "StoreSource",
+    "StudyDataSource",
+    "StudyFigures",
+    "compute_figures",
+    "stream_figures",
 ]

@@ -26,10 +26,35 @@ from repro.core.records import (
     UptimeReport,
     WifiScanSample,
 )
-from repro.simulation.timebase import MINUTE, StudyWindows
+from repro.simulation.timebase import MINUTE, StudyCalendar, StudyWindows
 
 #: The paper's activity bar for the Traffic data set (Section 3.2.2).
 TRAFFIC_MIN_BYTES = 100e6
+
+
+class CalendarPool:
+    """Shared memoized :class:`StudyCalendar` lookup for a router table.
+
+    Calendars only depend on the timezone offset, so one instance per
+    distinct offset serves every router in it.  Both the exact analysis
+    path (via :meth:`StudyData.calendar_for`) and the streaming driver
+    use this pool instead of growing per-function caches.
+    """
+
+    def __init__(self, routers: Dict[str, "RouterInfo"]):
+        self._routers = routers
+        self._by_offset: Dict[float, StudyCalendar] = {}
+
+    def get(self, router_id: str) -> Optional[StudyCalendar]:
+        """The router's local calendar, or None for an unknown router."""
+        info = self._routers.get(router_id)
+        if info is None:
+            return None
+        calendar = self._by_offset.get(info.tz_offset_hours)
+        if calendar is None:
+            calendar = StudyCalendar(info.tz_offset_hours)
+            self._by_offset[info.tz_offset_hours] = calendar
+        return calendar
 
 
 @dataclass
@@ -143,6 +168,19 @@ class StudyData:
         """Distinct country codes among *router_ids*, sorted."""
         return sorted({self.routers[rid].country_code for rid in router_ids
                        if rid in self.routers})
+
+    def calendar_for(self, router_id: str) -> Optional[StudyCalendar]:
+        """Memoized local-time calendar for one router (None if unknown).
+
+        Calendars are shared per timezone offset via one
+        :class:`CalendarPool` on the instance, replacing the per-function
+        caches the analysis modules used to rebuild on every call.
+        """
+        pool = getattr(self, "_calendar_pool", None)
+        if pool is None:
+            pool = CalendarPool(self.routers)
+            self._calendar_pool = pool
+        return pool.get(router_id)
 
     # -- traffic helpers ---------------------------------------------------------
 

@@ -6,19 +6,30 @@ study and returns a structured :class:`PaperReport`;
 diff against the paper.  The per-experiment benchmarks under
 ``benchmarks/`` remain the authoritative shape checks; this module is the
 library-user-facing "give me everything" entry point.
+
+The rows are formatted off a :class:`~repro.core.streaming.StudyFigures`
+bundle, so the same report comes from either analysis path: the exact
+in-RAM functions (pass a ``StudyData``) or the one-pass streaming driver
+(pass a stream source, e.g. a
+:class:`~repro.core.streaming.StoreSource` over a spilled record store).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Union
 
 import numpy as np
 
-from repro.core import availability, infrastructure, usage
-from repro.core.datasets import DatasetSummary, StudyData, summarize_datasets
+from repro.core.datasets import DatasetSummary, StudyData
 from repro.core.records import Spectrum
 from repro.core.report import render_comparison, render_table
+from repro.core.streaming import (
+    StudyFigures,
+    compute_figures,
+    stream_figures,
+)
+from repro.core import usage
 
 
 @dataclass(frozen=True)
@@ -52,28 +63,27 @@ class PaperReport:
         return grouped
 
 
-def _section4_rows(data: StudyData) -> List[ExperimentRow]:
+def _section4_rows(figures: StudyFigures) -> List[ExperimentRow]:
     rows: List[ExperimentRow] = []
-    dev = availability.downtime_rate_cdf(data, developed=True)
-    dvg = availability.downtime_rate_cdf(data, developed=False)
+    dev = figures.fig3["developed"]
+    dvg = figures.fig3["developing"]
     if dev.n and dvg.n:
         rows.append(ExperimentRow(
             "Fig. 3", "median downtimes/day developed vs developing",
             "~0.03 vs ~1", f"{dev.median:.3f} vs {dvg.median:.3f}"))
-    dur_dev = availability.downtime_duration_cdf(data, developed=True)
-    dur_dvg = availability.downtime_duration_cdf(data, developed=False)
+    dur_dev = figures.fig4["developed"]
+    dur_dvg = figures.fig4["developing"]
     if dur_dev.n and dur_dvg.n:
         rows.append(ExperimentRow(
             "Fig. 4", "median downtime minutes developed vs developing",
             "~30 vs ~30 (longer tail)",
             f"{dur_dev.median / 60:.0f} vs {dur_dvg.median / 60:.0f}"))
-    points = availability.downtimes_by_country(data)
-    if points:
-        worst = sorted(points, key=lambda p: -p.median_downtimes)[:2]
+    if figures.fig5:
+        worst = sorted(figures.fig5, key=lambda p: -p.median_downtimes)[:2]
         rows.append(ExperimentRow(
             "Fig. 5", "two worst countries", "IN, PK",
             ", ".join(sorted(p.country_code for p in worst))))
-    by_country = availability.median_availability_by_country(data)
+    by_country = figures.table3_availability
     for code, paper in (("US", "98.25%"), ("IN", "76.01%"),
                         ("ZA", "85.57%")):
         if code in by_country:
@@ -83,58 +93,56 @@ def _section4_rows(data: StudyData) -> List[ExperimentRow]:
     return rows
 
 
-def _section5_rows(data: StudyData) -> List[ExperimentRow]:
+def _section5_rows(figures: StudyFigures) -> List[ExperimentRow]:
     rows: List[ExperimentRow] = []
-    cdf = infrastructure.devices_per_home_cdf(data)
+    cdf = figures.fig7
     if cdf.n:
         rows.append(ExperimentRow(
             "Fig. 7", "mean devices per home", "~7",
-            round(float(np.mean(cdf.values)), 2)))
+            round(cdf.mean, 2)))
         rows.append(ExperimentRow(
             "Fig. 7", "P(>=5 devices)", "> 0.5",
             round(cdf.fraction_at_least(5), 2)))
-    for developed, label in ((True, "developed"), (False, "developing")):
-        medium = infrastructure.mean_connected_by_medium(data, developed)
+    for label in ("developed", "developing"):
+        medium = figures.fig8[label]
         if medium["wired"].n:
             rows.append(ExperimentRow(
                 "Fig. 8", f"wireless vs wired connected ({label})",
                 "wireless > wired",
                 f"{medium['wireless'].mean:.2f} vs "
                 f"{medium['wired'].mean:.2f}"))
-    table5 = {r.group: r
-              for r in infrastructure.always_connected_households(data)}
+    table5 = {row.group: row for row in figures.table5}
     if table5["developed"].total_households:
         rows.append(ExperimentRow(
             "Table 5", "always-wired homes developed vs developing",
             "43% vs 12%",
             f"{table5['developed'].wired_fraction:.0%} vs "
             f"{table5['developing'].wired_fraction:.0%}"))
-    ap_dev = infrastructure.neighbor_ap_cdf(data, Spectrum.GHZ_2_4, True)
-    ap_dvg = infrastructure.neighbor_ap_cdf(data, Spectrum.GHZ_2_4, False)
+    ap_dev = figures.fig11[(Spectrum.GHZ_2_4, "developed")]
+    ap_dvg = figures.fig11[(Spectrum.GHZ_2_4, "developing")]
     if ap_dev.n and ap_dvg.n:
         rows.append(ExperimentRow(
             "Fig. 11", "median neighbor APs developed vs developing",
             "~20 vs ~2", f"{ap_dev.median:.0f} vs {ap_dvg.median:.0f}"))
-    histogram = infrastructure.vendor_histogram(data)
-    if histogram:
+    if figures.fig12:
         rows.append(ExperimentRow(
             "Fig. 12", "most common manufacturer", "Apple",
-            next(iter(histogram))))
+            next(iter(figures.fig12))))
     return rows
 
 
-def _section6_rows(data: StudyData) -> List[ExperimentRow]:
+def _section6_rows(figures: StudyFigures) -> List[ExperimentRow]:
     rows: List[ExperimentRow] = []
-    weekday = usage.diurnal_device_profile(data, weekend=False)
-    weekend = usage.diurnal_device_profile(data, weekend=True)
+    weekday = figures.fig13["weekday"]
+    weekend = figures.fig13["weekend"]
     if weekday.counts.sum() and weekend.counts.sum():
         rows.append(ExperimentRow(
             "Fig. 13", "weekday peak hour (local)", "evening",
             f"{weekday.peak_hour}:00"))
         rows.append(ExperimentRow(
             "Fig. 13", "weekday/weekend amplitude ratio", "> 1",
-            round(usage.diurnal_amplitude_ratio(data), 2)))
-    points = usage.link_saturation(data)
+            round(figures.section6.weekday_weekend_amplitude_ratio, 2)))
+    points = figures.fig15
     if points:
         over = usage.saturating_uplink_homes(points)
         rows.append(ExperimentRow(
@@ -143,12 +151,12 @@ def _section6_rows(data: StudyData) -> List[ExperimentRow]:
         rows.append(ExperimentRow(
             "Fig. 15", "homes under 50% downlink at p95", "most",
             f"{below_half:.0%}"))
-    shares = usage.mean_device_share(data, ranks=2)
-    if shares.size and shares[0] > 0:
+    device_shares = figures.fig17
+    if device_shares.size and device_shares[0] > 0:
         rows.append(ExperimentRow(
             "Fig. 17", "top / second device share", "~65% / ~20%",
-            f"{shares[0]:.0%} / {shares[1]:.0%}"))
-    domains = usage.domain_share(data)
+            f"{device_shares[0]:.0%} / {device_shares[1]:.0%}"))
+    domains = figures.fig19
     if domains.volume_share_by_rank.size and domains.volume_share_by_rank[0]:
         rows.append(ExperimentRow(
             "Fig. 19", "top domain volume share", "~38%",
@@ -159,14 +167,36 @@ def _section6_rows(data: StudyData) -> List[ExperimentRow]:
     return rows
 
 
-def reproduce_all(data: StudyData) -> PaperReport:
-    """Compute the full paper-vs-measured report for one study."""
+def report_from_figures(figures: StudyFigures) -> PaperReport:
+    """Format one figure bundle into the paper-vs-measured report."""
     return PaperReport(
-        datasets=summarize_datasets(data),
-        section4=_section4_rows(data),
-        section5=_section5_rows(data),
-        section6=_section6_rows(data),
+        datasets=figures.datasets,
+        section4=_section4_rows(figures),
+        section5=_section5_rows(figures),
+        section6=_section6_rows(figures),
     )
+
+
+def reproduce_all(data: Union[StudyData, StudyFigures, object]
+                  ) -> PaperReport:
+    """Compute the full paper-vs-measured report for one study.
+
+    Accepts a :class:`StudyData` (exact in-RAM path), an already-computed
+    :class:`StudyFigures` bundle, or a stream source (anything with an
+    ``iter_dataset`` method, e.g. ``StoreSource``/``StudyDataSource``),
+    which is analyzed in one pass at sketch memory.
+    """
+    if isinstance(data, StudyData):
+        figures = compute_figures(data)
+    elif isinstance(data, StudyFigures):
+        figures = data
+    elif hasattr(data, "iter_dataset"):
+        figures = stream_figures(data)
+    else:
+        raise TypeError(
+            "reproduce_all wants StudyData, StudyFigures, or a stream "
+            f"source, got {type(data).__name__}")
+    return report_from_figures(figures)
 
 
 def render_report(report: PaperReport) -> str:

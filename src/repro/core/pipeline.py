@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.datasets import StudyData
+from repro.core.streaming import StoreSource, StudyFigures, stream_figures
 from repro.simulation.deployment import (
     Deployment,
     DeploymentConfig,
@@ -135,6 +136,23 @@ class StudyResult:
     data: StudyData
 
 
+@dataclass
+class StreamedStudy:
+    """A completed campaign analyzed on the streaming path.
+
+    Instead of materialized ``StudyData`` it carries the figure bundle
+    computed in one pass off the record store's backend — with the spill
+    backend, the records were never resident as Python lists.  ``store``
+    stays open for further streaming passes (or an explicit
+    ``to_study_data()`` when the caller decides to pay for it).
+    """
+
+    config: StudyConfig
+    deployment: Deployment
+    figures: StudyFigures
+    store: RecordStore
+
+
 def run_study(config: Optional[StudyConfig] = None,
               workers: Optional[int] = None,
               shard_size: Optional[int] = None,
@@ -197,3 +215,41 @@ def run_study(config: Optional[StudyConfig] = None,
         if session is not None:
             session.close()
     return StudyResult(config=config, deployment=Deployment(plan), data=data)
+
+
+def run_study_streaming(config: Optional[StudyConfig] = None,
+                        workers: Optional[int] = None,
+                        shard_size: Optional[int] = None,
+                        profile: bool = False,
+                        fault_plan=None) -> StreamedStudy:
+    """Run the campaign and analyze it without materializing the study.
+
+    The engine collects into the config's record store as usual, but the
+    store is never frozen into ``StudyData``: every Section 4-6 figure is
+    computed by :func:`repro.core.streaming.stream_figures` in one pass
+    over the backend's record iterators.  With ``store_backend="spill"``
+    peak memory stays at the spill buffer plus the sketches, whatever the
+    campaign size.
+    """
+    config = config or StudyConfig()
+    effective_workers = config.workers if workers is None else workers
+    plan = build_deployment_plan(config.deployment_config())
+    store = run_campaign(
+        plan,
+        seed=config.seed,
+        path_config=config.path,
+        store=(None if config.checkpoint_dir is not None
+               else config.make_store(plan.windows)),
+        workers=effective_workers,
+        shard_size=(config.shard_size if shard_size is None
+                    else shard_size),
+        profile=profile,
+        max_shard_retries=config.max_shard_retries,
+        shard_timeout=config.shard_timeout,
+        fault_plan=fault_plan,
+        checkpoint_dir=config.checkpoint_dir,
+        materialize=False,
+    )
+    figures = stream_figures(StoreSource(store))
+    return StreamedStudy(config=config, deployment=Deployment(plan),
+                         figures=figures, store=store)

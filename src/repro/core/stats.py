@@ -36,6 +36,13 @@ class EmpiricalCdf:
         """Number of underlying samples."""
         return int(self.values.size)
 
+    @property
+    def mean(self) -> float:
+        """Mean of the underlying samples (nan when empty)."""
+        if self.values.size == 0:
+            return float("nan")
+        return float(self.values.mean())
+
     def quantile(self, q: float) -> float:
         """The q-quantile (0 <= q <= 1) of the observations."""
         if not 0 <= q <= 1:
@@ -112,6 +119,21 @@ class HourOfDayProfile:
         counts = np.zeros(24)
         np.add.at(sums, hours_arr, values_arr)
         np.add.at(counts, hours_arr, 1)
+        return cls.from_sums(sums, counts)
+
+    @classmethod
+    def from_sums(cls, sums: np.ndarray,
+                  counts: np.ndarray) -> "HourOfDayProfile":
+        """Finalize pre-accumulated 24-slot sums/counts into a profile.
+
+        Shared with the streaming accumulator
+        (:class:`repro.core.sketches.StreamingHourProfile`) so both paths
+        divide identically.
+        """
+        sums = np.asarray(sums, dtype=float)
+        counts = np.asarray(counts, dtype=float)
+        if sums.shape != (24,) or counts.shape != (24,):
+            raise ValueError("sums and counts must have 24 slots")
         with np.errstate(invalid="ignore", divide="ignore"):
             means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
         return cls(means=means, counts=counts)
@@ -128,6 +150,8 @@ class HourOfDayProfile:
 
     def amplitude(self) -> float:
         """Peak-to-trough difference; how diurnal the profile is."""
+        if not np.any(self.counts > 0):
+            return float("nan")
         return float(np.nanmax(self.means) - np.nanmin(self.means))
 
 
@@ -154,18 +178,16 @@ def mean_ranked_shares(per_home_shares: Iterable[np.ndarray],
 
     The paper's "the most popular domain accounts for about 38% of traffic on
     average" is exactly ``mean_ranked_shares(...)[0]``.
+
+    Implemented over the streaming accumulator so the exact and streaming
+    analysis paths produce bitwise-identical ranked shares.
     """
-    if ranks <= 0:
-        raise ValueError("ranks must be positive")
-    stacked = []
+    from repro.core.sketches import RankedShareAccumulator
+
+    accumulator = RankedShareAccumulator(ranks)
     for share_vec in per_home_shares:
-        padded = np.zeros(ranks)
-        take = min(ranks, share_vec.size)
-        padded[:take] = share_vec[:take]
-        stacked.append(padded)
-    if not stacked:
-        return np.zeros(ranks)
-    return np.mean(np.vstack(stacked), axis=0)
+        accumulator.add(share_vec)
+    return accumulator.result()
 
 
 def percentile_by_key(pairs: Iterable[Tuple[str, float]],

@@ -27,8 +27,6 @@ from repro.core.stats import (
     mean_ranked_shares,
     shares,
 )
-from repro.simulation.timebase import StudyCalendar
-
 MBPS = 1e6
 
 
@@ -45,15 +43,10 @@ def diurnal_device_profile(data: StudyData, weekend: bool) -> HourOfDayProfile:
     """Fig. 13: mean wireless devices online per local hour of day."""
     hours: List[int] = []
     values: List[float] = []
-    calendars: Dict[str, StudyCalendar] = {}
     for sample in data.device_counts:
-        info = data.routers.get(sample.router_id)
-        if info is None:
-            continue
-        calendar = calendars.get(sample.router_id)
+        calendar = data.calendar_for(sample.router_id)
         if calendar is None:
-            calendar = StudyCalendar(info.tz_offset_hours)
-            calendars[sample.router_id] = calendar
+            continue
         if calendar.is_weekend(sample.timestamp) != weekend:
             continue
         hours.append(calendar.hour_of_day(sample.timestamp))

@@ -74,6 +74,51 @@ class TestEmpiricalCdf:
         assert min(xs) <= cdf.quantile(q) <= max(xs)
 
 
+class TestEmpiricalCdfEdgeCases:
+    """Degenerate inputs: empty, single-sample, duplicate-heavy."""
+
+    def test_empty_mean_is_nan(self):
+        assert np.isnan(EmpiricalCdf.from_samples([]).mean)
+
+    def test_empty_fraction_raises(self):
+        cdf = EmpiricalCdf.from_samples([])
+        with pytest.raises(ValueError):
+            cdf.fraction_at_most(1.0)
+        with pytest.raises(ValueError):
+            cdf.fraction_at_least(1.0)
+
+    def test_single_sample(self):
+        cdf = EmpiricalCdf.from_samples([7.5])
+        assert cdf.n == 1
+        assert cdf.mean == 7.5
+        assert cdf.median == 7.5
+        assert cdf.quantile(0.0) == 7.5
+        assert cdf.quantile(1.0) == 7.5
+        assert cdf.fraction_at_most(7.5) == 1.0
+        assert cdf.fraction_at_most(7.4) == 0.0
+        assert cdf.fraction_at_least(7.5) == 1.0
+        assert cdf.series() == [(7.5, 1.0)]
+
+    def test_duplicate_heavy(self):
+        cdf = EmpiricalCdf.from_samples([5.0] * 99 + [1.0])
+        assert cdf.median == 5.0
+        assert cdf.mean == pytest.approx(4.96)
+        assert cdf.fraction_at_most(5.0) == 1.0
+        assert cdf.fraction_at_most(1.0) == 0.01
+        assert cdf.fraction_at_least(5.0) == 0.99
+        # The step at the repeated value stays a valid CDF.
+        fractions = [f for _, f in cdf.series(points=10)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_all_identical(self):
+        cdf = EmpiricalCdf.from_samples([2.0] * 10)
+        assert cdf.quantile(0.25) == 2.0
+        assert cdf.quantile(0.75) == 2.0
+        assert cdf.fraction_at_least(2.0) == 1.0
+        assert cdf.fraction_at_most(2.0 - 1e-9) == 0.0
+
+
 class TestMeanWithSpread:
     def test_basic(self):
         m = MeanWithSpread.from_samples([1, 2, 3])
