@@ -26,6 +26,7 @@ import time
 import tracemalloc
 from pathlib import Path
 
+from repro import bench
 from repro.collection.backends import SpillBackend
 from repro.collection.engine import run_campaign
 from repro.collection.storage import RecordStore
@@ -55,11 +56,6 @@ MEMORY_BUDGET_MB = 64.0
 #: does not flake.
 MIN_RECORDS_PER_SEC = 200_000.0
 
-#: Tolerated slowdown of the 252-home point against the committed
-#: ``BENCH_analyze.json`` before the bench fails.
-REGRESSION_FACTOR = 1.25
-
-
 def _collect_spilled(scale: float, tmp_path):
     plan = build_deployment_plan(DeploymentConfig(
         seed=2013, router_scale=scale,
@@ -77,7 +73,7 @@ def test_analyze_scaling(tmp_path, emit):
     committed = None
     bench_path = ROOT / "BENCH_analyze.json"
     if bench_path.exists():
-        committed = json.loads(bench_path.read_text())
+        committed = bench.load_bench(bench_path)
 
     points = []
     memory_peak_mb = None
@@ -115,13 +111,14 @@ def test_analyze_scaling(tmp_path, emit):
             "records_per_sec": round(figures.records_streamed / seconds),
         })
 
-    # Regression gate against the committed bench results.
+    # Regression gate against the committed bench results — the shared
+    # implementation behind `repro bench diff`.
     gate = points[0]
     if committed is not None:
-        pinned = committed["points"][0]["seconds"]
-        assert gate["seconds"] <= pinned * REGRESSION_FACTOR, (
-            f"252-home streaming analysis regressed >25%: "
-            f"{gate['seconds']}s vs the committed {pinned}s")
+        regressed = bench.regressions(committed, {"points": points},
+                                      keys=("points[0].seconds",))
+        assert not regressed, bench.format_diff(
+            regressed, title="252-home streaming analysis regressed >25%")
 
     sustained = points[-1]
     assert sustained["records_per_sec"] >= MIN_RECORDS_PER_SEC, (

@@ -22,7 +22,7 @@ import os
 import time
 from pathlib import Path
 
-from repro import perf
+from repro import bench, perf
 from repro.collection.engine import _shard_statics, shard_count
 from repro.firmware.shard_collect import collect_shard
 from repro.simulation.deployment import (
@@ -53,11 +53,6 @@ BASELINE_COLLECT_SECONDS = 0.790
 #: runner does not flake.
 MIN_HOMES_PER_SEC = 300.0
 
-#: Tolerated slowdown of the 252-home point against the committed
-#: ``BENCH_collect.json`` before the bench fails.
-REGRESSION_FACTOR = 1.25
-
-
 def _plan(scale: float):
     return build_deployment_plan(DeploymentConfig(
         seed=2013, router_scale=scale,
@@ -69,7 +64,7 @@ def test_collect_scaling(emit):
     committed = None
     bench_path = ROOT / "BENCH_collect.json"
     if bench_path.exists():
-        committed = json.loads(bench_path.read_text())
+        committed = bench.load_bench(bench_path)
 
     universe, policy = _shard_statics()
     points = []
@@ -116,12 +111,13 @@ def test_collect_scaling(emit):
         f"252-home collection regressed: {gate['seconds']}s against a "
         f"{BASELINE_COLLECT_SECONDS}s per-home baseline (need >= 2x)")
 
-    # Regression gate against the committed bench results.
+    # Regression gate against the committed bench results — the shared
+    # implementation behind `repro bench diff`.
     if committed is not None:
-        pinned = committed["points"][0]["seconds"]
-        assert gate["seconds"] <= pinned * REGRESSION_FACTOR, (
-            f"252-home collection regressed >25%: {gate['seconds']}s vs "
-            f"the committed {pinned}s")
+        regressed = bench.regressions(committed, {"points": points},
+                                      keys=("points[0].seconds",))
+        assert not regressed, bench.format_diff(
+            regressed, title="252-home collection regressed >25%")
 
     sustained = points[-1]
     assert sustained["homes_per_sec"] >= MIN_HOMES_PER_SEC, (

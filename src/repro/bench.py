@@ -1,0 +1,210 @@
+"""Benchmark artifact comparison: one regression gate for every bench.
+
+Every scaling bench publishes a ``BENCH_*.json`` at the repo root
+(engine, materialize, collect, analyze, trace).  Until this module each
+bench carried its own copy-pasted "load the committed JSON, compare
+``points[0].seconds``, fail past 25%" gate; :func:`diff_payloads` is the
+shared implementation and ``repro bench diff`` is the operator's view —
+compare two artifacts (or two directories of them) with per-metric
+deltas and a nonzero exit on regression.
+
+Regression direction is inferred from the metric name: seconds and
+memory regress *upward*, throughput/speedup/efficiency regress
+*downward*, and everything else (homes, shard counts, digests) is
+informational.  The default threshold matches the historical per-bench
+gates: a directioned metric moving >25% the wrong way is a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Glob matching the published bench artifacts at the repo root.
+BENCH_GLOB = "BENCH_*.json"
+
+#: A directioned metric moving more than this fraction the wrong way
+#: fails the gate (matches the per-bench REGRESSION_FACTOR = 1.25).
+DEFAULT_THRESHOLD = 0.25
+
+#: Metric-name suffixes where *smaller* is better.
+LOWER_IS_BETTER = ("seconds", "_mb", "_bytes")
+
+#: Metric-name suffixes where *larger* is better.
+HIGHER_IS_BETTER = ("per_sec", "speedup", "efficiency",
+                    "speedup_vs_baseline")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One flattened metric compared across two bench payloads."""
+
+    metric: str
+    old: Optional[float]
+    new: Optional[float]
+    #: Fractional change (new/old - 1); None when either side is
+    #: missing or the old value is zero.
+    delta: Optional[float]
+    #: "lower", "higher", or None for informational metrics.
+    better: Optional[str]
+    regressed: bool
+
+    def describe(self) -> str:
+        if self.delta is None:
+            return "n/a"
+        return f"{self.delta:+.1%}"
+
+
+def _direction(metric: str) -> Optional[str]:
+    leaf = metric.rsplit(".", 1)[-1]
+    leaf = leaf.split("[", 1)[0] or leaf
+    # Strip trailing numeric qualifiers ("speedup_vs_baseline_252").
+    parts = leaf.split("_")
+    while len(parts) > 1 and parts[-1].isdigit():
+        parts.pop()
+    leaf = "_".join(parts)
+    for suffix in HIGHER_IS_BETTER:
+        if leaf.endswith(suffix):
+            return "higher"
+    for suffix in LOWER_IS_BETTER:
+        if leaf.endswith(suffix):
+            return "lower"
+    return None
+
+
+def flatten_metrics(payload: object, prefix: str = "") -> Dict[str, float]:
+    """Flatten a bench payload's numeric leaves to dotted/indexed keys.
+
+    ``{"points": [{"seconds": 1.5}]}`` → ``{"points[0].seconds": 1.5}``.
+    Booleans, strings, and nulls are skipped — the diff compares
+    numbers, not annotations.
+    """
+    flat: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_metrics(value, name))
+    elif isinstance(payload, (list, tuple)):
+        for index, value in enumerate(payload):
+            flat.update(flatten_metrics(value, f"{prefix}[{index}]"))
+    elif isinstance(payload, bool):
+        pass
+    elif isinstance(payload, (int, float)):
+        flat[prefix] = float(payload)
+    return flat
+
+
+def diff_payloads(old: dict, new: dict,
+                  threshold: float = DEFAULT_THRESHOLD,
+                  keys: Optional[Tuple[str, ...]] = None
+                  ) -> List[MetricDelta]:
+    """Compare two bench payloads metric by metric.
+
+    *keys* restricts the comparison (the per-bench gates pin specific
+    metrics, e.g. ``("points[0].seconds",)``); by default every metric
+    present in either payload is compared.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    old_flat = flatten_metrics(old)
+    new_flat = flatten_metrics(new)
+    names = (list(keys) if keys is not None
+             else sorted(set(old_flat) | set(new_flat)))
+    rows: List[MetricDelta] = []
+    for name in names:
+        a, b = old_flat.get(name), new_flat.get(name)
+        delta = None
+        if a is not None and b is not None and a != 0:
+            delta = b / a - 1.0
+        better = _direction(name)
+        regressed = False
+        if delta is not None and better == "lower":
+            regressed = delta > threshold
+        elif delta is not None and better == "higher":
+            regressed = delta < -threshold
+        rows.append(MetricDelta(metric=name, old=a, new=b, delta=delta,
+                                better=better, regressed=regressed))
+    return rows
+
+
+def regressions(old: dict, new: dict,
+                threshold: float = DEFAULT_THRESHOLD,
+                keys: Optional[Tuple[str, ...]] = None
+                ) -> List[MetricDelta]:
+    """The regressed subset of :func:`diff_payloads` — the shared gate.
+
+    Benches call ``assert not regressions(committed, payload,
+    keys=(...,)), format_diff(...)``.
+    """
+    return [row for row in diff_payloads(old, new, threshold, keys)
+            if row.regressed]
+
+
+def format_diff(rows: List[MetricDelta], title: str = "Bench diff",
+                only_changed: bool = False) -> str:
+    """Render deltas as the CLI's comparison table."""
+    from repro.core.report import render_table  # local: keep bench a leaf
+
+    def num(value: Optional[float]) -> str:
+        if value is None:
+            return "-"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3f}"
+
+    shown = [row for row in rows
+             if not only_changed or (row.delta or 0.0) != 0.0
+             or row.regressed]
+    return render_table(
+        ["metric", "old", "new", "delta", "verdict"],
+        [(row.metric, num(row.old), num(row.new), row.describe(),
+          "REGRESSED" if row.regressed
+          else ("ok" if row.better else "info"))
+         for row in shown],
+        title=title)
+
+
+def load_bench(path: Union[str, Path]) -> dict:
+    """Load one bench artifact (raising with a readable message)."""
+    path = Path(path)
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise FileNotFoundError(f"no bench artifact at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"unreadable bench artifact {path}: {exc}") from exc
+
+
+def pair_artifacts(old: Union[str, Path], new: Union[str, Path]
+                   ) -> List[Tuple[str, Path, Path]]:
+    """Resolve two files — or two directories matched by file name —
+    into ``(name, old_path, new_path)`` comparison pairs."""
+    old, new = Path(old), Path(new)
+    if old.is_dir() != new.is_dir():
+        raise ValueError("compare two files or two directories, not a mix")
+    if not old.is_dir():
+        return [(new.name, old, new)]
+    pairs = []
+    old_names = {p.name for p in old.glob(BENCH_GLOB)}
+    for candidate in sorted(new.glob(BENCH_GLOB)):
+        if candidate.name in old_names:
+            pairs.append((candidate.name, old / candidate.name, candidate))
+    if not pairs:
+        raise ValueError(
+            f"no {BENCH_GLOB} artifacts present in both {old} and {new}")
+    return pairs
+
+
+__all__ = [
+    "BENCH_GLOB",
+    "DEFAULT_THRESHOLD",
+    "MetricDelta",
+    "flatten_metrics",
+    "diff_payloads",
+    "regressions",
+    "format_diff",
+    "load_bench",
+    "pair_artifacts",
+]

@@ -13,6 +13,9 @@ Usage::
     python -m repro figures (--archive DIR | --seed N ...) [--stream]
     python -m repro caps    (--archive DIR | --seed N ...) [--cap-gb G]
     python -m repro health  (--archive DIR | --seed N ...)
+    python -m repro watch   DIR [--once] [--interval S]
+    python -m repro trace   report PATH
+    python -m repro bench   diff OLD NEW [--threshold F]
 
 ``run`` simulates a campaign and writes the CSV/JSON archive (optionally
 the PII-stripped public variant).  ``summary`` prints Table 2 for a
@@ -24,9 +27,14 @@ it computes every figure on the one-pass streaming path
 prints the usage-cap dashboard; ``health`` prints the deployment-health
 report (cohort coverage, dead/flapping routers, per-dataset loss).  ``--telemetry-dir`` on any campaign-running command
 writes the full telemetry artifact set (Prometheus + JSON metrics, JSONL
-event log, run manifest, health report).  ``-v``/``-vv`` raise the
-logging level (INFO/DEBUG on stderr); ``-q`` silences everything below
-ERROR.
+event log, run manifest, health report); ``--trace-dir`` additionally
+records a span timeline and writes ``trace.json`` (open it in Perfetto)
+plus ``trace_summary.json``.  ``watch`` tails a running campaign's
+``progress.json`` heartbeat and recent events; ``trace report`` renders
+the timeline summary from a saved trace; ``bench diff`` compares
+``BENCH_*.json`` artifacts and exits nonzero on regression.
+``-v``/``-vv`` raise the logging level (INFO/DEBUG on stderr); ``-q``
+silences everything below ERROR.
 """
 
 from __future__ import annotations
@@ -84,6 +92,11 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                         help="write campaign telemetry artifacts "
                              "(metrics.prom, metrics.json, events.jsonl, "
                              "manifest.json, health report) to DIR")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="record a span timeline and write trace.json "
+                             "(Chrome trace-event format; load in "
+                             "Perfetto) + trace_summary.json to DIR; also "
+                             "heartbeats progress.json for `repro watch`")
     parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="checkpoint the campaign to DIR after every "
                              "shard ingest (enables --resume after a crash)")
@@ -144,11 +157,15 @@ def _simulate(args: argparse.Namespace) -> StudyData:
     profiling = args.profile or args.profile_json is not None
     data = run_study(_config_from(args), profile=profiling,
                      telemetry_dir=args.telemetry_dir,
-                     resume=args.resume).data
+                     resume=args.resume,
+                     trace_dir=args.trace_dir).data
     if profiling:
         _emit_profile(args)
     if args.telemetry_dir:
         print(f"wrote telemetry artifacts to {args.telemetry_dir}",
+              file=sys.stderr)
+    if args.trace_dir:
+        print(f"wrote trace.json + trace_summary.json to {args.trace_dir}",
               file=sys.stderr)
     return data
 
@@ -237,7 +254,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
               file=sys.stderr)
         profiling = args.profile or args.profile_json is not None
         streamed = run_study_streaming(_config_from(args),
-                                       profile=profiling)
+                                       profile=profiling,
+                                       trace_dir=args.trace_dir)
         if profiling:
             _emit_profile(args)
         print(f"streamed {streamed.figures.records_streamed} records",
@@ -277,6 +295,73 @@ def cmd_health(args: argparse.Namespace) -> int:
     print(f"\n{len(report.dead_routers)} dead, "
           f"{len(report.flapping_routers)} flapping, "
           f"{len(report.routers)} deployed")
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.telemetry.progress import (
+        PROGRESS_NAME,
+        TERMINAL_STATUSES,
+        read_progress,
+        render_progress,
+        tail_events,
+    )
+
+    directory = Path(args.dir)
+    events_path = directory / "events.jsonl"
+    first = True
+    while True:
+        payload = read_progress(directory)
+        if not first:
+            print()
+        first = False
+        if payload is None:
+            print(f"waiting for {directory / PROGRESS_NAME} ...")
+        else:
+            print(render_progress(payload, tail_events(events_path)))
+            age = time.time() - payload.get("ts", 0)
+            if payload.get("status") == "running" and age > args.stale:
+                print(f"WARNING: heartbeat is {age:.0f}s old — the "
+                      f"campaign may have died without marking failure")
+        if args.once:
+            return 0 if payload is not None else 1
+        if payload is not None and payload.get("status") in TERMINAL_STATUSES:
+            return 0 if payload["status"] == "finished" else 1
+        time.sleep(args.interval)
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro import trace
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / "trace.json"
+    spans, trace_id = trace.load_chrome_trace(path)
+    print(trace.render_trace_summary(trace.summarize_spans(spans,
+                                                           trace_id)))
+    return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    try:
+        pairs = bench.pair_artifacts(args.old, args.new)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    regressed = False
+    for name, old_path, new_path in pairs:
+        rows = bench.diff_payloads(bench.load_bench(old_path),
+                                   bench.load_bench(new_path),
+                                   threshold=args.threshold)
+        print(bench.format_diff(rows, title=f"Bench diff — {name}"))
+        regressed = regressed or any(row.regressed for row in rows)
+    if regressed:
+        print(f"\nREGRESSION: a directioned metric moved "
+              f">{args.threshold:.0%} the wrong way", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -344,6 +429,47 @@ def build_parser() -> argparse.ArgumentParser:
         "health", help="print the deployment-health report")
     _add_source_arguments(health_parser)
     health_parser.set_defaults(func=cmd_health)
+
+    watch_parser = sub.add_parser(
+        "watch", help="tail a running campaign's progress + events")
+    watch_parser.add_argument(
+        "dir", help="the campaign's --telemetry-dir or --trace-dir "
+                    "(wherever progress.json lands)")
+    watch_parser.add_argument("--once", action="store_true",
+                              help="render one frame and exit (exit 1 if "
+                                   "no progress file exists yet)")
+    watch_parser.add_argument("--interval", type=float, default=2.0,
+                              metavar="SECONDS",
+                              help="refresh interval (default 2s)")
+    watch_parser.add_argument("--stale", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="warn when the heartbeat is older than "
+                                   "this (default 30s)")
+    watch_parser.set_defaults(func=cmd_watch)
+
+    trace_parser = sub.add_parser(
+        "trace", help="work with saved campaign traces")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    trace_report = trace_sub.add_parser(
+        "report", help="render the timeline summary from a trace.json")
+    trace_report.add_argument(
+        "path", help="a trace.json (or the --trace-dir containing one)")
+    trace_report.set_defaults(func=cmd_trace_report)
+
+    bench_parser = sub.add_parser(
+        "bench", help="work with BENCH_*.json artifacts")
+    bench_sub = bench_parser.add_subparsers(dest="bench_command",
+                                            required=True)
+    bench_diff = bench_sub.add_parser(
+        "diff", help="compare two bench artifacts (or directories); "
+                     "exit 1 on regression")
+    bench_diff.add_argument("old", help="baseline BENCH_*.json or directory")
+    bench_diff.add_argument("new", help="candidate BENCH_*.json or directory")
+    bench_diff.add_argument("--threshold", type=float, default=0.25,
+                            help="regression threshold as a fraction "
+                                 "(default 0.25 = 25%%)")
+    bench_diff.set_defaults(func=cmd_bench_diff)
     return parser
 
 

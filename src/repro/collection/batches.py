@@ -64,6 +64,17 @@ class RouterUpload:
     def router_id(self) -> str:
         return self.info.router_id
 
+    @property
+    def record_count(self) -> int:
+        """Total records across batches (a throughput series counts 1)."""
+        total = 0
+        for batch in self.batches:
+            try:
+                total += len(batch.records)
+            except TypeError:
+                total += 1
+        return total
+
 
 def _chunks(records: Sequence, size: int) -> Iterator[Sequence]:
     for start in range(0, len(records), size):

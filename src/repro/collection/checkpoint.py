@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Union
 
+from repro import trace
 from repro.collection.path import PathConfig
 from repro.simulation.deployment import DeploymentPlan
 from repro.telemetry import events, metrics
@@ -134,12 +135,14 @@ class CheckpointManager:
 
     def save(self, checkpoint: CampaignCheckpoint) -> None:
         """Atomically replace the manifest (temp file + rename)."""
-        tmp = self.path.with_suffix(".json.tmp")
-        # No sort_keys: the store state's dict order *is* ingest order,
-        # and the archive CSVs iterate those dicts — sorting here would
-        # reorder a resumed campaign's export rows.
-        tmp.write_text(json.dumps(checkpoint.to_dict(), indent=2))
-        os.replace(tmp, self.path)
+        with trace.span("checkpoint.write", cat="engine",
+                        shards_ingested=checkpoint.shards_ingested):
+            tmp = self.path.with_suffix(".json.tmp")
+            # No sort_keys: the store state's dict order *is* ingest
+            # order, and the archive CSVs iterate those dicts — sorting
+            # here would reorder a resumed campaign's export rows.
+            tmp.write_text(json.dumps(checkpoint.to_dict(), indent=2))
+            os.replace(tmp, self.path)
         metrics.inc("checkpoints_written_total")
         events.emit("checkpoint_written",
                     shards_ingested=checkpoint.shards_ingested,

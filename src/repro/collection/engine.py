@@ -47,8 +47,9 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
-from repro import perf
+from repro import perf, trace
 from repro.telemetry import events, metrics
+from repro.telemetry.progress import ProgressWriter
 from repro.core.datasets import StudyData
 from repro.firmware.anonymize import AnonymizationPolicy
 from repro.firmware.shard_collect import collect_shard
@@ -113,6 +114,7 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
               seed: Optional[int] = None, collect_perf: bool = False,
               collect_metrics: bool = False, attempt: int = 0,
               fault_plan: Optional[FaultPlan] = None,
+              collect_trace: bool = False,
               ) -> Union[List[RouterUpload],
                          Tuple[List[RouterUpload], dict]]:
     """Materialize and run one shard's routers; return their uploads.
@@ -120,12 +122,13 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
     This is the unit of work shipped to a worker process.  *seed* drives
     the firmware draws (it defaults to the plan's seed; household models
     always derive from the plan's own seed).  With ``collect_perf`` /
-    ``collect_metrics`` the shard instead returns ``(uploads, extras)``
-    where ``extras`` holds the drained :mod:`repro.perf` and/or
-    :mod:`repro.telemetry.metrics` snapshots for the parent to merge.
-    ``collect_metrics`` resets the process-local registry first, so a
-    forked worker never re-ships counts inherited from its parent.
-    Neither collector touches any RNG, so the uploads are
+    ``collect_metrics`` / ``collect_trace`` the shard instead returns
+    ``(uploads, extras)`` where ``extras`` holds the drained
+    :mod:`repro.perf`, :mod:`repro.telemetry.metrics`, and/or
+    :mod:`repro.trace` snapshots for the parent to merge.
+    ``collect_metrics`` and ``collect_trace`` reset the process-local
+    sink first, so a forked worker never re-ships data inherited from
+    its parent.  No collector touches any RNG, so the uploads are
     bitwise-identical with or without them.
 
     *attempt* and *fault_plan* belong to the fault-injection harness
@@ -133,6 +136,8 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
     ``(shard_index, attempt)`` coordinate fires here, in the process
     that runs the shard.  Uploads never depend on the attempt number.
     """
+    if collect_trace:
+        trace.enable().clear()
     fault = fault_plan.lookup(shard_index, attempt) if fault_plan else None
     if fault is not None and fault.kind != "corrupt":
         _trigger_fault(fault)
@@ -143,10 +148,14 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
     t0 = time.perf_counter()
     seeds = SeedHierarchy(plan.seed if seed is None else seed)
     universe, policy = _shard_statics()
-    with perf.stage("materialize"):
+    with perf.stage("materialize"), \
+            trace.span("materialize", cat="shard", shard=shard_index,
+                       attempt=attempt):
         cohort = materialize_shard(plan, shard_index, n_shards,
                                    domain_universe=universe)
-    with perf.stage("collect"):
+    with perf.stage("collect"), \
+            trace.span("collect", cat="shard", shard=shard_index,
+                       attempt=attempt):
         uploads: List[RouterUpload] = collect_shard(cohort, plan, seeds,
                                                     policy)
     if fault is not None and fault.kind == "corrupt":
@@ -156,12 +165,14 @@ def run_shard(plan: DeploymentPlan, shard_index: int, n_shards: int,
     metrics.inc("routers_simulated_total", len(cohort))
     metrics.inc("shards_completed_total")
     metrics.observe("shard_seconds", time.perf_counter() - t0)
-    if collect_perf or collect_metrics:
+    if collect_perf or collect_metrics or collect_trace:
         extras = {}
         if collect_perf:
             extras["perf"] = perf.drain()
         if collect_metrics:
             extras["metrics"] = metrics.drain()
+        if collect_trace:
+            extras["trace"] = trace.drain()
         return uploads, extras
     return uploads
 
@@ -204,7 +215,9 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  checkpoint_dir: Union[str, Path, None] = None,
                  resume: bool = False,
-                 materialize: bool = True) -> Union[StudyData, RecordStore]:
+                 materialize: bool = True,
+                 progress_path: Union[str, Path, None] = None,
+                 ) -> Union[StudyData, RecordStore]:
     """Collect the full campaign described by *plan*.
 
     ``workers=1`` runs every shard in-process; ``workers=N`` fans shards
@@ -241,6 +254,15 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
     analysis path (:mod:`repro.core.streaming`) reads straight off the
     store's backend iterators, so a spill-backed campaign is analyzed
     without ever building in-RAM record lists.
+
+    Observability: when a :mod:`repro.trace` recorder is active the
+    engine records the full span timeline — worker materialize/collect
+    spans shipped back through the per-shard drain/merge path, parent
+    head-wait / ingest / checkpoint / backoff / pool-rebuild spans —
+    and *progress_path* (if given) is atomically rewritten as a
+    ``progress.json`` heartbeat after every shard ingest so ``repro
+    watch`` can follow the campaign live.  Neither observer touches any
+    RNG or the ingest order.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -258,6 +280,7 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
         perf.enable()
     profiling = perf.is_enabled()
     telemetring = metrics.is_enabled()
+    tracing = trace.is_enabled()
     seed = plan.seed if seed is None else seed
     path_config = path_config or PathConfig()
     n_shards = shard_count(len(plan), shard_size)
@@ -277,6 +300,7 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
     server = CollectionServer(store, path)
 
     start_shard = 0
+    checkpoint = None
     if resume:
         checkpoint = manager.load()
         manager.validate(checkpoint, fingerprint)
@@ -289,8 +313,18 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                     shards=n_shards)
         logger.info("resuming campaign at shard %d/%d", start_shard,
                     n_shards)
-        if checkpoint.complete:
-            return store.to_study_data() if materialize else store
+
+    progress: Optional[ProgressWriter] = None
+    if progress_path is not None:
+        progress = ProgressWriter(
+            progress_path, shards=n_shards, homes=len(plan),
+            workers=workers, start_shard=start_shard,
+            trace_id=trace.active().trace_id if tracing else "")
+
+    if checkpoint is not None and checkpoint.complete:
+        if progress is not None:
+            progress.finish()
+        return store.to_study_data() if materialize else store
 
     logger.info("campaign: %d homes in %d shard(s), workers=%d, seed=%d",
                 len(plan), n_shards, workers, seed)
@@ -312,25 +346,41 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                        max_shard_retries + 1 - attempts[index],
                        "y" if max_shard_retries + 1 - attempts[index] == 1
                        else "ies")
+        if progress is not None:
+            progress.update(retries_delta=1)
         if attempts[index] > max_shard_retries:
+            # The engine's own terminal failure; a hard crash (SIGKILL)
+            # can never mark the file, so `repro watch` also surfaces
+            # heartbeat staleness.
+            if progress is not None:
+                progress.finish("failed")
             raise ShardFailed(
                 f"shard {index} failed {attempts[index]} time(s) "
                 f"({reason}); retry budget exhausted") from exc
         if retry_backoff > 0:
-            time.sleep(retry_backoff * attempts[index])
+            with trace.span("retry.backoff", cat="engine", shard=index,
+                            attempt=attempts[index] - 1):
+                time.sleep(retry_backoff * attempts[index])
 
     def ingest_uploads(index: int, ingested: int,
-                       uploads: List[RouterUpload]) -> None:
+                       uploads: List[RouterUpload],
+                       in_flight: int = 0) -> None:
         """Stream one shard's uploads into the server, then checkpoint."""
         events.emit("shard_finished", shard=index, routers=len(uploads))
         logger.debug("shard %d/%d finished (%d routers)",
                      index + 1, n_shards, len(uploads))
-        for upload in uploads:
-            with perf.stage("ingest"):
-                server.ingest(upload)
+        with trace.span("ingest", cat="engine", shard=index,
+                        routers=len(uploads)):
+            for upload in uploads:
+                with perf.stage("ingest"):
+                    server.ingest(upload)
         if manager is not None:
             write_campaign_checkpoint(manager, fingerprint, n_shards,
                                       ingested, path, store)
+        if progress is not None:
+            progress.update(
+                shards_ingested=ingested, in_flight=in_flight,
+                records_delta=sum(u.record_count for u in uploads))
 
     if workers == 1 or n_shards == 1:
         for index in range(start_shard, n_shards):
@@ -349,6 +399,8 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                 except Exception as exc:
                     account_failure(index, type(exc).__name__, exc)
             ingest_uploads(index, index + 1, uploads)
+        if progress is not None:
+            progress.finish()
         return store.to_study_data() if materialize else store
 
     # Parallel path: a sliding submission window keeps every worker fed
@@ -356,7 +408,7 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
     # parent holds; results are consumed strictly in shard order.
     max_workers = min(workers, n_shards - start_shard)
     window = 2 * max_workers
-    collect = profiling or telemetring
+    collect = profiling or telemetring or tracing
     pool = ProcessPoolExecutor(max_workers=max_workers)
     try:
         pending: Deque[Tuple[int, Future]] = deque()
@@ -367,9 +419,11 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
             # succeeds — a submission that dies on a broken pool never
             # happened, so it must not burn retry budget.
             attempt = attempts.get(index, 0)
-            future = pool.submit(run_shard, plan, index, n_shards, seed,
-                                 profiling, telemetring, attempt,
-                                 fault_plan)
+            with trace.span("submit", cat="engine", shard=index,
+                            attempt=attempt):
+                future = pool.submit(run_shard, plan, index, n_shards, seed,
+                                     profiling, telemetring, attempt,
+                                     fault_plan, tracing)
             attempts[index] = attempt + 1
             events.emit("shard_started", shard=index, attempt=attempt)
             return index, future
@@ -415,11 +469,16 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
         ingested = start_shard
         while pending:
             index, future = pending[0]
+            wait_t0 = trace.now()
+            wait_recorded = False
             try:
                 # The timeout clock starts at the head wait, not at
                 # submission — a shard that merely queued behind others
                 # must not be declared hung.
                 result = future.result(timeout=shard_timeout)
+                trace.add_span("head_wait", wait_t0, cat="engine",
+                               shard=index)
+                wait_recorded = True
                 if collect:
                     uploads, extras = result
                 else:
@@ -429,6 +488,8 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                 # Straggler: resubmit the head and abandon the hung
                 # attempt (its worker finishes eventually; the orphaned
                 # result is dropped on the floor).
+                trace.add_span("head_wait", wait_t0, cat="engine",
+                               shard=index, failed=True, reason="timeout")
                 metrics.inc("shard_timeouts_total")
                 events.emit("shard_timeout", shard=index,
                             timeout=shard_timeout)
@@ -436,9 +497,19 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                 resubmit_head(index)
                 continue
             except BrokenProcessPool as exc:
-                rebuild_pool(exc)
+                if not wait_recorded:
+                    trace.add_span("head_wait", wait_t0, cat="engine",
+                                   shard=index, failed=True,
+                                   reason="BrokenProcessPool")
+                with trace.span("pool.rebuild", cat="engine",
+                                in_flight=len(pending)):
+                    rebuild_pool(exc)
                 continue
             except Exception as exc:
+                if not wait_recorded:
+                    trace.add_span("head_wait", wait_t0, cat="engine",
+                                   shard=index, failed=True,
+                                   reason=type(exc).__name__)
                 account_failure(index, type(exc).__name__, exc)
                 resubmit_head(index)
                 continue
@@ -447,11 +518,16 @@ def run_campaign(plan: DeploymentPlan, seed: Optional[int] = None,
                 perf.merge(extras["perf"])
             if "metrics" in extras:
                 metrics.merge(extras["metrics"])
+            if "trace" in extras:
+                trace.merge(extras["trace"])
             ingested += 1
-            ingest_uploads(index, ingested, uploads)
+            ingest_uploads(index, ingested, uploads,
+                           in_flight=len(pending))
             top_up()
     finally:
         pool.shutdown(wait=True)
+    if progress is not None:
+        progress.finish()
     return store.to_study_data() if materialize else store
 
 

@@ -40,6 +40,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import trace
+
 #: The injectable failure modes.
 FAULT_KINDS = ("crash", "hang", "corrupt", "exit")
 
@@ -127,6 +129,8 @@ def trigger(spec: FaultSpec) -> None:
     ``"corrupt"`` is not handled here — the shard must first *run* so it
     has a result to corrupt; the caller truncates the uploads itself.
     """
+    trace.instant("fault_injected", cat="fault", shard=spec.shard,
+                  attempt=spec.attempt, kind=spec.kind)
     if spec.kind == "crash":
         raise InjectedFault(
             f"injected crash: shard {spec.shard} attempt {spec.attempt}")

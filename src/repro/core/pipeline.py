@@ -17,10 +17,12 @@ Both default to the paper's full scale.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
+from repro import trace
 from repro.core.datasets import StudyData
 from repro.core.streaming import StoreSource, StudyFigures, stream_figures
 from repro.simulation.deployment import (
@@ -153,13 +155,52 @@ class StreamedStudy:
     store: RecordStore
 
 
+def _start_tracing(trace_dir: Union[str, Path, None],
+                   seed: int) -> Optional[Path]:
+    """Enable span tracing for one study run; returns the export dir."""
+    if trace_dir is None:
+        return None
+    directory = Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    recorder = trace.enable(f"study-s{seed}-{int(time.time())}")
+    recorder.clear()
+    return directory
+
+
+def _export_trace(directory: Optional[Path]):
+    """Drain, export, and deactivate tracing; returns the TraceSummary."""
+    if directory is None:
+        return None
+    snapshot = trace.drain()
+    trace.disable()
+    spans = snapshot["spans"]
+    trace.write_chrome_trace(directory / "trace.json", spans,
+                             snapshot["trace_id"])
+    summary = trace.summarize_spans(spans, snapshot["trace_id"])
+    trace.write_trace_summary(directory / "trace_summary.json", summary)
+    logger.info("trace written to %s (%d spans)", directory, len(spans))
+    return summary
+
+
+def _progress_path(telemetry_dir, trace_dir) -> Optional[Path]:
+    """Where the engine's heartbeat lands: the telemetry dir when there
+    is one (so ``repro watch`` finds progress + events together), else
+    the trace dir."""
+    from repro.telemetry.progress import PROGRESS_NAME
+    for directory in (telemetry_dir, trace_dir):
+        if directory is not None:
+            return Path(directory) / PROGRESS_NAME
+    return None
+
+
 def run_study(config: Optional[StudyConfig] = None,
               workers: Optional[int] = None,
               shard_size: Optional[int] = None,
               profile: bool = False,
               telemetry_dir: Union[str, Path, None] = None,
               resume: bool = False,
-              fault_plan=None) -> StudyResult:
+              fault_plan=None,
+              trace_dir: Union[str, Path, None] = None) -> StudyResult:
     """Run the full campaign: plan homes, run firmware shards, collect.
 
     *workers* and *shard_size* override the config's engine knobs.  For a
@@ -182,12 +223,21 @@ def run_study(config: Optional[StudyConfig] = None,
     checkpoint.  *fault_plan* injects deterministic failures for testing
     (:mod:`repro.collection.faults`).  None of the fault-tolerance
     machinery changes the collected data.
+
+    *trace_dir* activates :mod:`repro.trace` for this run and writes
+    ``trace.json`` (Chrome trace-event format — load it in Perfetto) and
+    ``trace_summary.json`` there; the engine also heartbeats an atomic
+    ``progress.json`` (into *telemetry_dir* when given, else
+    *trace_dir*) that ``repro watch`` tails.  Like telemetry, tracing
+    observes the campaign without steering it — ``study_digest`` stays
+    pinned.
     """
     config = config or StudyConfig()
     session = None
     if telemetry_dir is not None:
         from repro.telemetry import TelemetrySession
         session = TelemetrySession(telemetry_dir)
+    trace_out = _start_tracing(trace_dir, config.seed)
     effective_workers = config.workers if workers is None else workers
     try:
         plan = build_deployment_plan(config.deployment_config())
@@ -208,10 +258,16 @@ def run_study(config: Optional[StudyConfig] = None,
             fault_plan=fault_plan,
             checkpoint_dir=config.checkpoint_dir,
             resume=resume,
+            progress_path=_progress_path(telemetry_dir, trace_dir),
         )
+        summary = _export_trace(trace_out)
+        trace_out = None
         if session is not None:
-            session.finalize(config, data, workers=effective_workers)
+            session.finalize(config, data, workers=effective_workers,
+                             trace_summary=summary)
     finally:
+        if trace_out is not None:  # an exception beat the export
+            trace.disable()
         if session is not None:
             session.close()
     return StudyResult(config=config, deployment=Deployment(plan), data=data)
@@ -221,7 +277,9 @@ def run_study_streaming(config: Optional[StudyConfig] = None,
                         workers: Optional[int] = None,
                         shard_size: Optional[int] = None,
                         profile: bool = False,
-                        fault_plan=None) -> StreamedStudy:
+                        fault_plan=None,
+                        trace_dir: Union[str, Path, None] = None
+                        ) -> StreamedStudy:
     """Run the campaign and analyze it without materializing the study.
 
     The engine collects into the config's record store as usual, but the
@@ -232,24 +290,34 @@ def run_study_streaming(config: Optional[StudyConfig] = None,
     campaign size.
     """
     config = config or StudyConfig()
+    trace_out = _start_tracing(trace_dir, config.seed)
     effective_workers = config.workers if workers is None else workers
-    plan = build_deployment_plan(config.deployment_config())
-    store = run_campaign(
-        plan,
-        seed=config.seed,
-        path_config=config.path,
-        store=(None if config.checkpoint_dir is not None
-               else config.make_store(plan.windows)),
-        workers=effective_workers,
-        shard_size=(config.shard_size if shard_size is None
-                    else shard_size),
-        profile=profile,
-        max_shard_retries=config.max_shard_retries,
-        shard_timeout=config.shard_timeout,
-        fault_plan=fault_plan,
-        checkpoint_dir=config.checkpoint_dir,
-        materialize=False,
-    )
-    figures = stream_figures(StoreSource(store))
+    try:
+        plan = build_deployment_plan(config.deployment_config())
+        store = run_campaign(
+            plan,
+            seed=config.seed,
+            path_config=config.path,
+            store=(None if config.checkpoint_dir is not None
+                   else config.make_store(plan.windows)),
+            workers=effective_workers,
+            shard_size=(config.shard_size if shard_size is None
+                        else shard_size),
+            profile=profile,
+            max_shard_retries=config.max_shard_retries,
+            shard_timeout=config.shard_timeout,
+            fault_plan=fault_plan,
+            checkpoint_dir=config.checkpoint_dir,
+            materialize=False,
+            progress_path=_progress_path(None, trace_dir),
+        )
+        # The streaming analyze passes record their spans too, so the
+        # exported timeline covers collection *and* analysis.
+        figures = stream_figures(StoreSource(store))
+        _export_trace(trace_out)
+        trace_out = None
+    finally:
+        if trace_out is not None:
+            trace.disable()
     return StreamedStudy(config=config, deployment=Deployment(plan),
                          figures=figures, store=store)

@@ -39,7 +39,8 @@ from typing import Dict, Optional
 #: sub-stages nested beneath it (see ``firmware.shard_collect``).
 ENGINE_STAGES = ("materialize", "collect", "collect.heartbeat",
                  "collect.capacity", "collect.uptime", "collect.devices",
-                 "collect.wifi", "collect.traffic", "ingest")
+                 "collect.wifi", "collect.traffic", "collect.serialize",
+                 "ingest")
 
 
 class PerfRecorder:

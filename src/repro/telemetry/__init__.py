@@ -108,13 +108,16 @@ class TelemetrySession:
         """Wall-clock seconds since the session started."""
         return time.perf_counter() - self._t0
 
-    def finalize(self, config, data, workers: int = 1) -> RunManifest:
+    def finalize(self, config, data, workers: int = 1,
+                 trace_summary=None) -> RunManifest:
         """Write every artifact for a finished campaign.
 
         *config* is the :class:`~repro.core.pipeline.StudyConfig` (or any
         dataclass/dict) that produced *data*.  Computes the final
         ``study_digest`` — the one part of telemetry that is not free,
         and the reason it runs once here rather than during collection.
+        *trace_summary* (a :class:`repro.trace.TraceSummary`) adds the
+        Timeline section to the health report when the run was traced.
         """
         from repro.core.datasets import study_digest
 
@@ -128,7 +131,8 @@ class TelemetrySession:
             self.directory, metrics.snapshot())
 
         self.health = build_health_report(
-            data, metrics_snapshot=metrics.snapshot())
+            data, metrics_snapshot=metrics.snapshot(),
+            trace_summary=trace_summary)
         health_json = self.directory / "health.json"
         health_json.write_text(self.health.to_json())
         health_txt = self.directory / "health.txt"

@@ -20,6 +20,15 @@ Design constraints, mirroring :mod:`repro.perf` / the metrics registry:
   silently drops writes from any other process, so worker events can
   never interleave bytes into the parent's file.  (Worker-side activity
   reaches the parent as drained metric snapshots instead.)
+* **Bounded disk** — the log rotates logrotate-style once the live
+  segment passes ``max_bytes``: ``events.jsonl`` becomes
+  ``events.1.jsonl``, existing numbered segments shift up, and the
+  oldest beyond ``max_segments`` is dropped, so a long-running campaign
+  can never grow an unbounded log.
+* **Crash-path durability** — :func:`enable` registers one ``atexit``
+  flush for whichever log is active, and :class:`EventLog` is a context
+  manager, so buffered lines reach disk even when the campaign dies on
+  an exception path.
 
 Every emit is also forwarded to the ``repro.telemetry.events`` stdlib
 logger at DEBUG, so ``-vv`` tails the event stream without a file.
@@ -27,14 +36,21 @@ logger at DEBUG, so ``-vv`` tails the event stream without a file.
 
 from __future__ import annotations
 
+import atexit
 import json
 import logging
 import os
 import time
 from pathlib import Path
-from typing import IO, Optional, Union
+from typing import IO, List, Optional, Union
 
 logger = logging.getLogger(__name__)
+
+#: Rotate the live segment once it reaches this many bytes.
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+#: Rotated segments kept (``events.1.jsonl`` .. ``events.N.jsonl``).
+DEFAULT_MAX_SEGMENTS = 4
 
 #: Event types the engine and collection layer emit, for reference and
 #: validation in tests (emitting an unlisted type is allowed).
@@ -55,15 +71,35 @@ KNOWN_EVENTS = (
 )
 
 
-class EventLog:
-    """An append-only JSONL event stream bound to one file and process."""
+def segment_path(path: Union[str, Path], index: int) -> Path:
+    """The rotated-segment name: ``events.jsonl`` → ``events.1.jsonl``."""
+    path = Path(path)
+    return path.with_name(f"{path.stem}.{index}{path.suffix}")
 
-    def __init__(self, path: Union[str, Path]):
+
+class EventLog:
+    """An append-only JSONL event stream bound to one file and process.
+
+    Usable as a context manager (``with EventLog(path) as log:``) —
+    exiting the block closes the file even on an exception.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 max_segments: int = DEFAULT_MAX_SEGMENTS):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if max_segments < 1:
+            raise ValueError("max_segments must be at least 1")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.max_segments = max_segments
         self._handle: Optional[IO[str]] = self.path.open("a")
+        self._bytes = self.path.stat().st_size
         self._pid = os.getpid()
         self.emitted = 0
+        self.rotations = 0
 
     def emit(self, event: str, **fields: object) -> None:
         """Append one event (dropped silently in forked children)."""
@@ -72,10 +108,37 @@ class EventLog:
             return
         record = {"ts": round(time.time(), 6), "event": event}
         record.update(fields)
-        handle.write(json.dumps(record, default=str))
-        handle.write("\n")
+        line = json.dumps(record, default=str) + "\n"
+        handle.write(line)
+        self._bytes += len(line)
         self.emitted += 1
         logger.debug("event %s %s", event, fields)
+        if self._bytes >= self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Shift the live segment to ``.1`` and reopen a fresh file."""
+        assert self._handle is not None
+        self._handle.close()
+        oldest = segment_path(self.path, self.max_segments)
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.max_segments - 1, 0, -1):
+            source = segment_path(self.path, index)
+            if source.exists():
+                os.replace(source, segment_path(self.path, index + 1))
+        os.replace(self.path, segment_path(self.path, 1))
+        self._handle = self.path.open("a")
+        self._bytes = 0
+        self.rotations += 1
+        logger.debug("event log rotated (%d rotation(s))", self.rotations)
+
+    def segments(self) -> List[Path]:
+        """Existing log files, oldest first, live segment last."""
+        paths = [segment_path(self.path, index)
+                 for index in range(self.max_segments, 0, -1)]
+        paths.append(self.path)
+        return [p for p in paths if p.exists()]
 
     def flush(self) -> None:
         if self._handle is not None and os.getpid() == self._pid:
@@ -86,16 +149,39 @@ class EventLog:
             self._handle.close()
         self._handle = None
 
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
 
 _ACTIVE: Optional[EventLog] = None
+_ATEXIT_REGISTERED = False
 
 
-def enable(path: Union[str, Path]) -> EventLog:
-    """Open *path* as the process's event log (closing any previous one)."""
-    global _ACTIVE
+def _flush_active() -> None:  # pragma: no cover - exercised at exit
+    log = _ACTIVE
+    if log is not None:
+        log.flush()
+
+
+def enable(path: Union[str, Path],
+           max_bytes: int = DEFAULT_MAX_BYTES,
+           max_segments: int = DEFAULT_MAX_SEGMENTS) -> EventLog:
+    """Open *path* as the process's event log (closing any previous one).
+
+    The first call registers an ``atexit`` flush for whichever log is
+    active at interpreter exit, so buffered events survive crash paths
+    that skip :func:`disable`.
+    """
+    global _ACTIVE, _ATEXIT_REGISTERED
     if _ACTIVE is not None:
         _ACTIVE.close()
-    _ACTIVE = EventLog(path)
+    _ACTIVE = EventLog(path, max_bytes=max_bytes, max_segments=max_segments)
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_flush_active)
+        _ATEXIT_REGISTERED = True
     return _ACTIVE
 
 
@@ -125,12 +211,31 @@ def emit(event: str, **fields: object) -> None:
         log.emit(event, **fields)
 
 
-def read_events(path: Union[str, Path]) -> list:
-    """Parse a JSONL event file back into dicts (for tests and tooling)."""
+def read_events(path: Union[str, Path],
+                include_rotated: bool = False) -> list:
+    """Parse a JSONL event file back into dicts (for tests and tooling).
+
+    With ``include_rotated=True`` rotated segments (``events.1.jsonl``,
+    ...) are read first, oldest to newest, so the result is the full
+    chronological stream.
+    """
+    path = Path(path)
+    paths = [path]
+    if include_rotated:
+        rotated = []
+        index = 1
+        while True:
+            segment = segment_path(path, index)
+            if not segment.exists():
+                break
+            rotated.append(segment)
+            index += 1
+        paths = list(reversed(rotated)) + paths
     events = []
-    with Path(path).open() as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+    for part in paths:
+        with part.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
     return events

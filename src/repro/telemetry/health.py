@@ -90,6 +90,9 @@ class HealthReport:
     #: Engine recovery counters (retries, timeouts, pool rebuilds,
     #: checkpoints, resumes) — empty when no metrics snapshot was given.
     fault_tolerance: Dict[str, float] = field(default_factory=dict)
+    #: :meth:`repro.trace.TraceSummary.to_dict` of the campaign's trace —
+    #: None when the run was untraced.
+    timeline: Optional[dict] = None
 
     @property
     def dead_routers(self) -> List[str]:
@@ -166,7 +169,8 @@ def build_health_report(
         data: StudyData,
         dead_tail_fraction: float = DEAD_TAIL_FRACTION,
         flapping_rate_per_day: float = FLAPPING_RATE_PER_DAY,
-        metrics_snapshot: Optional[dict] = None) -> HealthReport:
+        metrics_snapshot: Optional[dict] = None,
+        trace_summary=None) -> HealthReport:
     """Compute the deployment-health report for one campaign's data.
 
     *metrics_snapshot* (a :func:`repro.telemetry.metrics` registry
@@ -174,6 +178,8 @@ def build_health_report(
     counters — retries, straggler timeouts, pool rebuilds, checkpoints,
     resumes — are folded into :attr:`HealthReport.fault_tolerance` so
     the operator sees recovery activity next to coverage.
+    *trace_summary* (a :class:`repro.trace.TraceSummary` or its dict
+    form) adds the campaign's Timeline section.
     """
     if not 0 < dead_tail_fraction < 1:
         raise ValueError("dead_tail_fraction must be in (0, 1)")
@@ -212,6 +218,10 @@ def build_health_report(
         "throughput": sum(len(s) for s in data.throughput.values()),
         "dns": len(data.dns),
     }
+    timeline = None
+    if trace_summary is not None:
+        timeline = (trace_summary if isinstance(trace_summary, dict)
+                    else trace_summary.to_dict())
     return HealthReport(
         window=window,
         countries=countries,
@@ -219,6 +229,7 @@ def build_health_report(
         dataset_records=dataset_records,
         heartbeat_loss_rate=loss_rate,
         fault_tolerance=_fault_tolerance_counters(metrics_snapshot),
+        timeline=timeline,
     )
 
 
@@ -263,4 +274,23 @@ def format_health_report(report: HealthReport) -> str:
             [(name, int(value))
              for name, value in sorted(report.fault_tolerance.items())],
             title="Fault tolerance"))
+
+    if report.timeline:
+        tl = report.timeline
+        rows = [
+            ("wall clock", f"{tl.get('wall_seconds', 0.0):.3f}s"),
+            ("critical path",
+             f"{tl.get('critical_path_seconds', 0.0):.3f}s"),
+            ("worker utilization",
+             f"{tl.get('worker_utilization', 0.0):.0%}"),
+            ("ingest stall (head wait)",
+             f"{tl.get('ingest_stall_seconds', 0.0):.3f}s"),
+            ("retry-charged time",
+             f"{tl.get('retry_charged_seconds', 0.0):.3f}s"),
+            ("spans", tl.get("span_count", 0)),
+            ("tracks", tl.get("tracks", 0)),
+        ]
+        sections.append(render_table(
+            ["quantity", "value"], rows,
+            title=f"Timeline — trace {tl.get('trace_id') or 'unnamed'}"))
     return "\n\n".join(sections)

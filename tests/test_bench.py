@@ -1,0 +1,148 @@
+"""Tests for repro.bench — the shared bench-artifact regression gate."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        flat = bench.flatten_metrics(
+            {"points": [{"seconds": 1.5, "homes": 252}],
+             "cpu_cores": 8,
+             "note": "text is skipped",
+             "ok": True})
+        assert flat == {"points[0].seconds": 1.5,
+                        "points[0].homes": 252.0,
+                        "cpu_cores": 8.0}
+
+    def test_direction_inference(self):
+        assert bench._direction("points[0].seconds") == "lower"
+        assert bench._direction("peak_mb") == "lower"
+        assert bench._direction("homes_per_sec") == "higher"
+        assert bench._direction("speedup_vs_baseline_252") == "higher"
+        assert bench._direction("points[0].homes") is None
+
+
+class TestDiff:
+    OLD = {"points": [{"seconds": 1.0, "homes_per_sec": 100.0}],
+           "homes": 252}
+    NEW_OK = {"points": [{"seconds": 1.1, "homes_per_sec": 95.0}],
+              "homes": 252}
+    NEW_BAD = {"points": [{"seconds": 1.5, "homes_per_sec": 60.0}],
+               "homes": 504}
+
+    def test_within_threshold_passes(self):
+        assert bench.regressions(self.OLD, self.NEW_OK) == []
+
+    def test_slower_seconds_regress(self):
+        names = {r.metric for r in bench.regressions(self.OLD, self.NEW_BAD)}
+        assert "points[0].seconds" in names
+        assert "points[0].homes_per_sec" in names
+        assert "homes" not in names  # informational, never regresses
+
+    def test_keys_restrict_comparison(self):
+        rows = bench.diff_payloads(self.OLD, self.NEW_BAD,
+                                   keys=("points[0].seconds",))
+        assert [r.metric for r in rows] == ["points[0].seconds"]
+        assert rows[0].delta == pytest.approx(0.5)
+        assert rows[0].regressed
+
+    def test_missing_metric_is_informational(self):
+        (row,) = bench.diff_payloads({"a_seconds": 1.0}, {},
+                                     keys=("a_seconds",))
+        assert row.delta is None
+        assert not row.regressed
+        assert row.describe() == "n/a"
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            bench.diff_payloads({}, {}, threshold=0)
+
+    def test_format_diff_marks_regressions(self):
+        rows = bench.diff_payloads(self.OLD, self.NEW_BAD)
+        text = bench.format_diff(rows)
+        assert "REGRESSED" in text
+        assert "points[0].seconds" in text
+
+
+class TestArtifacts:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_pair_two_files(self, tmp_path):
+        old = self._write(tmp_path / "BENCH_a.json", {"x_seconds": 1})
+        new = self._write(tmp_path / "BENCH_b.json", {"x_seconds": 1})
+        assert bench.pair_artifacts(old, new) == [("BENCH_b.json", old, new)]
+
+    def test_pair_directories_by_name(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        old_dir.mkdir(), new_dir.mkdir()
+        self._write(old_dir / "BENCH_a.json", {})
+        self._write(old_dir / "BENCH_b.json", {})
+        self._write(new_dir / "BENCH_b.json", {})
+        self._write(new_dir / "BENCH_c.json", {})  # no baseline: skipped
+        pairs = bench.pair_artifacts(old_dir, new_dir)
+        assert [name for name, _, _ in pairs] == ["BENCH_b.json"]
+
+    def test_pair_rejects_mixed_kinds(self, tmp_path):
+        old = self._write(tmp_path / "BENCH_a.json", {})
+        with pytest.raises(ValueError, match="not a mix"):
+            bench.pair_artifacts(old, tmp_path)
+
+    def test_pair_rejects_empty_overlap(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        old_dir.mkdir(), new_dir.mkdir()
+        with pytest.raises(ValueError, match="no BENCH_"):
+            bench.pair_artifacts(old_dir, new_dir)
+
+    def test_load_bench_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no bench artifact"):
+            bench.load_bench(tmp_path / "missing.json")
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="unreadable"):
+            bench.load_bench(bad)
+
+
+class TestBenchDiffCli:
+    def _artifact(self, path, seconds):
+        path.write_text(json.dumps(
+            {"points": [{"seconds": seconds, "homes": 252}]}))
+        return path
+
+    def test_clean_diff_exits_zero(self, tmp_path, capsys):
+        old = self._artifact(tmp_path / "BENCH_x.json", 1.0)
+        new = self._artifact(tmp_path / "BENCH_y.json", 1.05)
+        assert main(["bench", "diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "Bench diff" in out and "+5.0%" in out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self._artifact(tmp_path / "BENCH_x.json", 1.0)
+        new = self._artifact(tmp_path / "BENCH_y.json", 2.0)
+        assert main(["bench", "diff", str(old), str(new)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_threshold_flag(self, tmp_path):
+        old = self._artifact(tmp_path / "BENCH_x.json", 1.0)
+        new = self._artifact(tmp_path / "BENCH_y.json", 2.0)
+        assert main(["bench", "diff", "--threshold", "1.5",
+                     str(old), str(new)]) == 0
+
+    def test_directory_diff(self, tmp_path):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        old_dir.mkdir(), new_dir.mkdir()
+        self._artifact(old_dir / "BENCH_x.json", 1.0)
+        self._artifact(new_dir / "BENCH_x.json", 3.0)
+        assert main(["bench", "diff", str(old_dir), str(new_dir)]) == 1
+
+    def test_empty_overlap_is_an_error(self, tmp_path):
+        (tmp_path / "old").mkdir(), (tmp_path / "new").mkdir()
+        with pytest.raises(SystemExit):
+            main(["bench", "diff", str(tmp_path / "old"),
+                  str(tmp_path / "new")])

@@ -247,6 +247,56 @@ class TestEventLog:
         assert events.disable() is log
         assert read_events(tmp_path / "e.jsonl")[0]["routers"] == 5
 
+    def test_rotation_caps_segments(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        # Each event is ~100 bytes, so max_bytes=300 rotates every ~3.
+        log = EventLog(path, max_bytes=300, max_segments=2)
+        for i in range(20):
+            log.emit("shard_finished", shard=i, pad="x" * 60)
+        log.close()
+        assert log.rotations > 0
+        existing = [p.name for p in sorted(tmp_path.iterdir())]
+        assert "events.jsonl" in existing
+        assert "events.1.jsonl" in existing
+        assert "events.3.jsonl" not in existing  # capped at max_segments
+        # The live segment holds the newest events.
+        live = read_events(path)
+        assert all(e["event"] == "shard_finished" for e in live)
+
+    def test_rotation_preserves_chronology(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, max_bytes=200, max_segments=3)
+        for i in range(12):
+            log.emit("tick", n=i)
+        log.close()
+        merged = read_events(path, include_rotated=True)
+        ns = [e["n"] for e in merged]
+        assert ns == sorted(ns)
+        assert ns[-1] == 11  # newest event is last
+
+    def test_rotation_drops_oldest_beyond_cap(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path, max_bytes=120, max_segments=1)
+        for i in range(30):
+            log.emit("tick", n=i)
+        log.close()
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            ["events.1.jsonl", "events.jsonl"]
+        merged = read_events(path, include_rotated=True)
+        assert [e["n"] for e in merged][-1] == 29
+
+    def test_context_manager_closes(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl") as log:
+            log.emit("campaign_started")
+        log.emit("late")  # dropped: the context exit closed the file
+        assert log.emitted == 1
+
+    def test_bad_limits_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventLog(tmp_path / "e.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            EventLog(tmp_path / "e.jsonl", max_segments=0)
+
 
 class TestManifest:
     def test_round_trip(self, tmp_path):
