@@ -1,0 +1,84 @@
+"""Ingest-daemon scaling bench: sustained records/sec over loopback TCP.
+
+Measures the network collection service (:mod:`repro.collection.netserve`)
+under the async load generator (:mod:`repro.collection.loadgen`): a
+simulated router fleet multiplexed over a TCP connection pool, every
+upload framed, sequenced, and ingested through the strictly-ordered
+server path.  Three fleet sizes are measured — 10k, 40k, and the
+acceptance-scale 100k routers — and results land in ``BENCH_server.json``
+at the repo root, gated by the shared :mod:`repro.bench` regression
+harness.
+
+A fourth, pressure point re-runs the small fleet against a deliberately
+tiny ingest queue and reorder window so the bench always exercises (and
+publishes) the overload shedding path: sheds and retries must occur and
+the fleet must still be stored completely.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro import bench
+from repro.collection.loadgen import LoadConfig, run_load_over_loopback
+from repro.collection.netserve import ServeConfig
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Fleet sizes measured (the last is the acceptance-scale point).
+FLEETS = (10_000, 40_000, 100_000)
+
+#: Sustained throughput floor at the 100k point.  The measured number on
+#: an idle machine is ~150k records/sec; the assert only catches
+#: order-of-magnitude collapses so a loaded CI runner does not flake.
+MIN_RECORDS_PER_SEC = 20_000.0
+
+
+def _point(clients: int, serve: ServeConfig = ServeConfig()) -> dict:
+    config = LoadConfig(clients=clients, connections=64)
+    report, daemon = run_load_over_loopback(config, serve)
+    assert report.routers_stored == clients
+    assert daemon.routers_ingested == clients
+    point = report.to_dict()
+    point["seconds"] = round(point.pop("duration_seconds"), 3)
+    point["records_per_sec"] = round(point["records_per_sec"], 1)
+    point["routers_per_sec"] = round(point["routers_per_sec"], 1)
+    return point
+
+
+def test_server_scaling(emit):
+    committed = None
+    bench_path = ROOT / "BENCH_server.json"
+    if bench_path.exists():
+        committed = bench.load_bench(bench_path)
+
+    points = [_point(clients) for clients in FLEETS]
+
+    # The overload path, measured rather than assumed: a starved queue
+    # and narrow reorder window must shed, and shed clients must retry
+    # to a completely-stored fleet.
+    pressure = _point(5_000, ServeConfig(
+        queue_size=8, reorder_window=96, retry_after_seconds=0.002))
+    assert pressure["sheds"] > 0
+    assert pressure["retries"] >= pressure["sheds"]
+
+    sustained = points[-1]
+    assert sustained["clients"] >= 100_000
+    assert sustained["records_per_sec"] >= MIN_RECORDS_PER_SEC, (
+        f"ingest throughput collapsed: {sustained['records_per_sec']} "
+        f"records/sec at {sustained['clients']} simulated routers")
+
+    if committed is not None:
+        regressed = bench.regressions(
+            committed, {"points": points},
+            keys=("points[2].records_per_sec",))
+        assert not regressed, bench.format_diff(
+            regressed, title="100k-router ingest regressed >25%")
+
+    payload = {
+        "points": points,
+        "pressure_point": pressure,
+        "cpu_cores": os.cpu_count() or 1,
+    }
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")
+    emit("BENCH_server", json.dumps(payload, indent=2))

@@ -16,6 +16,8 @@ Usage::
     python -m repro watch   DIR [--once] [--interval S]
     python -m repro trace   report PATH
     python -m repro bench   diff OLD NEW [--threshold F]
+    python -m repro serve   [--host H] [--port N] [--expect N] [--out DIR]
+    python -m repro loadgen --port N [--clients N] [--connections N]
 
 ``run`` simulates a campaign and writes the CSV/JSON archive (optionally
 the PII-stripped public variant).  ``summary`` prints Table 2 for a
@@ -33,6 +35,9 @@ plus ``trace_summary.json``.  ``watch`` tails a running campaign's
 ``progress.json`` heartbeat and recent events; ``trace report`` renders
 the timeline summary from a saved trace; ``bench diff`` compares
 ``BENCH_*.json`` artifacts and exits nonzero on regression.
+``serve`` runs the network ingest daemon
+(:mod:`repro.collection.netserve`) on a TCP port; ``loadgen`` drives a
+simulated router fleet at a running daemon and prints the load report.
 ``-v``/``-vv`` raise the logging level (INFO/DEBUG on stderr); ``-q``
 silences everything below ERROR.
 """
@@ -365,6 +370,85 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_windows(duration: float):
+    from repro.simulation.timebase import StudyWindows
+    windows = StudyWindows()
+    return windows.scaled(duration) if duration < 1 else windows
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.collection.netserve import IngestDaemon, ServeConfig
+    from repro.collection.path import CollectionPath, PathConfig
+    from repro.collection.storage import RecordStore
+    from repro.simulation.seeding import SeedHierarchy
+
+    windows = _serve_windows(args.duration)
+    store = RecordStore(windows)
+    path = CollectionPath(
+        SeedHierarchy(args.seed).generator("collection-path"),
+        windows.span, PathConfig())
+    config = ServeConfig(host=args.host, port=args.port,
+                         queue_size=args.queue_size,
+                         reorder_window=args.reorder_window,
+                         retry_after_seconds=args.retry_after)
+    daemon = IngestDaemon(store, path, config)
+
+    async def _serve() -> None:
+        host, port = await daemon.start()
+        print(f"listening on {host}:{port}", flush=True)
+        try:
+            if args.expect is not None:
+                await daemon.wait_complete(args.expect)
+            else:
+                await asyncio.Event().wait()  # until Ctrl-C
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    print(f"ingested {daemon.routers_ingested} router upload(s)",
+          file=sys.stderr)
+    if args.out:
+        export_study(store.to_study_data(), args.out)
+        print(f"wrote archive to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.collection.loadgen import LoadConfig, run_load
+
+    config = LoadConfig(clients=args.clients, connections=args.connections,
+                        heartbeats_per_upload=args.heartbeats,
+                        uptime_reports_per_upload=args.uptime_reports,
+                        seed=args.seed)
+    span = _serve_windows(args.duration).span
+    report = asyncio.run(run_load(args.host, args.port, config, span=span))
+    print(render_table(
+        ["quantity", "value"],
+        [("routers", report.clients),
+         ("connections", report.connections),
+         ("routers stored", report.routers_stored),
+         ("records sent", report.records_sent),
+         ("duration", f"{report.duration_seconds:.2f}s"),
+         ("records/sec", f"{report.records_per_sec:,.0f}"),
+         ("routers/sec", f"{report.routers_per_sec:,.0f}"),
+         ("sheds", report.sheds),
+         ("retries", report.retries),
+         ("duplicates", report.duplicates)],
+        title="Load report"))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote load report JSON to {args.json}", file=sys.stderr)
+    return 0
+
+
 def _configure_logging(verbosity: int, quiet: bool) -> None:
     """Point the package logger at stderr per ``-v``/``-q``."""
     if quiet:
@@ -470,6 +554,59 @@ def build_parser() -> argparse.ArgumentParser:
                             help="regression threshold as a fraction "
                                  "(default 0.25 = 25%%)")
     bench_diff.set_defaults(func=cmd_bench_diff)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the network collection daemon")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="TCP port (default 0 = OS-assigned; the "
+                                   "bound port is printed on stdout)")
+    serve_parser.add_argument("--seed", type=int, default=2013,
+                              help="collection-path seed (default 2013; "
+                                   "must match the uploading campaign's)")
+    serve_parser.add_argument("--duration", type=float, default=0.1,
+                              help="collection-window scale (default 0.1; "
+                                   "must match the uploading campaign's)")
+    serve_parser.add_argument("--queue-size", type=int, default=256,
+                              help="bounded ingest queue depth (default 256)")
+    serve_parser.add_argument("--reorder-window", type=int, default=4096,
+                              help="max seq distance held for reordering "
+                                   "before shedding (default 4096)")
+    serve_parser.add_argument("--retry-after", type=float, default=0.05,
+                              metavar="SECONDS",
+                              help="delay suggested to shed clients "
+                                   "(default 0.05)")
+    serve_parser.add_argument("--expect", type=int, default=None, metavar="N",
+                              help="drain and exit after N router uploads "
+                                   "(default: serve until Ctrl-C)")
+    serve_parser.add_argument("--out", default=None, metavar="DIR",
+                              help="export the collected study archive to "
+                                   "DIR on shutdown")
+    serve_parser.set_defaults(func=cmd_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen", help="drive a simulated router fleet at a daemon")
+    loadgen_parser.add_argument("--host", default="127.0.0.1",
+                                help="daemon address (default 127.0.0.1)")
+    loadgen_parser.add_argument("--port", type=int, required=True,
+                                help="daemon TCP port")
+    loadgen_parser.add_argument("--clients", type=int, default=100_000,
+                                help="simulated routers (default 100000)")
+    loadgen_parser.add_argument("--connections", type=int, default=64,
+                                help="TCP connection pool size (default 64)")
+    loadgen_parser.add_argument("--heartbeats", type=int, default=24,
+                                help="heartbeats per upload (default 24)")
+    loadgen_parser.add_argument("--uptime-reports", type=int, default=2,
+                                help="uptime reports per upload (default 2)")
+    loadgen_parser.add_argument("--seed", type=int, default=7,
+                                help="fleet jitter seed (default 7)")
+    loadgen_parser.add_argument("--duration", type=float, default=0.1,
+                                help="collection-window scale (default 0.1; "
+                                     "match the daemon's)")
+    loadgen_parser.add_argument("--json", default=None, metavar="PATH",
+                                help="also write the load report as JSON")
+    loadgen_parser.set_defaults(func=cmd_loadgen)
     return parser
 
 

@@ -8,8 +8,20 @@ the paper publicly released its non-PII data.
 """
 
 from repro.collection.path import CollectionPath, PathConfig
-from repro.collection.server import CollectionServer, collect_study
+from repro.collection.server import CollectionServer, UploadRejected, collect_study
 from repro.collection.storage import RecordStore
+from repro.collection.netserve import (
+    IngestClient,
+    IngestDaemon,
+    ServeConfig,
+    run_campaign_over_socket,
+)
+from repro.collection.loadgen import (
+    LoadConfig,
+    LoadReport,
+    run_load,
+    run_load_over_loopback,
+)
 from repro.collection.export import export_study, load_study
 from repro.collection.checkpoint import (
     CampaignCheckpoint,
@@ -28,8 +40,17 @@ __all__ = [
     "CollectionPath",
     "PathConfig",
     "CollectionServer",
+    "UploadRejected",
     "collect_study",
     "RecordStore",
+    "IngestClient",
+    "IngestDaemon",
+    "ServeConfig",
+    "run_campaign_over_socket",
+    "LoadConfig",
+    "LoadReport",
+    "run_load",
+    "run_load_over_loopback",
     "export_study",
     "load_study",
     "CampaignCheckpoint",

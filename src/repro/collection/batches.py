@@ -10,6 +10,8 @@ batches; uploads cross the process boundary by pickling.
 
 from __future__ import annotations
 
+import pickle
+import struct
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -341,3 +343,121 @@ def list_batches(dataset: str, router_id: str, records: Sequence,
         return []
     return [RecordBatch(dataset, router_id, list(chunk))
             for chunk in _chunks(records, max_batch_records)]
+
+
+# -- wire framing -------------------------------------------------------------
+#
+# The network ingest service (``collection.netserve``) carries the same
+# ``RouterUpload``/``RecordBatch`` payloads that cross the process boundary
+# today, but over TCP: each message is one length-prefixed frame —
+# a 4-byte big-endian payload length followed by the pickled message.
+# Messages are small tuples, ``(kind, ...)``:
+#
+# ==========  =============================  ==================================
+# kind        shape                          direction / meaning
+# ==========  =============================  ==================================
+# "upload"    ("upload", seq, RouterUpload)  client→server: one router's upload
+#                                            at deployment-order position *seq*
+# "ack"       ("ack", seq, status)           server→client: durably ingested;
+#                                            status is "stored" or "duplicate"
+# "retry"     ("retry", seq, after_seconds)  server→client: shed under overload
+#                                            — resend after *after_seconds*
+# "error"     ("error", seq, text)           server→client: upload rejected
+# "ping"      ("ping",) / ("pong",)          liveness probe round trip
+# "bye"       ("bye",)                       client→server: clean close
+# ==========  =============================  ==================================
+#
+# The length prefix is the whole protocol state machine: a reader pulls
+# exactly 4 bytes, validates the length against ``max_frame_bytes`` (a
+# hostile or corrupt prefix must not trigger a giant allocation), then
+# pulls exactly that many payload bytes.  A connection that dies mid-frame
+# leaves nothing ambiguous — the partial read is detected and the
+# connection dropped without touching the store.
+
+#: Length prefix: one unsigned 32-bit big-endian payload size.
+FRAME_HEADER = struct.Struct("!I")
+
+#: Default ceiling on one frame's payload size (64 MiB — far above any
+#: real upload; a prefix past this is treated as corruption, not data).
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Message kinds either side may legally put on the wire.
+FRAME_KINDS = ("upload", "ack", "retry", "error", "ping", "pong", "bye")
+
+
+class FrameError(ValueError):
+    """A malformed frame: bad length prefix, undecodable or non-protocol
+    payload.  The connection that produced it cannot be trusted further
+    and is closed; the store is never touched."""
+
+
+def encode_frame(message: Tuple,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Serialize one protocol message into a length-prefixed frame."""
+    validate_message(message)
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > max_frame_bytes:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame ceiling")
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Tuple:
+    """Deserialize and validate one frame's payload bytes."""
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+    validate_message(message)
+    return message
+
+
+def decode_frame(data: bytes,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+                 ) -> Tuple[Tuple, int]:
+    """Parse one complete frame from *data*; returns (message, consumed).
+
+    For synchronous callers and tests; the async reader in
+    :mod:`repro.collection.netserve` consumes the header and payload
+    directly off the stream with the same validation.
+    """
+    if len(data) < FRAME_HEADER.size:
+        raise FrameError("truncated frame header")
+    (length,) = FRAME_HEADER.unpack(data[:FRAME_HEADER.size])
+    if length == 0 or length > max_frame_bytes:
+        raise FrameError(f"invalid frame length {length}")
+    end = FRAME_HEADER.size + length
+    if len(data) < end:
+        raise FrameError(f"truncated frame payload: have "
+                         f"{len(data) - FRAME_HEADER.size}, need {length}")
+    return decode_payload(data[FRAME_HEADER.size:end]), end
+
+
+def validate_message(message: object) -> Tuple:
+    """Reject anything that is not a well-formed protocol message."""
+    if not isinstance(message, tuple) or not message:
+        raise FrameError("frame payload must be a non-empty tuple")
+    kind = message[0]
+    if kind not in FRAME_KINDS:
+        raise FrameError(f"unknown frame kind {kind!r}")
+    if kind == "upload":
+        if len(message) != 3 or not isinstance(message[1], int) \
+                or message[1] < 0 \
+                or not isinstance(message[2], RouterUpload):
+            raise FrameError("upload frames are (\"upload\", seq, "
+                             "RouterUpload) with seq >= 0")
+    elif kind == "ack":
+        if len(message) != 3 or message[2] not in ("stored", "duplicate"):
+            raise FrameError("ack frames are (\"ack\", seq, status)")
+    elif kind == "retry":
+        if len(message) != 3 or not isinstance(message[2], (int, float)) \
+                or message[2] <= 0:
+            raise FrameError("retry frames are (\"retry\", seq, "
+                             "after_seconds) with a positive delay")
+    elif kind == "error":
+        if len(message) != 3 or not isinstance(message[2], str):
+            raise FrameError("error frames are (\"error\", seq, text)")
+    elif len(message) != 1:
+        raise FrameError(f"{kind!r} frames carry no payload")
+    return message

@@ -1,0 +1,542 @@
+"""The network ingest service: an asyncio collection daemon over TCP.
+
+Until now "collection" was an in-process function call — the engine hands
+:class:`~repro.collection.batches.RouterUpload` bundles straight to
+:class:`~repro.collection.server.CollectionServer`.  A production BISmark
+successor is a *server* that fleets of routers talk to concurrently; this
+module is that server.  It speaks the length-prefixed framed protocol
+defined in :mod:`repro.collection.batches` (4-byte big-endian length +
+pickled message tuples) and funnels every connection into the one
+strictly-ordered ingest path the determinism contract requires.
+
+Architecture
+------------
+::
+
+    client conns ──frames──> handlers ──bounded queue──> ingest worker
+         ▲                     │                             │
+         └──── ack/retry ◀─────┴──── futures resolved ◀──────┘
+
+* **Sequenced ingest.**  Every upload frame carries a *seq* — its
+  position in deployment order.  The single ingest worker holds
+  out-of-order arrivals in a bounded reorder buffer and feeds
+  ``CollectionServer.ingest`` strictly in seq order, so the path-loss
+  RNG draws in exactly the order the in-process engine would have drawn
+  them.  That is the whole determinism contract: a campaign ingested
+  over the socket produces a ``study_digest`` bitwise-identical to the
+  in-process path.
+* **Per-connection backpressure.**  A handler reads one frame, offers it
+  to the ingest queue, and does not read the next frame until the
+  response went out — a slow ingest path automatically pauses reads on
+  every connection (the kernel's TCP window then pushes back on the
+  client).
+* **Bounded queue + overload shedding.**  The ingest queue and reorder
+  buffer are bounded.  An upload that cannot be accepted — queue full
+  past the grace wait, or seq beyond the reorder window — is *shed* with
+  an explicit ``("retry", seq, after_seconds)`` response instead of
+  being buffered without limit.  Sheds are counted
+  (``uploads_shed_total``) and surfaced in the health report's
+  "Ingest service" section.
+* **At-least-once clients, exactly-once store.**  ACKs are sent only
+  after the upload durably ingested.  A client that loses an ACK simply
+  resends; the server answers duplicates (seq already ingested) with
+  ``("ack", seq, "duplicate")`` without touching the store —
+  ``CollectionServer.ingest`` is idempotent per router on top of that.
+* **Clean drain-on-shutdown.**  ``stop()`` closes the listener, waits
+  for every queued upload to resolve, and only then retires the worker;
+  uploads parked behind a gap that will never fill are answered with an
+  error so no client hangs.
+
+Trace spans (``net.accept``, ``net.frame``, ``net.ingest``) follow the
+shared :mod:`repro.trace` activation model and are no-ops when tracing is
+off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro import trace
+from repro.collection.batches import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_HEADER,
+    FrameError,
+    RouterUpload,
+    decode_payload,
+    encode_frame,
+)
+from repro.collection.path import CollectionPath, PathConfig
+from repro.collection.server import CollectionServer
+from repro.collection.storage import RecordStore
+from repro.simulation.seeding import SeedHierarchy
+from repro.telemetry import events, metrics
+
+logger = logging.getLogger(__name__)
+
+#: Default TCP port (unofficial; 0 lets the OS pick in tests).
+DEFAULT_PORT = 9413
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for one :class:`IngestDaemon`."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    #: Bounded ingest queue between connection handlers and the worker.
+    queue_size: int = 256
+    #: How far ahead of the next expected seq an upload may arrive
+    #: before it is shed; also bounds the reorder buffer.
+    reorder_window: int = 4096
+    #: Ceiling on one frame's payload size.
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: Delay suggested to a shed client.
+    retry_after_seconds: float = 0.05
+    #: Grace period a handler waits for queue space before shedding
+    #: (0 = shed immediately when the queue is full).
+    shed_after_seconds: float = 0.0
+    #: Upper bound on the shutdown drain; None waits forever.
+    drain_timeout: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be positive")
+        if self.reorder_window < 1:
+            raise ValueError("reorder_window must be positive")
+        if self.retry_after_seconds <= 0:
+            raise ValueError("retry_after_seconds must be positive")
+        if self.shed_after_seconds < 0:
+            raise ValueError("shed_after_seconds cannot be negative")
+
+
+class IngestDaemon:
+    """The asyncio collection daemon around one :class:`CollectionServer`.
+
+    The daemon owns nothing about *what* uploads mean — validation,
+    idempotency, and storage consistency live in
+    :class:`CollectionServer` and :class:`RecordStore` exactly as on the
+    in-process path.  It owns the *service* concerns: framing,
+    sequencing, backpressure, shedding, metrics, and drain.
+    """
+
+    def __init__(self, store: RecordStore, path: CollectionPath,
+                 config: ServeConfig = ServeConfig()):
+        self.server = CollectionServer(store, path)
+        self.config = config
+        self._queue: Optional[asyncio.Queue] = None
+        self._tcp: Optional[asyncio.AbstractServer] = None
+        self._worker: Optional[asyncio.Task] = None
+        #: seq -> [(upload, future), ...] parked out of order (the list
+        #: absorbs concurrent duplicate retries of an un-ingested seq).
+        self._pending: Dict[int, List[Tuple[RouterUpload,
+                                            "asyncio.Future"]]] = {}
+        self._next_seq = 0
+        self._connections = 0
+        self._peak_depth = 0
+        self.routers_ingested = 0
+        self._complete: Optional[asyncio.Event] = None
+        self._expected: Optional[int] = None
+        self._handlers: "set" = set()
+
+    @property
+    def store(self) -> RecordStore:
+        return self.server.store
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        if self._tcp is not None:
+            raise RuntimeError("daemon already started")
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._complete = asyncio.Event()
+        self._worker = asyncio.get_running_loop().create_task(
+            self._ingest_worker())
+        self._tcp = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        host, port = self._tcp.sockets[0].getsockname()[:2]
+        events.emit("ingest_service_started", host=host, port=port)
+        logger.info("ingest daemon listening on %s:%d", host, port)
+        return host, port
+
+    async def wait_complete(self, expected_routers: int) -> None:
+        """Block until *expected_routers* uploads have been stored."""
+        self._expected = expected_routers
+        if self.routers_ingested >= expected_routers:
+            return
+        await self._complete.wait()
+
+    async def stop(self) -> None:
+        """Drain and shut down: stop accepting, finish queued ingest."""
+        if self._tcp is None:
+            return
+        self._tcp.close()
+        await self._tcp.wait_closed()
+        self._tcp = None
+        # Connections the listener close leaves open (clients idling
+        # between uploads) would otherwise hold the loop; the handlers
+        # absorb this cancel and close their sockets cleanly.
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        # Every enqueued upload gets its response before the worker
+        # retires; handlers blocked on futures therefore always resolve.
+        try:
+            if self.config.drain_timeout is not None:
+                await asyncio.wait_for(self._queue.join(),
+                                       self.config.drain_timeout)
+            else:
+                await self._queue.join()
+        except asyncio.TimeoutError:  # pragma: no cover - drain stall
+            logger.warning("shutdown drain timed out with %d queued",
+                           self._queue.qsize())
+        self._queue.put_nowait(None)
+        await self._worker
+        self._worker = None
+        events.emit("ingest_service_drained",
+                    routers=self.routers_ingested,
+                    undrained=len(self._pending))
+        logger.info("ingest daemon drained: %d routers stored, "
+                    "%d parked uploads discarded",
+                    self.routers_ingested, len(self._pending))
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        metrics.inc("net_connections_total")
+        self._connections += 1
+        self._handlers.add(asyncio.current_task())
+        metrics.set_gauge("net_connections_open", self._connections)
+        trace.instant("net.accept", cat="netserve",
+                      connections=self._connections)
+        try:
+            while True:
+                try:
+                    message = await self._read_frame(reader)
+                except asyncio.CancelledError:
+                    break  # daemon shutdown while idle between frames
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        # The peer died mid-frame; nothing of the frame
+                        # was acted on, so the store is untouched.
+                        metrics.inc("net_midframe_disconnects_total")
+                        events.emit("net_disconnect", midframe=True)
+                    break
+                except (ConnectionError, FrameError) as exc:
+                    if isinstance(exc, FrameError):
+                        metrics.inc("net_frame_errors_total")
+                        events.emit("net_frame_error", error=str(exc))
+                        logger.warning("closing connection: %s", exc)
+                    break
+                response = await self._dispatch(message)
+                if response is None:  # clean "bye"
+                    break
+                try:
+                    writer.write(encode_frame(response))
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            self._connections -= 1
+            self._handlers.discard(asyncio.current_task())
+            metrics.set_gauge("net_connections_open", self._connections)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> Tuple:
+        header = await reader.readexactly(FRAME_HEADER.size)
+        (length,) = FRAME_HEADER.unpack(header)
+        if length == 0 or length > self.config.max_frame_bytes:
+            raise FrameError(f"invalid frame length {length}")
+        payload = await reader.readexactly(length)
+        with trace.span("net.frame", cat="netserve", bytes=length):
+            message = decode_payload(payload)
+        metrics.inc("net_frames_total")
+        metrics.inc("net_bytes_total", FRAME_HEADER.size + length)
+        return message
+
+    async def _dispatch(self, message: Tuple) -> Optional[Tuple]:
+        kind = message[0]
+        if kind == "upload":
+            return await self._offer(message[1], message[2])
+        if kind == "ping":
+            return ("pong",)
+        if kind == "bye":
+            return None
+        return ("error", -1, f"unexpected {kind!r} frame from a client")
+
+    async def _offer(self, seq: int, upload: RouterUpload) -> Tuple:
+        """Queue one upload for ordered ingest, or shed it."""
+        if seq < self._next_seq:
+            # Already ingested — a retry after a dropped ACK.
+            metrics.inc("uploads_duplicate_total")
+            return ("ack", seq, "duplicate")
+        if seq >= self._next_seq + self.config.reorder_window:
+            return self._shed(seq, "window")
+        future = asyncio.get_running_loop().create_future()
+        item = (seq, upload, future)
+        try:
+            if self.config.shed_after_seconds > 0:
+                await asyncio.wait_for(self._queue.put(item),
+                                       self.config.shed_after_seconds)
+            else:
+                self._queue.put_nowait(item)
+        except (asyncio.QueueFull, asyncio.TimeoutError):
+            return self._shed(seq, "queue")
+        depth = self._queue.qsize()
+        metrics.set_gauge("ingest_queue_depth", depth)
+        if depth > self._peak_depth:
+            self._peak_depth = depth
+            metrics.set_gauge("ingest_queue_peak_depth", depth)
+        return await future
+
+    def _shed(self, seq: int, reason: str) -> Tuple:
+        metrics.inc("uploads_shed_total", reason=reason)
+        events.emit("upload_shed", seq=seq, reason=reason)
+        trace.instant("net.shed", cat="netserve", seq=seq, reason=reason)
+        return ("retry", seq, self.config.retry_after_seconds)
+
+    # -- the ordered ingest worker -----------------------------------------------
+
+    async def _ingest_worker(self) -> None:
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is None:
+                    break
+                seq, upload, future = item
+                if seq < self._next_seq:
+                    metrics.inc("uploads_duplicate_total")
+                    self._resolve(future, ("ack", seq, "duplicate"))
+                    continue
+                self._pending.setdefault(seq, []).append((upload, future))
+                self._drain_ready()
+            finally:
+                self._queue.task_done()
+        # Retire: anything still parked waits behind a seq gap that can
+        # no longer fill — answer so no client blocks forever.
+        for seq, waiters in sorted(self._pending.items()):
+            for _, future in waiters:
+                self._resolve(future, ("error", seq,
+                                       "server shut down before ingest"))
+        self._pending.clear()
+
+    def _drain_ready(self) -> None:
+        """Ingest every consecutively-available seq, resolving waiters."""
+        while self._next_seq in self._pending:
+            seq = self._next_seq
+            waiters = self._pending.pop(seq)
+            upload, _ = waiters[0]
+            try:
+                with trace.span("net.ingest", cat="netserve", seq=seq,
+                                router=upload.router_id):
+                    stored = self.server.ingest(upload)
+            except Exception as exc:
+                metrics.inc("uploads_error_total")
+                events.emit("upload_rejected", seq=seq,
+                            router=upload.router_id, error=str(exc))
+                logger.warning("upload seq %d (%s) rejected: %s",
+                               seq, upload.router_id, exc)
+                for _, future in waiters:
+                    self._resolve(future, ("error", seq, str(exc)))
+                # The seq slot stays owed: a client may resend a valid
+                # upload for it; everything behind the gap stays parked.
+                return
+            self._next_seq = seq + 1
+            status = "stored" if stored else "duplicate"
+            if stored:
+                self.routers_ingested += 1
+                metrics.inc("uploads_stored_total")
+            for _, future in waiters:
+                self._resolve(future, ("ack", seq, status))
+                status = "duplicate"  # only the first waiter "stored" it
+            if self._expected is not None \
+                    and self.routers_ingested >= self._expected:
+                self._complete.set()
+
+    @staticmethod
+    def _resolve(future: "asyncio.Future", response: Tuple) -> None:
+        if not future.done():  # the handler may have gone away
+            future.set_result(response)
+
+
+# -- client side ------------------------------------------------------------------
+
+class IngestClient:
+    """One framed TCP connection to an :class:`IngestDaemon`.
+
+    Retries are built in: a shed upload is resent after the server's
+    suggested delay, a dropped connection transparently reconnects and
+    resends (the server's seq-based idempotency makes the retry safe),
+    and an ``("error", ...)`` response raises.  The counters
+    (:attr:`retries`, :attr:`duplicates`) let load tests report how much
+    shedding the fleet observed.
+    """
+
+    def __init__(self, host: str, port: int,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                 retry_limit: int = 64,
+                 max_retry_sleep: float = 0.5):
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.retry_limit = retry_limit
+        self.max_retry_sleep = max_retry_sleep
+        self.retries = 0
+        self.sheds = 0
+        self.duplicates = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "IngestClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        try:
+            self._writer.write(encode_frame(("bye",)))
+            await self._writer.drain()
+        except ConnectionError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "IngestClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def _round_trip(self, message: Tuple) -> Tuple:
+        if self._writer is None:
+            await self.connect()
+        self._writer.write(encode_frame(message, self.max_frame_bytes))
+        await self._writer.drain()
+        header = await self._reader.readexactly(FRAME_HEADER.size)
+        (length,) = FRAME_HEADER.unpack(header)
+        if length == 0 or length > self.max_frame_bytes:
+            raise FrameError(f"invalid response frame length {length}")
+        return decode_payload(await self._reader.readexactly(length))
+
+    async def upload(self, seq: int, upload: RouterUpload) -> str:
+        """Send one upload; returns "stored" or "duplicate" once ACKed."""
+        attempt = 0
+        while True:
+            try:
+                response = await self._round_trip(("upload", seq, upload))
+            except (ConnectionError, asyncio.IncompleteReadError):
+                # The ACK (or the frame itself) was lost — reconnect and
+                # resend; the server's idempotency absorbs the re-upload.
+                attempt += 1
+                if attempt > self.retry_limit:
+                    raise
+                self.retries += 1
+                self._reader = self._writer = None
+                await asyncio.sleep(min(0.01 * attempt,
+                                        self.max_retry_sleep))
+                continue
+            kind = response[0]
+            if kind == "ack":
+                if response[2] == "duplicate":
+                    self.duplicates += 1
+                return response[2]
+            if kind == "retry":
+                attempt += 1
+                if attempt > self.retry_limit:
+                    raise RuntimeError(
+                        f"upload seq {seq} shed {attempt} times; giving up")
+                self.retries += 1
+                self.sheds += 1
+                await asyncio.sleep(min(float(response[2]) * attempt,
+                                        self.max_retry_sleep))
+                continue
+            if kind == "error":
+                raise ValueError(f"server rejected upload seq {seq}: "
+                                 f"{response[2]}")
+            raise FrameError(f"unexpected response kind {response[0]!r}")
+
+    async def ping(self) -> None:
+        response = await self._round_trip(("ping",))
+        if response[0] != "pong":  # pragma: no cover - protocol drift
+            raise FrameError(f"expected pong, got {response[0]!r}")
+
+
+# -- one-call socket campaign ------------------------------------------------------
+
+def daemon_for_plan(plan, seed: Optional[int] = None,
+                    path_config: Optional[PathConfig] = None,
+                    store: Optional[RecordStore] = None,
+                    config: ServeConfig = ServeConfig()) -> IngestDaemon:
+    """Build a daemon whose store/path mirror the in-process engine's.
+
+    The path RNG seeds from ``(seed, "collection-path")`` exactly as
+    :func:`repro.collection.engine.run_campaign` does — the precondition
+    for digest parity between the two ingest paths.
+    """
+    seed = plan.seed if seed is None else seed
+    if store is None:
+        store = RecordStore(plan.windows)
+    path = CollectionPath(SeedHierarchy(seed).generator("collection-path"),
+                          plan.windows.span, path_config or PathConfig())
+    return IngestDaemon(store, path, config)
+
+
+def run_campaign_over_socket(plan, seed: Optional[int] = None,
+                             path_config: Optional[PathConfig] = None,
+                             shard_size: Optional[int] = None,
+                             config: ServeConfig = ServeConfig(),
+                             store: Optional[RecordStore] = None,
+                             materialize: bool = True):
+    """Run a full campaign with collection over loopback TCP.
+
+    Shards run exactly as on the in-process path (same
+    ``(seed, router_id)`` derivations); their uploads cross a real
+    socket to an :class:`IngestDaemon` on a loopback port and are
+    ingested in deployment order.  Returns ``StudyData`` (or the live
+    :class:`RecordStore` with ``materialize=False``) whose
+    ``study_digest`` is bitwise-identical to
+    :func:`repro.collection.engine.run_campaign`.
+    """
+    from repro.collection.engine import run_shard, shard_count
+
+    n_shards = shard_count(len(plan), shard_size)
+    serve_config = replace(config, host="127.0.0.1", port=0)
+    daemon = daemon_for_plan(plan, seed=seed, path_config=path_config,
+                             store=store, config=serve_config)
+
+    async def _run() -> RecordStore:
+        loop = asyncio.get_event_loop()
+        host, port = await daemon.start()
+        client = IngestClient(host, port,
+                              max_frame_bytes=config.max_frame_bytes)
+        seq = 0
+        try:
+            await client.connect()
+            for shard_index in range(n_shards):
+                uploads = await loop.run_in_executor(
+                    None, run_shard, plan, shard_index, n_shards, seed)
+                for upload in uploads:
+                    await client.upload(seq, upload)
+                    seq += 1
+        finally:
+            await client.close()
+            await daemon.stop()
+        return daemon.store
+
+    result = asyncio.run(_run())
+    return result.to_study_data() if materialize else result

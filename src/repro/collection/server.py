@@ -16,7 +16,9 @@ shard engine (:mod:`repro.collection.engine`).
 from __future__ import annotations
 
 import logging
-from typing import Optional
+from typing import Optional, Set
+
+import numpy as np
 
 from repro.core.datasets import HeartbeatLog, StudyData
 from repro.simulation.deployment import Deployment
@@ -33,70 +35,182 @@ from repro.telemetry import events, metrics
 logger = logging.getLogger(__name__)
 
 
+class UploadRejected(ValueError):
+    """A router upload failed validation; nothing of it was ingested."""
+
+
 class CollectionServer:
     """Receives router uploads and stores them."""
 
     def __init__(self, store: RecordStore, path: CollectionPath):
         self.store = store
         self.path = path
+        #: Routers whose uploads fully ingested — the idempotency set
+        #: for at-least-once delivery over the network path.
+        self._ingested: Set[str] = set()
 
-    def ingest(self, upload: RouterUpload) -> None:
-        """Register one router and stream in all of its batches."""
+    def ingest(self, upload: RouterUpload) -> bool:
+        """Register one router and stream in all of its batches.
+
+        Registration and batch ingest are all-or-nothing: the upload is
+        validated *before* the router is registered or any batch touches
+        the store, so a malformed upload can never leave behind a
+        registered router with partial data.  A retried upload for a
+        router that already ingested is an idempotent no-op (returns
+        False) — re-ingesting its batches would double-append the list
+        datasets; a *conflicting* re-registration still raises.  Returns
+        True when the upload was stored.
+        """
+        rid = upload.router_id
+        if rid in self._ingested:
+            # At-least-once delivery duplicate (e.g. a retry after a
+            # dropped ACK).  The registration conflict check still runs
+            # so a different router claiming an ingested id is rejected
+            # loudly rather than silently swallowed as a duplicate.
+            self.store.register_router(upload.info)
+            metrics.inc("uploads_duplicate_total")
+            events.emit("upload_duplicate", router=rid)
+            logger.debug("duplicate upload for %s ignored", rid)
+            return False
+        self._validate_upload(upload)
+        newly_registered = rid not in self.store.routers
         self.store.register_router(upload.info)
-        for batch in upload.batches:
-            self.receive_batch(batch)
+        try:
+            for batch in upload.batches:
+                self.receive_batch(batch)
+        except BaseException as exc:
+            # Validation should have caught everything; whatever slipped
+            # through must not leave a registered router behind.
+            if newly_registered:
+                try:
+                    self.store.unregister_router(rid)
+                except ValueError:  # pragma: no cover - partial one-shots
+                    logger.exception(
+                        "could not roll back registration of %s", rid)
+            logger.warning("upload from %s failed mid-ingest: %s", rid, exc)
+            raise
+        self._ingested.add(rid)
         metrics.inc("routers_ingested_total")
         events.emit("router_ingested", router=upload.router_id,
                     batches=len(upload.batches))
         logger.debug("ingested router %s (%d batches)",
                      upload.router_id, len(upload.batches))
+        return True
 
-    def receive_batch(self, batch: RecordBatch) -> None:
+    def _validate_upload(self, upload: RouterUpload) -> None:
+        """Reject a malformed upload before anything is registered.
+
+        The checks mirror every failure the per-batch ingest path could
+        raise mid-stream — wrong router ids inside a batch, more than
+        one of the one-shot datasets, a non-numeric heartbeat payload —
+        so by the time batches stream into the store the only remaining
+        failures are store-consistency conflicts, which the idempotency
+        set already rules out for the upload path.
+        """
+        rid = upload.router_id
+        one_shot = {"heartbeats": 0, "throughput": 0}
+        for batch in upload.batches:
+            if batch.router_id != rid:
+                raise UploadRejected(
+                    f"upload for {rid!r} carries a batch for "
+                    f"{batch.router_id!r}")
+            if batch.dataset == "heartbeats":
+                one_shot["heartbeats"] += 1
+                sends = np.asarray(batch.records, dtype=float)
+                if sends.ndim != 1:
+                    raise UploadRejected(
+                        f"heartbeat sends for {rid!r} must be a flat "
+                        "timestamp array")
+            elif batch.dataset == "throughput":
+                one_shot["throughput"] += 1
+                if batch.records.router_id != rid:
+                    raise UploadRejected(
+                        f"upload for {rid!r} carries a throughput series "
+                        f"for {batch.records.router_id!r}")
+            else:
+                batch_rid = getattr(batch.records, "router_id", None)
+                if batch_rid is not None:  # columnar: one id, one check
+                    if batch_rid != rid:
+                        raise UploadRejected(
+                            f"upload for {rid!r} carries records for "
+                            f"{batch_rid!r}")
+                elif any(record.router_id != rid
+                         for record in batch.records):
+                    raise UploadRejected(
+                        f"upload for {rid!r} carries records for "
+                        "another router")
+        for dataset, count in one_shot.items():
+            if count > 1:
+                raise UploadRejected(
+                    f"upload for {rid!r} carries {count} {dataset} "
+                    "batches; the dataset is one-shot per router")
+
+    def receive_batch(self, batch: RecordBatch) -> int:
         """Ingest one dataset chunk, applying path loss to heartbeats.
 
         Heartbeats are the one lossy dataset: the batch carries raw
         *send* times and the path model decides delivery here.  The
         sent-vs-delivered difference is accounted on the store (per
         router) and the metrics registry (aggregate) so undelivered
-        heartbeats are measured, never silently discarded.
+        heartbeats are measured, never silently discarded; a duplicate
+        upload the store rejects is counted in
+        ``heartbeats_rejected_total``, keeping the ledger closed:
+        sent == delivered + dropped + rejected.
+
+        Returns the number of records the store actually accepted, and
+        counts exactly that in ``records_ingested_total`` — one
+        accounting site for every dataset, so a retried or rejected
+        batch can never double-count.
         """
         if batch.dataset == "heartbeats":
             sent = len(batch.records)
             delivered = self.path.deliver(batch.records)
             stored = self.store.add_heartbeats(
                 HeartbeatLog(batch.router_id, delivered))
+            metrics.inc("heartbeats_sent_total", sent)
             if stored:
                 self.store.record_heartbeat_delivery(
                     batch.router_id, sent, len(delivered))
-                metrics.inc("heartbeats_sent_total", sent)
                 metrics.inc("heartbeats_delivered_total", len(delivered))
                 metrics.inc("heartbeats_dropped_total",
                             sent - len(delivered))
-                metrics.inc("records_ingested_total", len(delivered),
-                            dataset="heartbeats")
+                accepted = len(delivered)
+            else:
+                # A re-uploaded-then-rejected duplicate: its packets are
+                # neither delivered nor dropped — without an explicit
+                # rejected tally they would vanish from the ledger.
+                metrics.inc("heartbeats_rejected_total", sent)
+                accepted = 0
         elif batch.dataset == "uptime":
             self.store.add_uptime(batch.records)
+            accepted = len(batch.records)
         elif batch.dataset == "capacity":
             self.store.add_capacity(batch.records)
+            accepted = len(batch.records)
         elif batch.dataset == "device_counts":
             self.store.add_device_counts(batch.records)
+            accepted = len(batch.records)
         elif batch.dataset == "roster":
             self.store.add_roster(batch.records)
+            accepted = len(batch.records)
         elif batch.dataset == "wifi_scans":
             self.store.add_wifi_scans(batch.records)
+            accepted = len(batch.records)
         elif batch.dataset == "flows":
             self.store.add_flows(batch.records)
+            accepted = len(batch.records)
         elif batch.dataset == "throughput":
-            self.store.add_throughput(batch.records)
-            metrics.inc("records_ingested_total", len(batch.records),
-                        dataset="throughput")
+            stored = self.store.add_throughput(batch.records)
+            accepted = len(batch.records) if stored else 0
         elif batch.dataset == "dns":
             self.store.add_dns(batch.records)
+            accepted = len(batch.records)
         else:  # pragma: no cover - RecordBatch validates its dataset
             raise ValueError(f"unknown dataset {batch.dataset!r}")
-        if batch.dataset not in ("heartbeats", "throughput"):
-            metrics.inc("records_ingested_total", len(batch.records),
+        if accepted:
+            metrics.inc("records_ingested_total", accepted,
                         dataset=batch.dataset)
+        return accepted
 
     def receive(self, output: RouterOutput) -> None:
         """Ingest one monolithic router upload (legacy entry point)."""

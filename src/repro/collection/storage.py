@@ -73,6 +73,23 @@ class RecordStore:
                 f"conflicting registration for router {info.router_id!r}")
         self._routers[info.router_id] = info
 
+    def unregister_router(self, router_id: str) -> None:
+        """Withdraw a registration that never ingested any data.
+
+        The collection server uses this to make registration + batch
+        ingest all-or-nothing: a registration made for an upload that
+        then fails to ingest is rolled back, so a failed upload cannot
+        leave a registered-but-empty router inflating cohort coverage.
+        Refuses to forget a router that already has stored one-shot
+        uploads — that would orphan records.
+        """
+        if router_id in self._heartbeat_uploads \
+                or router_id in self._throughput_uploads:
+            raise ValueError(
+                f"router {router_id!r} has stored uploads; "
+                "registration cannot be rolled back")
+        self._routers.pop(router_id, None)
+
     def _require_registered(self, router_id: str) -> None:
         if router_id not in self._routers:
             raise KeyError(f"router {router_id!r} not registered")
@@ -157,8 +174,13 @@ class RecordStore:
         self._require_registered_all(flows)
         self.backend.append("flows", flows)
 
-    def add_throughput(self, series: ThroughputSeries) -> None:
-        """Store one router's series; conflicting re-upload raises."""
+    def add_throughput(self, series: ThroughputSeries) -> bool:
+        """Store one router's series; conflicting re-upload raises.
+
+        Returns True when the series was stored, False for an idempotent
+        duplicate — mirroring :meth:`add_heartbeats`, so the server's
+        record accounting can count exactly what the store accepted.
+        """
         self._require_registered(series.router_id)
         size, digest = _array_fingerprint(
             np.concatenate([series.up_bps, series.down_bps]))
@@ -171,9 +193,10 @@ class RecordStore:
                 raise ValueError(
                     "conflicting throughput re-upload for router "
                     f"{series.router_id!r}")
-            return
+            return False
         self._throughput_uploads[series.router_id] = fingerprint
         self.backend.put_throughput(series)
+        return True
 
     def add_dns(self, records: List[DnsRecord]) -> None:
         self._require_registered_all(records)

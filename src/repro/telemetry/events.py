@@ -68,6 +68,14 @@ KNOWN_EVENTS = (
     "pool_rebuilt",
     "checkpoint_written",
     "campaign_resumed",
+    # Network ingest service (repro.collection.netserve).
+    "ingest_service_started",
+    "ingest_service_drained",
+    "upload_duplicate",
+    "upload_rejected",
+    "upload_shed",
+    "net_disconnect",
+    "net_frame_error",
 )
 
 

@@ -46,6 +46,22 @@ METRIC_HELP: Dict[str, str] = {
     "pool_rebuilds_total": "Worker-pool rebuilds after BrokenProcessPool.",
     "checkpoints_written_total": "Campaign checkpoint manifests written.",
     "campaign_resumes_total": "Campaigns resumed from a checkpoint.",
+    # Network ingest service (repro.collection.netserve).
+    "heartbeats_rejected_total":
+        "Heartbeats in re-uploads the store rejected as duplicates.",
+    "net_connections_total": "TCP connections the ingest daemon accepted.",
+    "net_connections_open": "Ingest daemon connections currently open.",
+    "net_frames_total": "Protocol frames the ingest daemon decoded.",
+    "net_bytes_total": "Wire bytes the ingest daemon read.",
+    "net_frame_errors_total": "Malformed frames that closed a connection.",
+    "net_midframe_disconnects_total":
+        "Connections lost in the middle of a frame.",
+    "uploads_stored_total": "Uploads durably ingested by the daemon.",
+    "uploads_duplicate_total": "Retried uploads answered as duplicates.",
+    "uploads_shed_total": "Uploads shed with a RETRY-AFTER response.",
+    "uploads_error_total": "Uploads rejected by validation or the store.",
+    "ingest_queue_depth": "Uploads queued for ordered ingest.",
+    "ingest_queue_peak_depth": "High-water mark of the ingest queue.",
 }
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")

@@ -47,6 +47,20 @@ FAULT_TOLERANCE_METRICS = (
     "campaign_resumes_total",
 )
 
+#: Network ingest daemon counters surfaced in the report when a metrics
+#: snapshot is provided (see :mod:`repro.collection.netserve`).
+INGEST_SERVICE_METRICS = (
+    "net_connections_total",
+    "net_frames_total",
+    "net_frame_errors_total",
+    "net_midframe_disconnects_total",
+    "uploads_stored_total",
+    "uploads_duplicate_total",
+    "uploads_shed_total",
+    "uploads_error_total",
+    "heartbeats_rejected_total",
+)
+
 
 @dataclass(frozen=True)
 class RouterHealth:
@@ -90,6 +104,10 @@ class HealthReport:
     #: Engine recovery counters (retries, timeouts, pool rebuilds,
     #: checkpoints, resumes) — empty when no metrics snapshot was given.
     fault_tolerance: Dict[str, float] = field(default_factory=dict)
+    #: Network ingest daemon counters (connections, frames, sheds,
+    #: duplicates) — empty when the campaign never ran a daemon or no
+    #: metrics snapshot was given.
+    ingest_service: Dict[str, float] = field(default_factory=dict)
     #: :meth:`repro.trace.TraceSummary.to_dict` of the campaign's trace —
     #: None when the run was untraced.
     timeline: Optional[dict] = None
@@ -154,13 +172,14 @@ def _router_health(data: StudyData, router_id: str,
     )
 
 
-def _fault_tolerance_counters(snapshot: Optional[dict]) -> Dict[str, float]:
-    """Sum the engine-recovery counters out of a metrics snapshot."""
+def _sum_counters(snapshot: Optional[dict],
+                  names: Tuple[str, ...]) -> Dict[str, float]:
+    """Sum the selected counters out of a metrics snapshot (label-blind)."""
     if not snapshot:
         return {}
     totals: Dict[str, float] = {}
     for (name, _labels), value in snapshot.get("counters", {}).items():
-        if name in FAULT_TOLERANCE_METRICS:
+        if name in names:
             totals[name] = totals.get(name, 0.0) + float(value)
     return totals
 
@@ -228,7 +247,10 @@ def build_health_report(
         routers=routers,
         dataset_records=dataset_records,
         heartbeat_loss_rate=loss_rate,
-        fault_tolerance=_fault_tolerance_counters(metrics_snapshot),
+        fault_tolerance=_sum_counters(metrics_snapshot,
+                                      FAULT_TOLERANCE_METRICS),
+        ingest_service=_sum_counters(metrics_snapshot,
+                                     INGEST_SERVICE_METRICS),
         timeline=timeline,
     )
 
@@ -274,6 +296,13 @@ def format_health_report(report: HealthReport) -> str:
             [(name, int(value))
              for name, value in sorted(report.fault_tolerance.items())],
             title="Fault tolerance"))
+
+    if report.ingest_service:
+        sections.append(render_table(
+            ["counter", "value"],
+            [(name, int(value))
+             for name, value in sorted(report.ingest_service.items())],
+            title="Ingest service"))
 
     if report.timeline:
         tl = report.timeline

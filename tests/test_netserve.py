@@ -1,0 +1,450 @@
+"""The network ingest service: framing, daemon semantics, load harness.
+
+The load-bearing contracts under test:
+
+* the framed wire protocol round-trips and rejects garbage;
+* ``CollectionServer.ingest`` is all-or-nothing and idempotent;
+* the heartbeat ledger closes: sent == delivered + dropped + rejected;
+* ``records_ingested_total`` matches the store's contents exactly, even
+  after re-upload conflicts;
+* a campaign ingested over the socket daemon produces a ``study_digest``
+  bitwise-identical to the in-process path;
+* loss injection (mid-frame disconnects, dropped ACKs, shedding) never
+  leaves the store inconsistent.
+"""
+
+import asyncio
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import study_digest
+from repro.core.records import RouterInfo, UptimeReport
+from repro.simulation.timebase import StudyWindows, utc
+from repro.simulation.seeding import SeedHierarchy
+from repro.telemetry import metrics
+from repro.collection.batches import (
+    FRAME_HEADER,
+    FrameError,
+    RecordBatch,
+    RouterUpload,
+    decode_frame,
+    encode_frame,
+    validate_message,
+)
+from repro.collection.loadgen import (
+    LoadConfig,
+    run_load,
+    run_load_over_loopback,
+    synthetic_upload,
+)
+from repro.collection.netserve import (
+    IngestClient,
+    IngestDaemon,
+    ServeConfig,
+    run_campaign_over_socket,
+)
+from repro.collection.path import CollectionPath, PathConfig
+from repro.collection.server import CollectionServer, UploadRejected
+from repro.collection.storage import RecordStore
+
+SPAN = (utc(2013, 3, 1), utc(2013, 3, 15))
+
+#: One small fleet config reused across daemon tests.
+SMALL_LOAD = LoadConfig(clients=40, connections=4, heartbeats_per_upload=6,
+                        uptime_reports_per_upload=1, seed=3)
+
+
+def make_server(loss=0.0, seed=7):
+    store = RecordStore(StudyWindows())
+    path = CollectionPath(np.random.default_rng(seed), SPAN,
+                          PathConfig(packet_loss=loss,
+                                     outage_rate_per_day=0.0))
+    return CollectionServer(store, path)
+
+
+def make_upload(index=0, config=SMALL_LOAD):
+    return synthetic_upload(index, SPAN, config)
+
+
+def make_daemon(config=None, loss=0.0):
+    store = RecordStore(StudyWindows())
+    path = CollectionPath(np.random.default_rng(11), SPAN,
+                          PathConfig(packet_loss=loss,
+                                     outage_rate_per_day=0.0))
+    return IngestDaemon(store, path, config or ServeConfig(port=0))
+
+
+@pytest.fixture()
+def registry():
+    reg = metrics.enable()
+    reg.clear()
+    yield reg
+    metrics.disable()
+
+
+def counter(registry, name, **labels):
+    key = (name, tuple(sorted(labels.items())))
+    return registry.counters.get(key, 0)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        upload = make_upload()
+        data = encode_frame(("upload", 3, upload))
+        message, consumed = decode_frame(data)
+        assert consumed == len(data)
+        assert message[0] == "upload" and message[1] == 3
+        assert message[2].router_id == upload.router_id
+
+    def test_short_buffer_incomplete(self):
+        data = encode_frame(("ping",))
+        with pytest.raises(FrameError):
+            decode_frame(data[:3])
+        with pytest.raises(FrameError):
+            decode_frame(data[:-1])
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame(("error", 0, "x" * 100), max_frame_bytes=32)
+        data = encode_frame(("error", 0, "x" * 100))
+        with pytest.raises(FrameError):
+            decode_frame(data, max_frame_bytes=32)
+
+    def test_garbage_payload_rejected(self):
+        garbage = b"\x00\x00\x00\x04spam"
+        with pytest.raises(FrameError):
+            decode_frame(garbage)
+
+    def test_malformed_messages_rejected(self):
+        for message in (
+                (),
+                ("nope",),
+                ("upload", -1, make_upload()),
+                ("upload", 0, "not an upload"),
+                ("ack", 0, "lost"),
+                ("retry", 0, 0),
+                ("retry", 0, "soon"),
+                ("ping", 1),
+        ):
+            with pytest.raises(FrameError):
+                validate_message(message)
+
+    def test_valid_messages_pass(self):
+        for message in (
+                ("upload", 0, make_upload()),
+                ("ack", 9, "stored"),
+                ("ack", 9, "duplicate"),
+                ("retry", 2, 0.5),
+                ("error", 4, "boom"),
+                ("ping",),
+                ("pong",),
+                ("bye",),
+        ):
+            validate_message(message)
+
+    def test_serve_config_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(queue_size=0)
+        with pytest.raises(ValueError):
+            ServeConfig(reorder_window=0)
+        with pytest.raises(ValueError):
+            ServeConfig(retry_after_seconds=0)
+
+
+class TestIngestAllOrNothing:
+    def test_invalid_upload_registers_nothing(self, registry):
+        server = make_server()
+        bad = RouterUpload(
+            make_upload(0).info,
+            (RecordBatch("heartbeats", "LG000099", np.array([1.0])),))
+        with pytest.raises(UploadRejected):
+            server.ingest(bad)
+        assert bad.router_id not in server.store.routers
+        assert counter(registry, "routers_ingested_total") == 0
+        assert counter(registry, "records_ingested_total",
+                       dataset="heartbeats") == 0
+
+    def test_two_heartbeat_batches_rejected(self):
+        server = make_server()
+        upload = make_upload(0)
+        sends = upload.batches[0].records
+        doubled = RouterUpload(upload.info, upload.batches + (
+            RecordBatch("heartbeats", upload.router_id, sends),))
+        with pytest.raises(UploadRejected):
+            server.ingest(doubled)
+        assert upload.router_id not in server.store.routers
+
+    def test_midingest_failure_rolls_back_registration(self, monkeypatch):
+        server = make_server()
+        upload = make_upload(0)
+
+        def explode(log):
+            raise RuntimeError("backend offline")
+
+        monkeypatch.setattr(server.store, "add_heartbeats", explode)
+        with pytest.raises(RuntimeError):
+            server.ingest(upload)
+        # A failure validation could not foresee must not leave a
+        # registered-but-empty router inflating cohort coverage.
+        assert upload.router_id not in server.store.routers
+
+    def test_duplicate_ingest_is_idempotent(self, registry):
+        server = make_server()
+        upload = make_upload(0)
+        assert server.ingest(upload) is True
+        assert server.ingest(upload) is False
+        data = server.store.to_study_data()
+        assert len(data.uptime_reports) == \
+            SMALL_LOAD.uptime_reports_per_upload
+        assert counter(registry, "routers_ingested_total") == 1
+        assert counter(registry, "uploads_duplicate_total") == 1
+        assert counter(registry, "records_ingested_total",
+                       dataset="uptime") == len(data.uptime_reports)
+
+    def test_duplicate_with_conflicting_info_rejected(self):
+        server = make_server()
+        upload = make_upload(0)
+        server.ingest(upload)
+        imposter = RouterUpload(
+            RouterInfo(upload.router_id, "GB", True, 0.0, 36000.0),
+            upload.batches)
+        with pytest.raises(ValueError):
+            server.ingest(imposter)
+
+    def test_unregister_refuses_with_stored_uploads(self):
+        server = make_server()
+        upload = make_upload(0)
+        server.ingest(upload)
+        with pytest.raises(ValueError):
+            server.store.unregister_router(upload.router_id)
+
+
+class TestLedgerReconciliation:
+    def test_rejected_duplicate_counted(self, registry):
+        server = make_server(loss=0.0)
+        sends = np.linspace(SPAN[0], SPAN[1] - 1, 100)
+        server.store.register_router(RouterInfo("US001", "US", True,
+                                                -5.0, 49800.0))
+        server.receive_batch(RecordBatch("heartbeats", "US001", sends))
+        server.receive_batch(RecordBatch("heartbeats", "US001", sends))
+        sent = counter(registry, "heartbeats_sent_total")
+        delivered = counter(registry, "heartbeats_delivered_total")
+        dropped = counter(registry, "heartbeats_dropped_total")
+        rejected = counter(registry, "heartbeats_rejected_total")
+        assert sent == 200
+        assert rejected == 100
+        assert sent == delivered + dropped + rejected
+        # The store's per-router tally only counts the stored upload.
+        assert server.store.heartbeat_delivery["US001"] == (100, 100)
+
+    def test_ledger_closes_under_loss(self, registry):
+        server = make_server(loss=0.3)
+        sends = np.linspace(SPAN[0], SPAN[1] - 1, 2000)
+        server.store.register_router(RouterInfo("US001", "US", True,
+                                                -5.0, 49800.0))
+        server.receive_batch(RecordBatch("heartbeats", "US001", sends))
+        sent = counter(registry, "heartbeats_sent_total")
+        delivered = counter(registry, "heartbeats_delivered_total")
+        dropped = counter(registry, "heartbeats_dropped_total")
+        rejected = counter(registry, "heartbeats_rejected_total")
+        assert sent == 2000 and dropped > 0
+        assert sent == delivered + dropped + rejected
+
+    def test_records_total_matches_store_after_conflicts(self, registry):
+        """Per-dataset ``records_ingested_total`` == store contents,
+        through duplicate uploads and rejected re-uploads."""
+        server = make_server(loss=0.0)
+        for index in range(4):
+            server.ingest(make_upload(index))
+        server.ingest(make_upload(1))          # idempotent duplicate
+        # A direct duplicate batch (bypassing upload idempotency), as a
+        # crashed-and-replayed shard would produce.
+        replay = make_upload(2)
+        for batch in replay.batches:
+            server.receive_batch(batch)
+        data = server.store.to_study_data()
+        stored_heartbeats = sum(len(log) for log in data.heartbeats.values())
+        assert counter(registry, "records_ingested_total",
+                       dataset="heartbeats") == stored_heartbeats
+        assert counter(registry, "records_ingested_total",
+                       dataset="uptime") == len(data.uptime_reports)
+        assert len(data.routers) == 4
+
+
+def run_daemon(coro_factory, config=None, loss=0.0):
+    """Start a daemon, run the test coroutine against it, drain, stop."""
+    daemon = make_daemon(config=config, loss=loss)
+
+    async def _run():
+        host, port = await daemon.start()
+        try:
+            return await coro_factory(daemon, host, port)
+        finally:
+            await daemon.stop()
+
+    return daemon, asyncio.run(_run())
+
+
+class TestDaemon:
+    def test_upload_and_ack(self):
+        async def scenario(daemon, host, port):
+            async with IngestClient(host, port) as client:
+                await client.ping()
+                assert await client.upload(0, make_upload(0)) == "stored"
+                assert await client.upload(1, make_upload(1)) == "stored"
+            return None
+
+        daemon, _ = run_daemon(scenario)
+        assert daemon.routers_ingested == 2
+        assert len(daemon.store.routers) == 2
+
+    def test_out_of_order_uploads_ingest_in_order(self):
+        async def scenario(daemon, host, port):
+            async def send(seq):
+                async with IngestClient(host, port) as client:
+                    return await client.upload(seq, make_upload(seq))
+
+            # seq 1 arrives first; its ACK must wait for seq 0.
+            results = await asyncio.gather(send(1), send(0))
+            assert results == ["stored", "stored"]
+
+        daemon, _ = run_daemon(scenario)
+        assert daemon.routers_ingested == 2
+
+    def test_midframe_disconnect_leaves_store_consistent(self, registry):
+        async def scenario(daemon, host, port):
+            # A client dies halfway through a frame...
+            reader, writer = await asyncio.open_connection(host, port)
+            payload = pickle.dumps(("upload", 0, make_upload(0)))
+            writer.write(FRAME_HEADER.pack(len(payload)))
+            writer.write(payload[:len(payload) // 2])
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)
+            # ... and a healthy client then uploads the same router.
+            async with IngestClient(host, port) as client:
+                assert await client.upload(0, make_upload(0)) == "stored"
+
+        daemon, _ = run_daemon(scenario)
+        assert daemon.routers_ingested == 1
+        assert len(daemon.store.routers) == 1
+        assert counter(registry, "net_midframe_disconnects_total") == 1
+
+    def test_duplicate_retry_after_dropped_ack(self, registry):
+        async def scenario(daemon, host, port):
+            # First upload ACKs but the "client" never sees it (drops the
+            # connection without reading), then retries on a fresh one —
+            # exactly what IngestClient does after a lost ACK.
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame(("upload", 0, make_upload(0))))
+            await writer.drain()
+            await reader.readexactly(FRAME_HEADER.size)  # ACK is in flight
+            writer.close()
+            await writer.wait_closed()
+            async with IngestClient(host, port) as client:
+                status = await client.upload(0, make_upload(0))
+            assert status == "duplicate"
+
+        daemon, _ = run_daemon(scenario)
+        assert daemon.routers_ingested == 1
+        data = daemon.store.to_study_data()
+        assert len(data.routers) == 1
+        assert counter(registry, "uploads_duplicate_total") == 1
+
+    def test_shed_then_retry_completes(self, registry):
+        config = ServeConfig(port=0, queue_size=2, reorder_window=4,
+                             retry_after_seconds=0.005)
+
+        async def scenario(daemon, host, port):
+            async def send(seq):
+                async with IngestClient(host, port) as client:
+                    return await client.upload(seq, make_upload(seq))
+
+            # seq 10 is far beyond the reorder window — shed until the
+            # fleet catches up; client retry absorbs it transparently.
+            results = await asyncio.gather(*(send(seq)
+                                             for seq in range(12)))
+            assert all(status == "stored" for status in results)
+
+        daemon, _ = run_daemon(scenario, config=config)
+        assert daemon.routers_ingested == 12
+        assert len(daemon.store.routers) == 12
+        assert counter(registry, "uploads_shed_total", reason="window") > 0
+
+    def test_invalid_upload_gets_error_response(self):
+        async def scenario(daemon, host, port):
+            bad = RouterUpload(
+                make_upload(0).info,
+                (RecordBatch("heartbeats", "LG000099",
+                             np.array([1.0])),))
+            async with IngestClient(host, port) as client:
+                with pytest.raises(ValueError):
+                    await client.upload(0, bad)
+                # The seq slot stays owed; a valid retry fills it.
+                assert await client.upload(0, make_upload(0)) == "stored"
+
+        daemon, _ = run_daemon(scenario)
+        assert daemon.routers_ingested == 1
+        assert len(daemon.store.routers) == 1
+
+
+class TestDigestParity:
+    def test_socket_path_matches_in_process(self):
+        from repro.collection.engine import run_campaign
+        from repro.simulation.deployment import (
+            DeploymentConfig,
+            build_deployment_plan,
+        )
+
+        plan = build_deployment_plan(DeploymentConfig(
+            seed=11, windows=StudyWindows().scaled(0.02), router_scale=0.05,
+            traffic_consents=2, low_activity_consents=0,
+            countries=("US", "IN", "BR")))
+        inproc = run_campaign(plan, workers=1, shard_size=2)
+        socketed = run_campaign_over_socket(plan, shard_size=2)
+        assert study_digest(socketed) == study_digest(inproc)
+
+
+class TestLoadgen:
+    def test_synthetic_upload_deterministic(self):
+        a = synthetic_upload(5, SPAN, SMALL_LOAD)
+        b = synthetic_upload(5, SPAN, SMALL_LOAD)
+        assert a.router_id == b.router_id == "LG000005"
+        assert np.array_equal(a.batches[0].records, b.batches[0].records)
+        assert a.batches[1].records == b.batches[1].records
+        other = synthetic_upload(6, SPAN, SMALL_LOAD)
+        assert not np.array_equal(a.batches[0].records,
+                                  other.batches[0].records)
+
+    def test_load_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(clients=0)
+        with pytest.raises(ValueError):
+            LoadConfig(clients=4, connections=8)
+        with pytest.raises(ValueError):
+            LoadConfig(heartbeats_per_upload=0)
+
+    def test_loopback_run_stores_full_fleet(self):
+        report, daemon = run_load_over_loopback(SMALL_LOAD)
+        assert report.routers_stored == SMALL_LOAD.clients
+        assert daemon.routers_ingested == SMALL_LOAD.clients
+        assert len(daemon.store.routers) == SMALL_LOAD.clients
+        expected = SMALL_LOAD.clients * SMALL_LOAD.records_per_upload
+        assert report.records_sent == expected
+        assert report.records_per_sec > 0
+        data = daemon.store.to_study_data()
+        assert len(data.uptime_reports) == SMALL_LOAD.clients
+
+    def test_loopback_run_under_pressure(self):
+        config = LoadConfig(clients=60, connections=6,
+                            heartbeats_per_upload=4,
+                            uptime_reports_per_upload=0, seed=5)
+        serve = ServeConfig(queue_size=2, reorder_window=8,
+                            retry_after_seconds=0.002)
+        report, daemon = run_load_over_loopback(config, serve)
+        assert report.routers_stored == config.clients
+        assert report.sheds > 0
+        assert daemon.routers_ingested == config.clients
