@@ -384,6 +384,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.collection.storage import RecordStore
     from repro.simulation.seeding import SeedHierarchy
 
+    if args.host not in ("127.0.0.1", "::1", "localhost"):
+        print("warning: binding non-loopback host "
+              f"{args.host!r} exposes the daemon to its network; frames "
+              "decode through a restricted unpickler (protocol types "
+              "only) but the service is unauthenticated — use trusted "
+              "networks only", file=sys.stderr)
     windows = _serve_windows(args.duration)
     store = RecordStore(windows)
     path = CollectionPath(
@@ -558,7 +564,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser = sub.add_parser(
         "serve", help="run the network collection daemon")
     serve_parser.add_argument("--host", default="127.0.0.1",
-                              help="bind address (default 127.0.0.1)")
+                              help="bind address (default 127.0.0.1; the "
+                                   "service is unauthenticated — bind "
+                                   "non-loopback only on trusted networks)")
     serve_parser.add_argument("--port", type=int, default=0,
                               help="TCP port (default 0 = OS-assigned; the "
                                    "bound port is printed on stdout)")

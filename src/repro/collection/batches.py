@@ -10,6 +10,7 @@ batches; uploads cross the process boundary by pickling.
 
 from __future__ import annotations
 
+import io
 import pickle
 import struct
 from dataclasses import dataclass
@@ -372,7 +373,10 @@ def list_batches(dataset: str, router_id: str, records: Sequence,
 # hostile or corrupt prefix must not trigger a giant allocation), then
 # pulls exactly that many payload bytes.  A connection that dies mid-frame
 # leaves nothing ambiguous — the partial read is detected and the
-# connection dropped without touching the store.
+# connection dropped without touching the store.  Payloads are encoded
+# with pickle but *decoded* with a restricted unpickler that resolves
+# only the protocol's own types (see "safe deserialization" below), so a
+# hostile payload cannot execute code during deserialization.
 
 #: Length prefix: one unsigned 32-bit big-endian payload size.
 FRAME_HEADER = struct.Struct("!I")
@@ -391,6 +395,84 @@ class FrameError(ValueError):
     and is closed; the store is never touched."""
 
 
+# -- safe deserialization ------------------------------------------------------
+#
+# Frame payloads arrive from peers the daemon must not trust, and plain
+# ``pickle.loads`` hands such a peer arbitrary code execution (any
+# ``__reduce__`` in the payload runs during unpickling).  Frames are
+# therefore decoded with a restricted unpickler whose ``find_class``
+# resolves only the globals a legal protocol message can reference: the
+# protocol dataclasses, the record types they carry, and the numpy
+# machinery their arrays pickle through.  Anything else — ``os.system``,
+# ``builtins.eval``, a class smuggling a hostile reducer — is rejected
+# before any object is constructed.  This bounds *what can exist* in a
+# decoded payload; ``validate_message`` then checks its shape, and the
+# collection server validates upload semantics.  The daemon is still
+# meant for trusted networks (loopback by default): the allowlisted
+# types accept attacker-chosen field values, which downstream validation
+# must — and does — treat as untrusted data.
+
+def _safe_globals() -> Dict[Tuple[str, str], Any]:
+    """Build the (module, qualname) -> object allowlist for frames."""
+    from importlib import import_module
+
+    import numpy as np
+
+    from repro.core import datasets as _datasets
+    from repro.core import records as _records
+
+    allowed: Dict[Tuple[str, str], Any] = {}
+    for obj in (
+            RecordBatch, RouterUpload, ColumnarRecords,
+            _records.RouterInfo, _records.UptimeReport,
+            _records.CapacityMeasurement, _records.DeviceCountSample,
+            _records.DeviceRosterEntry, _records.WifiScanSample,
+            _records.FlowRecord, _records.DnsRecord,
+            _records.Spectrum, _records.Medium,
+            _datasets.ThroughputSeries,
+    ):
+        allowed[(obj.__module__, obj.__qualname__)] = obj
+    allowed[("numpy", "ndarray")] = np.ndarray
+    allowed[("numpy", "dtype")] = np.dtype
+    # The ndarray reconstruction helpers moved between ``numpy.core``
+    # and ``numpy._core`` across numpy versions; allow whichever exist
+    # so frames from either side of the rename decode.  Newer numpy
+    # keeps ``numpy.core`` as a deprecation shim — probing it must not
+    # warn on every daemon start.
+    import warnings
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for module_name in ("numpy.core.multiarray",
+                            "numpy._core.multiarray",
+                            "numpy.core.numeric", "numpy._core.numeric"):
+            try:
+                module = import_module(module_name)
+            except ImportError:  # pragma: no cover - numpy-version gated
+                continue
+            for name in ("_reconstruct", "scalar", "_frombuffer"):
+                if hasattr(module, name):
+                    allowed[(module_name, name)] = getattr(module, name)
+    return allowed
+
+
+_SAFE_GLOBALS: Optional[Dict[Tuple[str, str], Any]] = None
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that resolves only the protocol's allowlisted globals."""
+
+    def find_class(self, module: str, name: str) -> Any:
+        global _SAFE_GLOBALS
+        if _SAFE_GLOBALS is None:  # built lazily to avoid import cycles
+            _SAFE_GLOBALS = _safe_globals()
+        try:
+            return _SAFE_GLOBALS[(module, name)]
+        except KeyError:
+            raise FrameError(
+                f"frame payload references disallowed global "
+                f"{module}.{name}") from None
+
+
 def encode_frame(message: Tuple,
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
     """Serialize one protocol message into a length-prefixed frame."""
@@ -404,9 +486,15 @@ def encode_frame(message: Tuple,
 
 
 def decode_payload(payload: bytes) -> Tuple:
-    """Deserialize and validate one frame's payload bytes."""
+    """Deserialize and validate one frame's payload bytes.
+
+    Decoding never runs attacker code: the restricted unpickler rejects
+    any payload referencing a global outside the protocol allowlist.
+    """
     try:
-        message = pickle.loads(payload)
+        message = _RestrictedUnpickler(io.BytesIO(payload)).load()
+    except FrameError:
+        raise
     except Exception as exc:
         raise FrameError(f"undecodable frame payload: {exc}") from exc
     validate_message(message)

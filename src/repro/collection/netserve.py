@@ -47,6 +47,18 @@ Architecture
   uploads parked behind a gap that will never fill are answered with an
   error so no client hangs.
 
+Trust model
+-----------
+Frames are decoded with the restricted unpickler from
+:mod:`repro.collection.batches`: a payload can only reference the
+protocol's own types, so a hostile peer cannot execute code during
+deserialization, and every decoded message passes shape validation
+before dispatch.  Field *values* are still attacker-chosen — the
+collection server and store treat them as untrusted and validate before
+anything registers or appends.  There is no authentication or transport
+encryption; the daemon binds loopback by default and non-loopback
+deployments belong on trusted (measurement-infrastructure) networks.
+
 Trace spans (``net.accept``, ``net.frame``, ``net.ingest``) follow the
 shared :mod:`repro.trace` activation model and are no-ops when tracing is
 off.
@@ -137,6 +149,9 @@ class IngestDaemon:
         self._connections = 0
         self._peak_depth = 0
         self.routers_ingested = 0
+        #: Uploads still parked behind a seq gap when the worker retired
+        #: (set by the worker, reported by :meth:`stop`).
+        self.parked_discarded = 0
         self._complete: Optional[asyncio.Event] = None
         self._expected: Optional[int] = None
         self._handlers: "set" = set()
@@ -164,6 +179,8 @@ class IngestDaemon:
 
     async def wait_complete(self, expected_routers: int) -> None:
         """Block until *expected_routers* uploads have been stored."""
+        if self._complete is None:
+            raise RuntimeError("daemon not started")
         self._expected = expected_routers
         if self.routers_ingested >= expected_routers:
             return
@@ -194,15 +211,25 @@ class IngestDaemon:
         except asyncio.TimeoutError:  # pragma: no cover - drain stall
             logger.warning("shutdown drain timed out with %d queued",
                            self._queue.qsize())
-        self._queue.put_nowait(None)
-        await self._worker
+        try:
+            self._queue.put_nowait(None)
+        except asyncio.QueueFull:  # pragma: no cover - drain stall
+            # The drain timed out with the queue still full — the worker
+            # is wedged or hopelessly behind; cancel it rather than
+            # wedging shutdown too.  Its retirement path still answers
+            # every parked upload and records the discard count.
+            self._worker.cancel()
+        try:
+            await self._worker
+        except asyncio.CancelledError:  # pragma: no cover - drain stall
+            pass
         self._worker = None
         events.emit("ingest_service_drained",
                     routers=self.routers_ingested,
-                    undrained=len(self._pending))
+                    undrained=self.parked_discarded)
         logger.info("ingest daemon drained: %d routers stored, "
                     "%d parked uploads discarded",
-                    self.routers_ingested, len(self._pending))
+                    self.routers_ingested, self.parked_discarded)
 
     # -- connection handling -----------------------------------------------------
 
@@ -307,27 +334,34 @@ class IngestDaemon:
     # -- the ordered ingest worker -----------------------------------------------
 
     async def _ingest_worker(self) -> None:
-        while True:
-            item = await self._queue.get()
-            try:
-                if item is None:
-                    break
-                seq, upload, future = item
-                if seq < self._next_seq:
-                    metrics.inc("uploads_duplicate_total")
-                    self._resolve(future, ("ack", seq, "duplicate"))
-                    continue
-                self._pending.setdefault(seq, []).append((upload, future))
-                self._drain_ready()
-            finally:
-                self._queue.task_done()
-        # Retire: anything still parked waits behind a seq gap that can
-        # no longer fill — answer so no client blocks forever.
-        for seq, waiters in sorted(self._pending.items()):
-            for _, future in waiters:
-                self._resolve(future, ("error", seq,
-                                       "server shut down before ingest"))
-        self._pending.clear()
+        try:
+            while True:
+                item = await self._queue.get()
+                try:
+                    if item is None:
+                        break
+                    seq, upload, future = item
+                    if seq < self._next_seq:
+                        metrics.inc("uploads_duplicate_total")
+                        self._resolve(future, ("ack", seq, "duplicate"))
+                        continue
+                    self._pending.setdefault(seq, []).append((upload, future))
+                    self._drain_ready()
+                finally:
+                    self._queue.task_done()
+        finally:
+            # Retire (runs on the shutdown sentinel *and* on
+            # cancellation after a stalled drain): anything still parked
+            # waits behind a seq gap that can no longer fill — record
+            # the discard count for the drain report, then answer every
+            # waiter so no client blocks forever.
+            self.parked_discarded = sum(
+                len(waiters) for waiters in self._pending.values())
+            for seq, waiters in sorted(self._pending.items()):
+                for _, future in waiters:
+                    self._resolve(future, ("error", seq,
+                                           "server shut down before ingest"))
+            self._pending.clear()
 
     def _drain_ready(self) -> None:
         """Ingest every consecutively-available seq, resolving waiters."""

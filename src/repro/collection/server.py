@@ -16,7 +16,7 @@ shard engine (:mod:`repro.collection.engine`).
 from __future__ import annotations
 
 import logging
-from typing import Optional, Set
+from typing import List, Optional, Set, Union
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.collection.batches import (
     router_output_to_batches,
 )
 from repro.collection.path import CollectionPath, PathConfig
-from repro.collection.storage import RecordStore
+from repro.collection.storage import RecordStore, StagedIngest
 from repro.firmware.router import RouterOutput
 from repro.telemetry import events, metrics
 
@@ -53,42 +53,44 @@ class CollectionServer:
         """Register one router and stream in all of its batches.
 
         Registration and batch ingest are all-or-nothing: the upload is
-        validated *before* the router is registered or any batch touches
-        the store, so a malformed upload can never leave behind a
-        registered router with partial data.  A retried upload for a
-        router that already ingested is an idempotent no-op (returns
-        False) — re-ingesting its batches would double-append the list
-        datasets; a *conflicting* re-registration still raises.  Returns
-        True when the upload was stored.
+        validated up front, then every batch is *staged* into a
+        :class:`~repro.collection.storage.StagedIngest` buffer that runs
+        the store's consistency checks without mutating it — the live
+        store is only touched once the whole upload staged cleanly, so
+        a failure anywhere leaves the store exactly as it was (no
+        partial list appends for a client retry to double up on).  A
+        retried upload for a router that already ingested — in this
+        server's lifetime or, via the store's one-shot upload markers,
+        in a previous daemon's over the same store — is an idempotent
+        no-op (returns False); a *conflicting* re-registration still
+        raises.  Returns True when the upload was stored.
         """
         rid = upload.router_id
-        if rid in self._ingested:
+        if rid in self._ingested or self.store.has_upload(rid):
             # At-least-once delivery duplicate (e.g. a retry after a
-            # dropped ACK).  The registration conflict check still runs
-            # so a different router claiming an ingested id is rejected
-            # loudly rather than silently swallowed as a duplicate.
-            self.store.register_router(upload.info)
+            # dropped ACK, possibly across a daemon restart).  The
+            # registration conflict check still runs so a different
+            # router claiming an ingested id is rejected loudly rather
+            # than silently swallowed as a duplicate.
+            self.store.check_registration(upload.info)
+            self._ingested.add(rid)
             metrics.inc("uploads_duplicate_total")
             events.emit("upload_duplicate", router=rid)
             logger.debug("duplicate upload for %s ignored", rid)
             return False
         self._validate_upload(upload)
-        newly_registered = rid not in self.store.routers
-        self.store.register_router(upload.info)
+        staging = StagedIngest(self.store)
+        deltas: List[tuple] = []
         try:
+            staging.register_router(upload.info)
             for batch in upload.batches:
-                self.receive_batch(batch)
+                self._dispatch_batch(batch, staging, deltas)
         except BaseException as exc:
-            # Validation should have caught everything; whatever slipped
-            # through must not leave a registered router behind.
-            if newly_registered:
-                try:
-                    self.store.unregister_router(rid)
-                except ValueError:  # pragma: no cover - partial one-shots
-                    logger.exception(
-                        "could not roll back registration of %s", rid)
-            logger.warning("upload from %s failed mid-ingest: %s", rid, exc)
+            logger.warning("upload from %s rejected during staging: %s",
+                           rid, exc)
             raise
+        staging.commit()
+        self._apply_deltas(deltas)
         self._ingested.add(rid)
         metrics.inc("routers_ingested_total")
         events.emit("router_ingested", router=upload.router_id,
@@ -162,55 +164,74 @@ class CollectionServer:
         accounting site for every dataset, so a retried or rejected
         batch can never double-count.
         """
+        deltas: List[tuple] = []
+        accepted = self._dispatch_batch(batch, self.store, deltas)
+        self._apply_deltas(deltas)
+        return accepted
+
+    def _dispatch_batch(self, batch: RecordBatch,
+                        store: Union[RecordStore, StagedIngest],
+                        deltas: List[tuple]) -> int:
+        """Dispatch one batch into *store* (the live store or an
+        upload's staging buffer), deferring metric increments into
+        *deltas* so a staged upload whose later batch fails leaves the
+        metrics registry as untouched as the store.
+        """
         if batch.dataset == "heartbeats":
             sent = len(batch.records)
             delivered = self.path.deliver(batch.records)
-            stored = self.store.add_heartbeats(
+            stored = store.add_heartbeats(
                 HeartbeatLog(batch.router_id, delivered))
-            metrics.inc("heartbeats_sent_total", sent)
+            deltas.append(("heartbeats_sent_total", sent, None))
             if stored:
-                self.store.record_heartbeat_delivery(
+                store.record_heartbeat_delivery(
                     batch.router_id, sent, len(delivered))
-                metrics.inc("heartbeats_delivered_total", len(delivered))
-                metrics.inc("heartbeats_dropped_total",
-                            sent - len(delivered))
+                deltas.append(("heartbeats_delivered_total",
+                               len(delivered), None))
+                deltas.append(("heartbeats_dropped_total",
+                               sent - len(delivered), None))
                 accepted = len(delivered)
             else:
                 # A re-uploaded-then-rejected duplicate: its packets are
                 # neither delivered nor dropped — without an explicit
                 # rejected tally they would vanish from the ledger.
-                metrics.inc("heartbeats_rejected_total", sent)
+                deltas.append(("heartbeats_rejected_total", sent, None))
                 accepted = 0
         elif batch.dataset == "uptime":
-            self.store.add_uptime(batch.records)
+            store.add_uptime(batch.records)
             accepted = len(batch.records)
         elif batch.dataset == "capacity":
-            self.store.add_capacity(batch.records)
+            store.add_capacity(batch.records)
             accepted = len(batch.records)
         elif batch.dataset == "device_counts":
-            self.store.add_device_counts(batch.records)
+            store.add_device_counts(batch.records)
             accepted = len(batch.records)
         elif batch.dataset == "roster":
-            self.store.add_roster(batch.records)
+            store.add_roster(batch.records)
             accepted = len(batch.records)
         elif batch.dataset == "wifi_scans":
-            self.store.add_wifi_scans(batch.records)
+            store.add_wifi_scans(batch.records)
             accepted = len(batch.records)
         elif batch.dataset == "flows":
-            self.store.add_flows(batch.records)
+            store.add_flows(batch.records)
             accepted = len(batch.records)
         elif batch.dataset == "throughput":
-            stored = self.store.add_throughput(batch.records)
+            stored = store.add_throughput(batch.records)
             accepted = len(batch.records) if stored else 0
         elif batch.dataset == "dns":
-            self.store.add_dns(batch.records)
+            store.add_dns(batch.records)
             accepted = len(batch.records)
         else:  # pragma: no cover - RecordBatch validates its dataset
             raise ValueError(f"unknown dataset {batch.dataset!r}")
         if accepted:
-            metrics.inc("records_ingested_total", accepted,
-                        dataset=batch.dataset)
+            deltas.append(("records_ingested_total", accepted,
+                           {"dataset": batch.dataset}))
         return accepted
+
+    @staticmethod
+    def _apply_deltas(deltas: List[tuple]) -> None:
+        for name, amount, labels in deltas:
+            metrics.inc(name, amount, **(labels or {}))
 
     def receive(self, output: RouterOutput) -> None:
         """Ingest one monolithic router upload (legacy entry point)."""

@@ -65,13 +65,28 @@ class RecordStore:
         """Registered router metadata (read-only view; do not mutate)."""
         return self._routers
 
-    def register_router(self, info: RouterInfo) -> None:
-        """Record deployment metadata; re-registration must be consistent."""
+    def check_registration(self, info: RouterInfo) -> None:
+        """Raise if *info* conflicts with an existing registration."""
         existing = self._routers.get(info.router_id)
         if existing is not None and existing != info:
             raise ValueError(
                 f"conflicting registration for router {info.router_id!r}")
+
+    def register_router(self, info: RouterInfo) -> None:
+        """Record deployment metadata; re-registration must be consistent."""
+        self.check_registration(info)
         self._routers[info.router_id] = info
+
+    def has_upload(self, router_id: str) -> bool:
+        """True when a full upload for *router_id* already ingested.
+
+        Every upload carries exactly one heartbeat batch, so a stored
+        heartbeat fingerprint marks the router's upload as ingested.
+        The collection server consults this so an at-least-once retry
+        arriving at a daemon *restarted over an existing store* is a
+        duplicate no-op instead of double-appending list datasets.
+        """
+        return router_id in self._heartbeat_uploads
 
     def unregister_router(self, router_id: str) -> None:
         """Withdraw a registration that never ingested any data.
@@ -94,6 +109,22 @@ class RecordStore:
         if router_id not in self._routers:
             raise KeyError(f"router {router_id!r} not registered")
 
+    def check_heartbeats(self, log: HeartbeatLog) -> bool:
+        """Would :meth:`add_heartbeats` store *log*?  Mutates nothing.
+
+        True for a new upload, False for an identical duplicate; a
+        *conflicting* re-upload raises exactly as the add would.
+        """
+        existing = self._heartbeat_uploads.get(log.router_id)
+        if existing is not None:
+            if existing != _array_fingerprint(log.timestamps):
+                self._reject("heartbeats", log.router_id)
+                raise ValueError(
+                    "conflicting heartbeat re-upload for router "
+                    f"{log.router_id!r}")
+            return False
+        return True
+
     def add_heartbeats(self, log: HeartbeatLog) -> bool:
         """Store delivered heartbeats for one router.
 
@@ -105,16 +136,10 @@ class RecordStore:
         the server does not double-count delivery tallies).
         """
         self._require_registered(log.router_id)
-        fingerprint = _array_fingerprint(log.timestamps)
-        existing = self._heartbeat_uploads.get(log.router_id)
-        if existing is not None:
-            if existing != fingerprint:
-                self._reject("heartbeats", log.router_id)
-                raise ValueError(
-                    "conflicting heartbeat re-upload for router "
-                    f"{log.router_id!r}")
+        if not self.check_heartbeats(log):
             return False
-        self._heartbeat_uploads[log.router_id] = fingerprint
+        self._heartbeat_uploads[log.router_id] = _array_fingerprint(
+            log.timestamps)
         self.backend.put_heartbeats(log)
         return True
 
@@ -174,6 +199,30 @@ class RecordStore:
         self._require_registered_all(flows)
         self.backend.append("flows", flows)
 
+    @staticmethod
+    def _throughput_fingerprint(
+            series: ThroughputSeries) -> Tuple[int, str, float, float]:
+        size, digest = _array_fingerprint(
+            np.concatenate([series.up_bps, series.down_bps]))
+        return (size, digest, float(series.start),
+                float(series.interval_seconds))
+
+    def check_throughput(self, series: ThroughputSeries) -> bool:
+        """Would :meth:`add_throughput` store *series*?  Mutates nothing.
+
+        True for a new upload, False for an identical duplicate; a
+        *conflicting* re-upload raises exactly as the add would.
+        """
+        existing = self._throughput_uploads.get(series.router_id)
+        if existing is not None:
+            if existing != self._throughput_fingerprint(series):
+                self._reject("throughput", series.router_id)
+                raise ValueError(
+                    "conflicting throughput re-upload for router "
+                    f"{series.router_id!r}")
+            return False
+        return True
+
     def add_throughput(self, series: ThroughputSeries) -> bool:
         """Store one router's series; conflicting re-upload raises.
 
@@ -182,19 +231,10 @@ class RecordStore:
         record accounting can count exactly what the store accepted.
         """
         self._require_registered(series.router_id)
-        size, digest = _array_fingerprint(
-            np.concatenate([series.up_bps, series.down_bps]))
-        fingerprint = (size, digest, float(series.start),
-                       float(series.interval_seconds))
-        existing = self._throughput_uploads.get(series.router_id)
-        if existing is not None:
-            if existing != fingerprint:
-                self._reject("throughput", series.router_id)
-                raise ValueError(
-                    "conflicting throughput re-upload for router "
-                    f"{series.router_id!r}")
+        if not self.check_throughput(series):
             return False
-        self._throughput_uploads[series.router_id] = fingerprint
+        self._throughput_uploads[series.router_id] = \
+            self._throughput_fingerprint(series)
         self.backend.put_throughput(series)
         return True
 
@@ -276,3 +316,128 @@ class RecordStore:
             dns=contents.lists["dns"],
             heartbeat_delivery=dict(self.heartbeat_delivery),
         )
+
+
+class StagedIngest:
+    """Buffers one upload's store mutations; :meth:`commit` applies them.
+
+    The collection server stages every batch of an upload here before
+    the live store is touched: each ``add_*`` runs the same consistency
+    checks the live store would (registration conflicts, one-shot
+    re-upload fingerprints, registration presence) but *buffers* the
+    mutation instead of applying it.  A batch that fails mid-upload
+    therefore aborts the whole upload with the store exactly as it was —
+    no partial list appends for a client retry to double up on — which
+    is what makes registration + batch ingest genuinely all-or-nothing,
+    including when the router was already registered by an earlier
+    daemon over the same store.
+    """
+
+    def __init__(self, store: RecordStore):
+        self.store = store
+        self._ops: List[Tuple[str, tuple]] = []
+        self._staged_routers: Dict[str, RouterInfo] = {}
+        self._staged_heartbeats: set = set()
+        self._staged_throughput: set = set()
+
+    def _require_registered(self, router_id: str) -> None:
+        if router_id not in self._staged_routers \
+                and router_id not in self.store.routers:
+            raise KeyError(f"router {router_id!r} not registered")
+
+    def _require_registered_all(self, records) -> None:
+        router_id = getattr(records, "router_id", None)
+        if router_id is not None:
+            self._require_registered(router_id)
+            return
+        for record in records:
+            self._require_registered(record.router_id)
+
+    def register_router(self, info: RouterInfo) -> None:
+        self.store.check_registration(info)
+        staged = self._staged_routers.get(info.router_id)
+        if staged is not None and staged != info:
+            raise ValueError(
+                f"conflicting registration for router {info.router_id!r}")
+        self._staged_routers[info.router_id] = info
+        self._ops.append(("register_router", (info,)))
+
+    def add_heartbeats(self, log: HeartbeatLog) -> bool:
+        self._require_registered(log.router_id)
+        if log.router_id in self._staged_heartbeats:
+            raise ValueError(
+                f"heartbeat log for {log.router_id!r} already staged")
+        if not self.store.check_heartbeats(log):
+            return False
+        self._staged_heartbeats.add(log.router_id)
+        self._ops.append(("add_heartbeats", (log,)))
+        return True
+
+    def record_heartbeat_delivery(self, router_id: str, sent: int,
+                                  delivered: int) -> None:
+        if delivered > sent:
+            raise ValueError("delivered heartbeats cannot exceed sent")
+        self._ops.append(("record_heartbeat_delivery",
+                          (router_id, sent, delivered)))
+
+    def add_throughput(self, series: ThroughputSeries) -> bool:
+        self._require_registered(series.router_id)
+        if series.router_id in self._staged_throughput:
+            raise ValueError(
+                f"throughput for {series.router_id!r} already staged")
+        if not self.store.check_throughput(series):
+            return False
+        self._staged_throughput.add(series.router_id)
+        self._ops.append(("add_throughput", (series,)))
+        return True
+
+    def _stage_list(self, method: str, records) -> None:
+        self._require_registered_all(records)
+        self._ops.append((method, (records,)))
+
+    def add_uptime(self, reports: List[UptimeReport]) -> None:
+        self._stage_list("add_uptime", reports)
+
+    def add_capacity(self, measurements: List[CapacityMeasurement]) -> None:
+        self._stage_list("add_capacity", measurements)
+
+    def add_device_counts(self, samples: List[DeviceCountSample]) -> None:
+        self._stage_list("add_device_counts", samples)
+
+    def add_roster(self, entries: List[DeviceRosterEntry]) -> None:
+        self._stage_list("add_roster", entries)
+
+    def add_wifi_scans(self, samples: List[WifiScanSample]) -> None:
+        self._stage_list("add_wifi_scans", samples)
+
+    def add_flows(self, flows: List[FlowRecord]) -> None:
+        self._stage_list("add_flows", flows)
+
+    def add_dns(self, records: List[DnsRecord]) -> None:
+        self._stage_list("add_dns", records)
+
+    def commit(self) -> None:
+        """Replay the staged mutations onto the live store.
+
+        Every consistency check already passed at staging time and the
+        ingest path is strictly ordered, so the replay cannot fail for
+        protocol reasons.  If an unforeseeable error (a backend I/O
+        failure) defeats that anyway, newly staged registrations that
+        stored no one-shot uploads are rolled back, so a half-committed
+        upload cannot leave a registered-but-empty router inflating
+        cohort coverage.
+        """
+        new_routers = [rid for rid in self._staged_routers
+                       if rid not in self.store.routers]
+        try:
+            for method, args in self._ops:
+                getattr(self.store, method)(*args)
+        except BaseException:
+            for rid in new_routers:
+                try:
+                    self.store.unregister_router(rid)
+                except ValueError:  # pragma: no cover - one-shot stored
+                    logger.exception(
+                        "could not roll back registration of %s", rid)
+            raise
+        self._ops = []

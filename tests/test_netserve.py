@@ -3,7 +3,9 @@
 The load-bearing contracts under test:
 
 * the framed wire protocol round-trips and rejects garbage;
-* ``CollectionServer.ingest`` is all-or-nothing and idempotent;
+* frame decoding never executes attacker code (restricted unpickler);
+* ``CollectionServer.ingest`` is all-or-nothing and idempotent, even
+  across a daemon restart over an existing store;
 * the heartbeat ledger closes: sent == delivered + dropped + rejected;
 * ``records_ingested_total`` matches the store's contents exactly, even
   after re-upload conflicts;
@@ -20,6 +22,7 @@ import numpy as np
 import pytest
 
 from repro import study_digest
+from repro.core.datasets import ThroughputSeries
 from repro.core.records import RouterInfo, UptimeReport
 from repro.simulation.timebase import StudyWindows, utc
 from repro.simulation.seeding import SeedHierarchy
@@ -30,6 +33,7 @@ from repro.collection.batches import (
     RecordBatch,
     RouterUpload,
     decode_frame,
+    decode_payload,
     encode_frame,
     validate_message,
 )
@@ -153,6 +157,46 @@ class TestFraming:
             ServeConfig(retry_after_seconds=0)
 
 
+#: Side-effect flag for the hostile-reducer test below; decoding must
+#: reject the payload before this ever runs.
+PWNED = []
+
+
+def _pwn(marker):  # pragma: no cover - must never execute
+    PWNED.append(marker)
+    return marker
+
+
+class _EvilReducer:
+    """Pickles to a call of ``_pwn`` — the classic pickle RCE shape."""
+
+    def __reduce__(self):
+        return (_pwn, ("boom",))
+
+
+class TestSafeDeserialization:
+    def test_hostile_reducer_rejected_before_execution(self):
+        payload = pickle.dumps(("error", 0, _EvilReducer()),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        with pytest.raises(FrameError):
+            decode_payload(payload)
+        assert PWNED == []
+
+    def test_disallowed_global_rejected(self):
+        for smuggled in (print, pickle.loads, np.frombuffer):
+            payload = pickle.dumps(("ping", smuggled),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            with pytest.raises(FrameError):
+                decode_payload(payload)
+
+    def test_protocol_types_still_decode(self):
+        upload = make_upload(0)
+        payload = pickle.dumps(("upload", 0, upload),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        message = decode_payload(payload)
+        assert message[2].router_id == upload.router_id
+
+
 class TestIngestAllOrNothing:
     def test_invalid_upload_registers_nothing(self, registry):
         server = make_server()
@@ -219,6 +263,67 @@ class TestIngestAllOrNothing:
         server.ingest(upload)
         with pytest.raises(ValueError):
             server.store.unregister_router(upload.router_id)
+
+    def test_failed_upload_stages_nothing(self, registry):
+        """A consistency failure on a *later* batch must leave the
+        store byte-for-byte as it was: the earlier append-only batches
+        are staged, not applied, so a client retry cannot double-append
+        them."""
+        server = make_server()
+        rid = "LG000000"
+        info = RouterInfo(rid, "US", True, -5.0, 50_000.0)
+        server.store.register_router(info)
+        original = ThroughputSeries(rid, SPAN[0], np.ones(4), np.ones(4))
+        server.receive_batch(RecordBatch("throughput", rid, original))
+
+        sends = np.linspace(SPAN[0], SPAN[0] + 3600.0, 5)
+        reports = [UptimeReport(rid, SPAN[0] + 60.0, 1000.0)]
+        conflicting = ThroughputSeries(rid, SPAN[0], np.zeros(4),
+                                       np.ones(4))
+        with pytest.raises(ValueError):
+            server.ingest(RouterUpload(info, (
+                RecordBatch("heartbeats", rid, sends),
+                RecordBatch("uptime", rid, reports),
+                RecordBatch("throughput", rid, conflicting),
+            )))
+        # Nothing before the conflicting batch leaked into the store or
+        # the metrics registry.
+        assert not server.store.has_upload(rid)
+        assert counter(registry, "heartbeats_sent_total") == 0
+        assert counter(registry, "records_ingested_total",
+                       dataset="uptime") == 0
+        assert counter(registry, "routers_ingested_total") == 0
+        # The retry with the original (non-conflicting) series ingests
+        # everything exactly once.
+        assert server.ingest(RouterUpload(info, (
+            RecordBatch("heartbeats", rid, sends),
+            RecordBatch("uptime", rid, reports),
+            RecordBatch("throughput", rid, original),
+        ))) is True
+        data = server.store.to_study_data()
+        assert len(data.uptime_reports) == 1
+        assert len(data.heartbeats[rid]) == len(sends)
+
+    def test_restart_over_existing_store_is_duplicate(self, registry):
+        """A retry landing at a daemon *restarted over an existing
+        store* must be a duplicate no-op, not a double-append of the
+        list datasets (the in-memory idempotency set is empty there;
+        the store's one-shot upload markers have to carry it)."""
+        store = RecordStore(StudyWindows())
+
+        def fresh_server():
+            return CollectionServer(store, CollectionPath(
+                np.random.default_rng(7), SPAN,
+                PathConfig(packet_loss=0.0, outage_rate_per_day=0.0)))
+
+        upload = make_upload(0)
+        assert fresh_server().ingest(upload) is True
+        assert fresh_server().ingest(upload) is False
+        data = store.to_study_data()
+        assert len(data.uptime_reports) == \
+            SMALL_LOAD.uptime_reports_per_upload
+        assert counter(registry, "uploads_duplicate_total") == 1
+        assert counter(registry, "routers_ingested_total") == 1
 
 
 class TestLedgerReconciliation:
@@ -389,6 +494,25 @@ class TestDaemon:
         daemon, _ = run_daemon(scenario)
         assert daemon.routers_ingested == 1
         assert len(daemon.store.routers) == 1
+
+    def test_wait_complete_before_start_raises(self):
+        daemon = make_daemon()
+        with pytest.raises(RuntimeError, match="not started"):
+            asyncio.run(daemon.wait_complete(1))
+
+    def test_parked_uploads_counted_on_stop(self):
+        async def scenario(daemon, host, port):
+            # seq 1 arrives but seq 0 never does: the upload parks
+            # behind a gap that will not fill before shutdown.
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame(("upload", 1, make_upload(1))))
+            await writer.drain()
+            await asyncio.sleep(0.05)  # let the worker park it
+            writer.close()
+
+        daemon, _ = run_daemon(scenario)
+        assert daemon.routers_ingested == 0
+        assert daemon.parked_discarded == 1
 
 
 class TestDigestParity:
